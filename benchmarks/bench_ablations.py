@@ -1,0 +1,32 @@
+"""Benchmarks for the ablation studies (A01-A04).
+
+Each regenerates one sensitivity table for a reconstructed parameter
+(DESIGN.md §4); run with ``--benchmark-only -s`` to see the tables.
+"""
+
+
+def test_a01_lock_costs(experiment_bench):
+    result = experiment_bench("a01")
+    margins = result.meta["margins"]
+    assert margins[-1] > margins[0]
+
+
+def test_a02_shared_writable(experiment_bench):
+    result = experiment_bench("a02")
+    assert result.meta["locking_execs"][-1] > result.meta["locking_execs"][0]
+
+
+def test_a03_composition(experiment_bench):
+    result = experiment_bench("a03")
+    assert result.meta["advantages"][-1] > result.meta["advantages"][0]
+
+
+def test_a04_geometry(experiment_bench):
+    result = experiment_bench("a04")
+    assert len(result.rows) == 4
+
+
+def test_a05_lock_granularity(experiment_bench):
+    result = experiment_bench("a05")
+    waits = result.meta["lock_waits"]
+    assert waits[0] >= waits[-1]

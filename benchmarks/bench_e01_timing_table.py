@@ -1,0 +1,11 @@
+"""Benchmark e01: Table 1: conditioned execution-time bounds.
+
+Regenerates the paper artifact end to end (fast-mode grid) and prints the
+rows/series; run with ``--benchmark-only -s`` to see the table.
+"""
+
+
+def test_e01_timing_table(experiment_bench):
+    result = experiment_bench("e01")
+    cold_row = next(r for r in result.rows if 'cold' in r['condition'])
+    assert cold_row['anchored_us'] == 284.3

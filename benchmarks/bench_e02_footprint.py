@@ -1,0 +1,10 @@
+"""Benchmark e02: Footprint function u(R; L) (eq. 2).
+
+Regenerates the paper artifact end to end (fast-mode grid) and prints the
+rows/series; run with ``--benchmark-only -s`` to see the table.
+"""
+
+
+def test_e02_footprint(experiment_bench):
+    result = experiment_bench("e02")
+    assert len(result.rows) >= 8

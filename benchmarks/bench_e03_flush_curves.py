@@ -1,0 +1,10 @@
+"""Benchmark e03: F1(x)/F2(x) flush curves.
+
+Regenerates the paper artifact end to end (fast-mode grid) and prints the
+rows/series; run with ``--benchmark-only -s`` to see the table.
+"""
+
+
+def test_e03_flush_curves(experiment_bench):
+    result = experiment_bench("e03")
+    assert result.meta['l2_over_l1_ratio'] > 10

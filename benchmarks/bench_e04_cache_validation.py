@@ -1,0 +1,10 @@
+"""Benchmark e04: Analytic-vs-trace-driven flush validation.
+
+Regenerates the paper artifact end to end (fast-mode grid) and prints the
+rows/series; run with ``--benchmark-only -s`` to see the table.
+"""
+
+
+def test_e04_cache_validation(experiment_bench):
+    result = experiment_bench("e04")
+    assert result.meta['comparison'].mean_abs_error < 0.1

@@ -1,0 +1,10 @@
+"""Benchmark e05: t(x) reload-transient curve.
+
+Regenerates the paper artifact end to end (fast-mode grid) and prints the
+rows/series; run with ``--benchmark-only -s`` to see the table.
+"""
+
+
+def test_e05_exec_time(experiment_bench):
+    result = experiment_bench("e05")
+    assert result.rows

@@ -1,0 +1,10 @@
+"""Benchmark e06: Fig. 6: Locking delay vs rate, 8 streams.
+
+Regenerates the paper artifact end to end (fast-mode grid) and prints the
+rows/series; run with ``--benchmark-only -s`` to see the table.
+"""
+
+
+def test_e06_locking_few_streams(experiment_bench):
+    result = experiment_bench("e06")
+    assert result.rows

@@ -1,0 +1,10 @@
+"""Benchmark e07: Fig. 7: Locking delay vs rate, 64 streams.
+
+Regenerates the paper artifact end to end (fast-mode grid) and prints the
+rows/series; run with ``--benchmark-only -s`` to see the table.
+"""
+
+
+def test_e07_locking_many_streams(experiment_bench):
+    result = experiment_bench("e07")
+    assert result.rows

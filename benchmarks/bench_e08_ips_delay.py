@@ -1,0 +1,10 @@
+"""Benchmark e08: Figs. 8/9: IPS delay vs rate + stack-count extension.
+
+Regenerates the paper artifact end to end (fast-mode grid) and prints the
+rows/series; run with ``--benchmark-only -s`` to see the table.
+"""
+
+
+def test_e08_ips_delay(experiment_bench):
+    result = experiment_bench("e08")
+    assert result.rows

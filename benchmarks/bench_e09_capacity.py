@@ -1,0 +1,11 @@
+"""Benchmark e09: Maximum sustainable throughput by policy.
+
+Regenerates the paper artifact end to end (fast-mode grid) and prints the
+rows/series; run with ``--benchmark-only -s`` to see the table.
+"""
+
+
+def test_e09_capacity(experiment_bench):
+    result = experiment_bench("e09")
+    caps = result.meta['capacities']
+    assert caps['ips-wired'] > caps['locking-fcfs(baseline)']

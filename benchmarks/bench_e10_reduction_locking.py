@@ -1,0 +1,10 @@
+"""Benchmark e10: Fig. 10: % reduction under Locking, V family.
+
+Regenerates the paper artifact end to end (fast-mode grid) and prints the
+rows/series; run with ``--benchmark-only -s`` to see the table.
+"""
+
+
+def test_e10_reduction_locking(experiment_bench):
+    result = experiment_bench("e10")
+    assert result.rows

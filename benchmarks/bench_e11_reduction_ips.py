@@ -1,0 +1,10 @@
+"""Benchmark e11: Fig. 11: % reduction under IPS, V family.
+
+Regenerates the paper artifact end to end (fast-mode grid) and prints the
+rows/series; run with ``--benchmark-only -s`` to see the table.
+"""
+
+
+def test_e11_reduction_ips(experiment_bench):
+    result = experiment_bench("e11")
+    assert result.rows

@@ -1,0 +1,13 @@
+"""Benchmark e12: Intra-stream scalability vs processor count.
+
+Regenerates the paper artifact end to end (fast-mode grid) and prints the
+rows/series; run with ``--benchmark-only -s`` to see the table.
+"""
+
+
+def test_e12_scalability(experiment_bench):
+    result = experiment_bench("e12")
+    locking = [r['locking_capacity_pps'] for r in result.rows]
+    ips = [r['ips_capacity_pps'] for r in result.rows]
+    assert locking[-1] > 4 * locking[0]
+    assert ips[-1] < 1.5 * ips[0]

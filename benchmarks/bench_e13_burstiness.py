@@ -1,0 +1,10 @@
+"""Benchmark e13: Burstiness robustness: Locking vs IPS.
+
+Regenerates the paper artifact end to end (fast-mode grid) and prints the
+rows/series; run with ``--benchmark-only -s`` to see the table.
+"""
+
+
+def test_e13_burstiness(experiment_bench):
+    result = experiment_bench("e13")
+    assert result.rows

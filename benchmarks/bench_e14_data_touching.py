@@ -1,0 +1,11 @@
+"""Benchmark e14: Data-touching dilution of the affinity benefit.
+
+Regenerates the paper artifact end to end (fast-mode grid) and prints the
+rows/series; run with ``--benchmark-only -s`` to see the table.
+"""
+
+
+def test_e14_data_touching(experiment_bench):
+    result = experiment_bench("e14")
+    reds = [r['reduction_pct'] for r in result.rows if 'reduction_pct' in r]
+    assert reds[0] > reds[-1]

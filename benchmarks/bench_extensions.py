@@ -1,0 +1,20 @@
+"""Benchmarks for the extension experiments (x01 hybrid, x02 trains)."""
+
+
+def test_x01_hybrid_scorecard(experiment_bench):
+    result = experiment_bench("x01")
+    by = result.meta["by_policy"]
+    assert by["hybrid[17]"]["single_stream_pps"] > by[
+        "locking-wired"]["single_stream_pps"]
+
+
+def test_x02_packet_trains(experiment_bench):
+    result = experiment_bench("x02")
+    ips = [row["ips-wired"] for row in result.rows]
+    assert ips[-1] > ips[0]
+
+
+def test_x03_session_churn(experiment_bench):
+    result = experiment_bench("x03")
+    supported = result.meta["supported"]
+    assert supported["ips-wired"] >= supported["fcfs(baseline)"]

@@ -1,0 +1,37 @@
+"""Benchmark-suite configuration.
+
+Every paper artifact (table/figure) has one benchmark that regenerates it
+via its experiment module and prints the same rows/series the paper
+reports (run with ``pytest benchmarks/ --benchmark-only -s`` to see them).
+Experiment benchmarks execute a single round — they are end-to-end
+regenerations, not micro-benchmarks — while the micro-benchmarks in
+``bench_micro.py`` use pytest-benchmark's usual calibration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_and_print(benchmark, experiment_id: str, **kwargs):
+    """Benchmark one experiment (single round) and print its artifact."""
+    from repro.experiments.base import run_experiment
+
+    result = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id,),
+        kwargs={"fast": True, **kwargs},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result)
+    return result
+
+
+@pytest.fixture
+def experiment_bench(benchmark):
+    """Fixture wrapping :func:`run_and_print`."""
+    def _run(experiment_id: str, **kwargs):
+        return run_and_print(benchmark, experiment_id, **kwargs)
+    return _run

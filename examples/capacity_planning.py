@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Capacity planning with the analysis toolkit (no long simulations).
+
+A downstream engineer's workflow: size a protocol-processing host for a
+target workload using the closed-form predictor, then verify the chosen
+operating point with a few paired simulation replications.
+
+1. **Predict** mean delay across policies/rates with
+   :class:`repro.analysis.AnalyticPredictor` (milliseconds of CPU, not
+   simulation minutes).
+2. **Pick** the paradigm for the requirement (e.g. p? delay budget at a
+   projected load, plus a burst-robustness constraint).
+3. **Verify** the decision with paired replications under common random
+   numbers — a statistically defensible A/B with 5 short runs.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import SystemConfig, TrafficSpec
+from repro.analysis.predictor import AnalyticPredictor
+from repro.analysis.replications import paired_comparison
+
+TARGET_RATE_PPS = 24_000.0
+N_STREAMS = 16
+DELAY_BUDGET_US = 320.0
+
+
+def predict() -> None:
+    print("=" * 66)
+    print(f"1. Closed-form predictions at {TARGET_RATE_PPS:,.0f} pps, "
+          f"{N_STREAMS} streams")
+    print("=" * 66)
+    predictor = AnalyticPredictor()
+    print(f"  {'policy':<15} {'service':>9} {'delay':>9} {'util':>6} "
+          f"{'meets budget?':>14}")
+    for policy in predictor.SUPPORTED:
+        p = predictor.predict(policy, TARGET_RATE_PPS, N_STREAMS)
+        verdict = "yes" if p.stable and p.mean_delay_us <= DELAY_BUDGET_US else "no"
+        print(f"  {policy:<15} {p.service_us:>7.1f}us {p.mean_delay_us:>7.1f}us "
+              f"{p.utilization:>6.2f} {verdict:>14}")
+    for policy in ("fcfs", "wired-streams", "ips-wired"):
+        cap = predictor.capacity_pps(policy, N_STREAMS)
+        print(f"  predicted capacity, {policy:<15}: {cap:>9,.0f} pps")
+
+
+def verify() -> None:
+    print()
+    print("=" * 66)
+    print("2. Verify the shortlist with paired replications (common RNs)")
+    print("=" * 66)
+    make = lambda paradigm, policy: SystemConfig(
+        traffic=TrafficSpec.homogeneous_poisson(N_STREAMS, TARGET_RATE_PPS),
+        paradigm=paradigm, policy=policy,
+        duration_us=400_000, warmup_us=60_000,
+    )
+    cmp = paired_comparison(
+        make("locking", "mru"),
+        make("ips", "ips-wired"),
+        n_replications=5,
+    )
+    a, b = cmp.a, cmp.b
+    print(f"  locking/mru : {a.mean_delay_us:7.1f} us "
+          f"(95% CI ±{a.half_width_us:.1f})")
+    print(f"  ips/wired   : {b.mean_delay_us:7.1f} us "
+          f"(95% CI ±{b.half_width_us:.1f})")
+    print(f"  paired diff : {cmp.mean_difference_us:+7.1f} us "
+          f"[{cmp.ci_us[0]:+.1f}, {cmp.ci_us[1]:+.1f}] "
+          f"-> {'significant' if cmp.significant else 'not significant'}")
+    print("\n  Decision input: at this mid-range load, Locking/MRU's pooled")
+    print("  queue wins on latency while IPS carries ~30% more capacity")
+    print("  headroom for growth; check x01/x02 (burstiness) before wiring")
+    print("  hot streams to single stacks — the hybrid policy hedges both.")
+
+
+if __name__ == "__main__":
+    predict()
+    verify()

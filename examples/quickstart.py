@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Quickstart: simulate parallel protocol processing in ~20 lines.
+
+Configures the paper's platform (8-CPU SGI Challenge class machine), runs
+the Locking paradigm under two scheduling policies on identical traffic,
+and prints the affinity benefit.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SystemConfig, TrafficSpec, run_simulation
+
+
+def main() -> None:
+    # 8 Poisson streams offering 12,000 packets/s in aggregate, processed
+    # concurrently with a displacing non-protocol workload (V = 1).
+    traffic = TrafficSpec.homogeneous_poisson(n_streams=8, total_rate_pps=12_000)
+
+    base = SystemConfig(
+        traffic=traffic,
+        paradigm="locking",
+        duration_us=1_000_000,   # 1 s simulated
+        warmup_us=150_000,
+        seed=1,
+    )
+
+    print(f"{'policy':<16} {'mean delay':>12} {'service':>10} {'p95':>10}")
+    for policy in ("fcfs", "mru", "stream-mru", "wired-streams"):
+        summary = run_simulation(base.with_(policy=policy))
+        print(
+            f"{policy:<16} {summary.mean_delay_us:>10.1f}us "
+            f"{summary.mean_exec_us:>8.1f}us {summary.p95_delay_us:>8.1f}us"
+        )
+
+    baseline = run_simulation(base.with_(policy="fcfs"))
+    best = run_simulation(base.with_(policy="stream-mru"))
+    reduction = 1.0 - best.mean_delay_us / baseline.mean_delay_us
+    print(
+        f"\naffinity scheduling cut mean packet delay by {reduction:.1%} "
+        "at this load (paper: significant reductions, V=0 bound 40-50%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Drive the x-kernel UDP/IP/FDDI receive fast path packet by packet.
+
+Shows the protocol substrate the study instruments: builds the stack, has
+the in-memory FDDI driver synthesize real frames, runs them up through
+demultiplexing, exercises the drop paths, demonstrates IPS replication
+(independent stacks cannot see each other's streams), and wall-clock
+times the Python implementation.
+
+Run:  python examples/xkernel_fastpath.py
+"""
+
+from repro.measurement.timing import time_fast_path
+from repro.xkernel import (
+    ChecksumError,
+    DemuxError,
+    ReceiveFastPath,
+    StreamEndpoint,
+    build_ips_stacks,
+)
+
+
+def main() -> None:
+    streams = [
+        StreamEndpoint(src_ip=f"10.0.0.{i + 1}", src_port=5000 + i,
+                       dst_port=7000 + i)
+        for i in range(4)
+    ]
+
+    print("== shared stack (Locking configuration) ==")
+    fp = ReceiveFastPath.build(streams, verify_udp_checksum=True)
+    fp.deliver_many(400, payload_bytes=256)
+    for i in range(4):
+        s = fp.session_for_stream(i)
+        print(f"  stream {i}: {s.packets_received} packets, "
+              f"{s.bytes_received} bytes, out-of-order={s.out_of_order}")
+    for name, stats in fp.graph.stats_by_layer().items():
+        print(f"  layer {name:4s}: delivered={stats.delivered} "
+              f"dropped={stats.dropped}")
+
+    print("\n== drop paths ==")
+    corrupted = bytearray(fp.driver.next_frame(0, 64))
+    corrupted[-1] ^= 0xFF  # payload bit flip -> UDP checksum failure
+    try:
+        fp.graph.receive(bytes(corrupted))
+    except ChecksumError as e:
+        print(f"  corrupted payload rejected: {e}")
+    from repro.xkernel import InMemoryFDDIDriver
+    other_host = InMemoryFDDIDriver(fp.driver.local_mac, "10.9.9.9", streams)
+    try:
+        fp.graph.receive(other_host.next_frame(0, 64))
+    except DemuxError as e:
+        print(f"  mis-addressed datagram rejected: {e}")
+
+    print("\n== IPS: independent protocol stacks ==")
+    stacks = build_ips_stacks(streams, n_stacks=2)
+    for k, stack in enumerate(stacks):
+        names = [ep.dst_port for ep in stack.driver.streams]
+        print(f"  stack {k} owns ports {names}")
+    # A frame for stack 1's stream is a demux error at stack 0 — total
+    # isolation, which is what lets IPS run without locks.
+    frame = stacks[1].driver.next_frame(0)
+    try:
+        stacks[0].graph.receive(frame)
+    except DemuxError:
+        print("  stack 0 cannot demux stack 1's stream (isolation verified)")
+
+    print("\n== wall-clock timing of the Python fast path ==")
+    for payload in (64, 1024, 4432):
+        r = time_fast_path(n_streams=4, n_iterations=400,
+                           payload_bytes=payload)
+        print(f"  payload {payload:>5} B: median {r.p50_us:7.1f} us/packet "
+              f"({1e6 / r.p50_us:,.0f} pps single-threaded)")
+
+
+if __name__ == "__main__":
+    main()

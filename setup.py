@@ -1,0 +1,7 @@
+"""Legacy shim so editable installs work on offline hosts without the
+``wheel`` package (``pip install -e . --no-use-pep517``); all metadata
+lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

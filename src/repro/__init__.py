@@ -1,0 +1,88 @@
+"""repro — reproduction of Salehi, Kurose & Towsley (HPDC-4, 1995):
+"The Performance Impact of Scheduling for Cache Affinity in Parallel
+Network Processing".
+
+Public API highlights
+---------------------
+- :class:`repro.SystemConfig` / :class:`repro.NetworkProcessingSystem` —
+  configure and run one multiprocessor protocol-processing simulation.
+- :class:`repro.TrafficSpec` — describe multi-stream traffic.
+- :class:`repro.ExecutionTimeModel` — the analytic packet execution-time
+  model (reload-transient interpolation over the cache hierarchy).
+- :mod:`repro.cache` — footprint function, flush model, trace-driven cache
+  simulator.
+- :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from .cache import (
+    CacheHierarchy,
+    CacheLevelConfig,
+    CacheSimulator,
+    FootprintFunction,
+    MVS_WORKLOAD,
+    flushed_fraction,
+    sgi_challenge_hierarchy,
+)
+from .core import (
+    COLD,
+    ComponentState,
+    ExecutionTimeModel,
+    FootprintComposition,
+    PAPER_COMPOSITION,
+    PAPER_COSTS,
+    PAPER_PLATFORM,
+    PlatformConfig,
+    ProtocolCosts,
+    make_ips_policy,
+    make_locking_policy,
+)
+from .sim import (
+    NetworkProcessingSystem,
+    SimulationSummary,
+    Simulator,
+    SystemConfig,
+    run_simulation,
+)
+from .workloads import (
+    BatchPoissonSpec,
+    DeterministicSpec,
+    OnOffSpec,
+    PacketTrainSpec,
+    PoissonSpec,
+    TrafficSpec,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BatchPoissonSpec",
+    "COLD",
+    "CacheHierarchy",
+    "CacheLevelConfig",
+    "CacheSimulator",
+    "ComponentState",
+    "DeterministicSpec",
+    "ExecutionTimeModel",
+    "FootprintComposition",
+    "FootprintFunction",
+    "MVS_WORKLOAD",
+    "NetworkProcessingSystem",
+    "OnOffSpec",
+    "PAPER_COMPOSITION",
+    "PAPER_COSTS",
+    "PAPER_PLATFORM",
+    "PacketTrainSpec",
+    "PlatformConfig",
+    "PoissonSpec",
+    "ProtocolCosts",
+    "SimulationSummary",
+    "Simulator",
+    "SystemConfig",
+    "TrafficSpec",
+    "__version__",
+    "flushed_fraction",
+    "make_ips_policy",
+    "make_locking_policy",
+    "run_simulation",
+    "sgi_challenge_hierarchy",
+]

@@ -1,0 +1,44 @@
+"""Output analysis: queueing validation formulas, statistics, tables."""
+
+from .mg1 import (
+    erlang_c,
+    md1_mean_delay,
+    mg1_mean_delay,
+    mm1_mean_delay,
+    mmc_mean_delay,
+)
+from .plot import ascii_plot, sparkline
+from .predictor import AnalyticPredictor, DelayPrediction
+from .replications import PairedComparison, ReplicatedResult, paired_comparison, replicate
+from .stats import (
+    batch_means,
+    batch_means_ci,
+    relative_half_width,
+    suggest_warmup_index,
+    welch_moving_average,
+)
+from .tables import format_kv, format_series, format_table
+
+__all__ = [
+    "AnalyticPredictor",
+    "DelayPrediction",
+    "PairedComparison",
+    "ReplicatedResult",
+    "ascii_plot",
+    "batch_means",
+    "batch_means_ci",
+    "erlang_c",
+    "format_kv",
+    "format_series",
+    "format_table",
+    "md1_mean_delay",
+    "mg1_mean_delay",
+    "mm1_mean_delay",
+    "mmc_mean_delay",
+    "paired_comparison",
+    "replicate",
+    "relative_half_width",
+    "suggest_warmup_index",
+    "sparkline",
+    "welch_moving_average",
+]

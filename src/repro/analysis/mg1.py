@@ -1,0 +1,100 @@
+"""Closed-form queueing formulas used to validate the simulator.
+
+In degenerate configurations the affinity simulator reduces to textbook
+queues, giving exact expected delays to test against:
+
+- one processor, deterministic service (``V = 0``, warm cache, no
+  locking): **M/D/1**;
+- one processor, general service: **M/G/1** (Pollaczek-Khinchine);
+- N processors with a shared queue and (approximately) exponential
+  service: **M/M/c** (Erlang C).
+
+These are validation substrates, not part of the paper's model itself —
+they pin down the queueing core of the simulator so that observed effects
+can be attributed to the cache-affinity model rather than queueing bugs.
+"""
+
+from __future__ import annotations
+
+
+__all__ = [
+    "mm1_mean_delay",
+    "md1_mean_delay",
+    "mg1_mean_delay",
+    "erlang_c",
+    "mmc_mean_delay",
+]
+
+
+def _check_load(rho: float) -> None:
+    if not (0.0 <= rho < 1.0):
+        raise ValueError(f"utilization must be in [0, 1) for stability, got {rho}")
+
+
+def mm1_mean_delay(arrival_rate: float, service_rate: float) -> float:
+    """Mean sojourn time of M/M/1: ``1 / (mu - lambda)``."""
+    if service_rate <= 0:
+        raise ValueError("service_rate must be positive")
+    _check_load(arrival_rate / service_rate)
+    return 1.0 / (service_rate - arrival_rate)
+
+
+def md1_mean_delay(arrival_rate: float, service_time: float) -> float:
+    """Mean sojourn time of M/D/1 (deterministic service).
+
+    ``W = s + rho*s / (2*(1-rho))``.
+    """
+    if service_time <= 0:
+        raise ValueError("service_time must be positive")
+    rho = arrival_rate * service_time
+    _check_load(rho)
+    return service_time + rho * service_time / (2.0 * (1.0 - rho))
+
+
+def mg1_mean_delay(arrival_rate: float, service_mean: float,
+                   service_second_moment: float) -> float:
+    """Pollaczek-Khinchine mean sojourn time of M/G/1.
+
+    ``W = E[S] + lambda * E[S^2] / (2 * (1 - rho))``.
+    """
+    if service_mean <= 0:
+        raise ValueError("service_mean must be positive")
+    if service_second_moment < service_mean ** 2:
+        raise ValueError("E[S^2] cannot be below E[S]^2")
+    rho = arrival_rate * service_mean
+    _check_load(rho)
+    return service_mean + arrival_rate * service_second_moment / (2.0 * (1.0 - rho))
+
+
+def erlang_c(n_servers: int, offered_load: float) -> float:
+    """Erlang C: probability an arrival waits in M/M/c.
+
+    ``offered_load = lambda / mu`` (in Erlangs); requires
+    ``offered_load < n_servers`` for stability.
+    """
+    if n_servers < 1:
+        raise ValueError("n_servers must be >= 1")
+    a = offered_load
+    if not (0.0 <= a < n_servers):
+        raise ValueError(f"offered load {a} must be in [0, {n_servers}) for stability")
+    if a == 0.0:
+        return 0.0
+    # Stable iterative evaluation of the Erlang-B recursion, then convert.
+    b = 1.0
+    for k in range(1, n_servers + 1):
+        b = a * b / (k + a * b)
+    rho = a / n_servers
+    return b / (1.0 - rho + rho * b)
+
+
+def mmc_mean_delay(arrival_rate: float, service_rate: float, n_servers: int) -> float:
+    """Mean sojourn time of M/M/c.
+
+    ``W = 1/mu + C(c, a) / (c*mu - lambda)`` with ``C`` the Erlang-C
+    waiting probability.
+    """
+    if service_rate <= 0:
+        raise ValueError("service_rate must be positive")
+    a = arrival_rate / service_rate
+    pw = erlang_c(n_servers, a)
+    return 1.0 / service_rate + pw / (n_servers * service_rate - arrival_rate)

@@ -1,0 +1,132 @@
+"""Plain-text line plots for the CLI figures.
+
+The experiment modules print their figure data as tables; these helpers
+additionally render a compact character-grid plot so the *shape* of a
+figure (crossovers, saturation knees, V-family ordering) is visible in a
+terminal without any plotting dependency.
+
+Only monospaced ASCII output — no styling, no external libraries.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Mapping, Optional, Sequence
+
+__all__ = ["ascii_plot", "sparkline"]
+
+_MARKS = "ox+*#@%&"
+_TICKS = " ▁▂▃▄▅▆▇█"
+
+
+def _finite(values) -> List[float]:
+    return [v for v in values if v is not None and math.isfinite(v)]
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line bar sparkline of a series (non-finite values render '·')."""
+    finite = _finite(values)
+    if not finite:
+        return "·" * len(values)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    out = []
+    for v in values:
+        if v is None or not math.isfinite(v):
+            out.append("·")
+            continue
+        frac = 0.5 if span == 0 else (v - lo) / span
+        out.append(_TICKS[1 + round(frac * (len(_TICKS) - 2))])
+    return "".join(out)
+
+
+def ascii_plot(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+    logx: bool = False,
+    title: str = "",
+) -> str:
+    """Render several y-series against x on a character grid.
+
+    Non-finite points (saturated runs reported as ``inf``) are clipped to
+    the top row and drawn as ``^``.  Each series gets a distinct mark;
+    the legend maps marks to names.
+    """
+    if width < 16 or height < 4:
+        raise ValueError("grid too small to plot")
+    if not x:
+        return "(no data)"
+    xs = [math.log10(v) for v in x] if logx else list(x)
+    x_lo, x_hi = min(xs), max(xs)
+    ys = _finite(v for s in series.values() for v in s)
+    if not ys:
+        return "(no finite data)"
+    y_lo, y_hi = min(ys), max(ys)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(xv: float) -> int:
+        return round((xv - x_lo) / (x_hi - x_lo) * (width - 1))
+
+    def row(yv: float) -> int:
+        frac = (yv - y_lo) / (y_hi - y_lo)
+        return (height - 1) - round(frac * (height - 1))
+
+    legend = []
+    for k, (name, svals) in enumerate(series.items()):
+        mark = _MARKS[k % len(_MARKS)]
+        legend.append(f"{mark}={name}")
+        prev: Optional[tuple] = None
+        for xv, yv in zip(xs, svals):
+            if yv is None:
+                prev = None
+                continue
+            if not math.isfinite(yv):
+                grid[0][col(xv)] = "^"
+                prev = None
+                continue
+            c, r = col(xv), row(yv)
+            grid[r][c] = mark
+            # Simple line interpolation between consecutive points.
+            if prev is not None:
+                pc, pr = prev
+                steps = max(abs(c - pc), abs(r - pr))
+                for s in range(1, steps):
+                    ic = pc + round((c - pc) * s / steps)
+                    ir = pr + round((r - pr) * s / steps)
+                    if grid[ir][ic] == " ":
+                        grid[ir][ic] = "."
+            prev = (c, r)
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_hi_s, y_lo_s = f"{y_hi:.4g}", f"{y_lo:.4g}"
+    margin = max(len(y_hi_s), len(y_lo_s)) + 1
+    for i, grid_row in enumerate(grid):
+        if i == 0:
+            label = y_hi_s
+        elif i == height - 1:
+            label = y_lo_s
+        else:
+            label = ""
+        lines.append(f"{label.rjust(margin)}|{''.join(grid_row)}")
+    x_lo_s = f"{x[0]:.4g}"
+    x_hi_s = f"{x[-1]:.4g}"
+    axis = f"{' ' * margin}+{'-' * width}"
+    lines.append(axis)
+    pad = width - len(x_lo_s) - len(x_hi_s)
+    lines.append(
+        f"{' ' * (margin + 1)}{x_lo_s}{' ' * max(1, pad)}{x_hi_s}"
+        f"  ({x_label}{', log' if logx else ''})"
+    )
+    lines.append(f"{' ' * (margin + 1)}{y_label}: {'  '.join(legend)}")
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Output analysis for the simulation: batch means, CIs, transient removal.
+
+Standard discrete-event output-analysis techniques of the paper's era:
+
+- **non-overlapping batch means** for confidence intervals on steady-state
+  means from a single long run (autocorrelated observations),
+- **Welch's graphical procedure** for choosing a warm-up truncation point,
+- relative-precision helpers used by experiments to decide run lengths.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+from scipy import stats as sps
+
+__all__ = [
+    "batch_means_ci",
+    "batch_means",
+    "welch_moving_average",
+    "suggest_warmup_index",
+    "relative_half_width",
+]
+
+
+def batch_means(observations: np.ndarray, n_batches: int = 20) -> np.ndarray:
+    """Means of ``n_batches`` equal, non-overlapping, consecutive batches.
+
+    A trailing remainder (when the sample size is not divisible) is
+    dropped, per standard practice.  Requires at least one observation per
+    batch.
+    """
+    obs = np.asarray(observations, dtype=np.float64)
+    if n_batches < 2:
+        raise ValueError("need at least 2 batches")
+    batch_size = len(obs) // n_batches
+    if batch_size < 1:
+        raise ValueError(
+            f"too few observations ({len(obs)}) for {n_batches} batches"
+        )
+    usable = batch_size * n_batches
+    return obs[:usable].reshape(n_batches, batch_size).mean(axis=1)
+
+
+def batch_means_ci(
+    observations: np.ndarray,
+    n_batches: int = 20,
+    confidence: float = 0.95,
+) -> Tuple[float, float]:
+    """Two-sided CI for the steady-state mean via batch means.
+
+    Treats the batch means as approximately i.i.d. normal (valid once
+    batches are long relative to the autocorrelation time) and applies the
+    Student-t interval.  Returns ``(lo, hi)``; degenerate inputs (fewer
+    than ``2 * n_batches`` observations) fall back to a plain t-interval
+    on the raw observations, and fewer than 2 observations yield a
+    zero-width interval at the sample mean.
+    """
+    obs = np.asarray(observations, dtype=np.float64)
+    if len(obs) == 0:
+        return (math.nan, math.nan)
+    if len(obs) == 1:
+        return (float(obs[0]), float(obs[0]))
+    if len(obs) < 2 * n_batches:
+        sample = obs
+    else:
+        sample = batch_means(obs, n_batches)
+    mean = float(sample.mean())
+    sem = float(sample.std(ddof=1) / math.sqrt(len(sample)))
+    if sem == 0.0:
+        return (mean, mean)
+    t = float(sps.t.ppf(0.5 + confidence / 2.0, df=len(sample) - 1))
+    return (mean - t * sem, mean + t * sem)
+
+
+def relative_half_width(observations: np.ndarray, n_batches: int = 20,
+                        confidence: float = 0.95) -> float:
+    """CI half-width divided by the mean (the usual stopping criterion)."""
+    obs = np.asarray(observations, dtype=np.float64)
+    if len(obs) == 0:
+        return math.inf
+    lo, hi = batch_means_ci(obs, n_batches=n_batches, confidence=confidence)
+    mean = float(obs.mean())
+    if mean == 0.0 or math.isnan(lo):
+        return math.inf
+    return (hi - lo) / 2.0 / abs(mean)
+
+
+def welch_moving_average(observations: np.ndarray, window: int = 5) -> np.ndarray:
+    """Welch's moving average for warm-up identification.
+
+    Centered moving average with shrinking windows near the start, exactly
+    as in Welch's procedure (Law & Kelton §9.5.1): for index ``i < window``
+    the window is ``2i+1`` points; beyond that, ``2*window+1`` points.
+    """
+    obs = np.asarray(observations, dtype=np.float64)
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    n = len(obs)
+    out = np.empty(n)
+    for i in range(n):
+        w = min(window, i, n - 1 - i)
+        out[i] = obs[i - w : i + w + 1].mean()
+    return out
+
+
+def suggest_warmup_index(observations: np.ndarray, window: int = 25,
+                         tolerance: float = 0.05) -> int:
+    """Heuristic warm-up truncation point from Welch's curve.
+
+    Returns the first index where the smoothed curve stays within
+    ``tolerance`` (relative) of the mean of its final quarter for the rest
+    of the series.  Falls back to ``len/10`` when no such index exists.
+    """
+    obs = np.asarray(observations, dtype=np.float64)
+    if len(obs) < 10:
+        return 0
+    smooth = welch_moving_average(obs, window=min(window, len(obs) // 4))
+    tail_mean = smooth[-max(1, len(smooth) // 4):].mean()
+    if tail_mean == 0.0:
+        return 0
+    within = np.abs(smooth - tail_mean) <= tolerance * abs(tail_mean)
+    # First index from which the curve never leaves the band again.
+    outside = np.where(~within)[0]
+    if len(outside) == 0:
+        return 0
+    idx = int(outside[-1]) + 1
+    if idx >= len(obs):
+        return len(obs) // 10
+    return idx

@@ -1,0 +1,83 @@
+"""Paper-style ASCII tables and series rendering.
+
+Every experiment emits its results both as structured data (lists of
+dicts) and as formatted text via these helpers, so the benchmark harness
+prints the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "format_kv"]
+
+
+def _fmt(value, precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if value != 0 and (abs(value) >= 1e6 or abs(value) < 1e-3):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+    precision: int = 2,
+) -> str:
+    """Render rows of dicts as an aligned ASCII table.
+
+    Column order follows ``columns`` when given, else the key order of the
+    first row.  Missing cells render as ``-``.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    rendered: List[List[str]] = [[str(c) for c in cols]]
+    for row in rows:
+        rendered.append([_fmt(row.get(c), precision) for c in cols])
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(cols))]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(h.ljust(w) for h, w in zip(rendered[0], widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for r in rendered[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    x_label: str = "x",
+    title: str = "",
+    precision: int = 2,
+) -> str:
+    """Render one x-column against several y-series (a figure's data)."""
+    rows = []
+    for i, xv in enumerate(x):
+        row: Dict[str, object] = {x_label: xv}
+        for name, ys in series.items():
+            row[name] = ys[i] if i < len(ys) else None
+        rows.append(row)
+    return format_table(rows, columns=[x_label, *series.keys()],
+                        title=title, precision=precision)
+
+
+def format_kv(items: Mapping[str, object], title: str = "", precision: int = 3) -> str:
+    """Render a flat mapping as aligned ``key: value`` lines."""
+    lines = [title] if title else []
+    width = max((len(str(k)) for k in items), default=0)
+    for k, v in items.items():
+        lines.append(f"{str(k).ljust(width)} : {_fmt(v, precision)}")
+    return "\n".join(lines)

@@ -1,0 +1,183 @@
+"""Singh-Stone-Thiebaut footprint function ``u(R; L)``.
+
+The analytic cache model of the paper (Section 3 / Appendix A) rests on the
+*footprint function* of Singh, Stone and Thiebaut [22]:
+
+.. math::
+
+    u(R; L) = W \\cdot L^{a} \\cdot R^{b} \\cdot d^{\\log_{10} L \\cdot \\log_{10} R}
+
+where ``u(R; L)`` is the expected number of *unique* memory lines referenced
+by a workload in ``R`` memory references, for a cache line size of ``L``
+bytes.  The constants relate to properties of the reference stream:
+
+``W``
+    working-set scale,
+``a``
+    spatial locality,
+``b``
+    temporal locality (it had previously been shown [26] that ``u`` is a
+    power function of ``R`` for fixed ``L``),
+``log10 d``
+    interaction between spatial and temporal locality.
+
+The paper parameterizes the *non-protocol* workload with the constants that
+[22] fitted to a 200-million-reference trace of a multiprogrammed IBM/370
+MVS workload (user applications plus operating system activity)::
+
+    W = 2.19827, a = 0.033233, b = 0.827457, log10 d = -0.13025
+
+Those exact constants are exposed here as :data:`MVS_WORKLOAD`.
+
+Logarithms are **base 10**.  The captured paper text writes only "log d";
+base 10 is the interpretation under which the model produces physically
+sensible footprints (with base-2 logs the interaction term collapses the
+MVS footprint to ~tens of lines per 10^4 references, and the resulting
+flush timescales contradict the paper's own observation that L1 flushes
+within milliseconds while L2 persists much longer).  See DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "FootprintFunction",
+    "MVS_WORKLOAD",
+    "mvs_footprint",
+]
+
+
+@dataclass(frozen=True)
+class FootprintFunction:
+    """The footprint function ``u(R; L)`` with workload-specific constants.
+
+    Instances are immutable value objects; all evaluation methods accept
+    scalars or NumPy arrays and broadcast in the usual way.
+
+    Parameters
+    ----------
+    W:
+        Working-set scale constant (``W > 0``).
+    a:
+        Spatial-locality exponent applied to the line size ``L``.
+    b:
+        Temporal-locality exponent applied to the reference count ``R``.
+        For a physically sensible model ``0 < b <= 1`` (sub-linear growth
+        of the working set with the number of references).
+    log10_d:
+        Base-10 logarithm of the interaction constant ``d``.  Negative values
+        mean larger lines grow the footprint more slowly as the reference
+        count increases.
+    name:
+        Optional human-readable label for reports.
+    """
+
+    W: float
+    a: float
+    b: float
+    log10_d: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.W <= 0.0:
+            raise ValueError(f"W must be positive, got {self.W}")
+        if self.b <= 0.0:
+            raise ValueError(f"b must be positive, got {self.b}")
+
+    def unique_lines(self, references, line_bytes):
+        """Expected unique lines touched in ``references`` references.
+
+        Parameters
+        ----------
+        references:
+            Number of memory references ``R`` (scalar or array, >= 0).
+            Non-integer values are permitted: the model is continuous and
+            the simulation produces fractional expected reference counts.
+        line_bytes:
+            Cache line size ``L`` in bytes (scalar or array, > 0).
+
+        Returns
+        -------
+        ``u(R; L)`` with the same broadcast shape as the inputs.  ``R = 0``
+        maps to ``u = 0`` (the power-law expression is only defined for
+        ``R >= 1``; below one reference we clamp to zero, which is the
+        physically correct limit).
+        """
+        R = np.asarray(references, dtype=np.float64)
+        L = np.asarray(line_bytes, dtype=np.float64)
+        if np.any(L <= 0):
+            raise ValueError("line_bytes must be positive")
+        if np.any(R < 0):
+            raise ValueError("references must be non-negative")
+        # Work in log10 space for numerical stability across the ~8 decades
+        # of R swept by the experiments.
+        with np.errstate(divide="ignore"):
+            log_R = np.log10(np.maximum(R, 1.0))
+        log_L = np.log10(L)
+        log_u = (
+            np.log10(self.W)
+            + self.a * log_L
+            + self.b * log_R
+            + self.log10_d * log_L * log_R
+        )
+        u = np.power(10.0, log_u)
+        # Below one reference the power law is extrapolated linearly from
+        # u(1; L); a footprint can also never exceed the reference count,
+        # nor be non-zero with zero references.
+        u1 = np.power(10.0, np.log10(self.W) + self.a * log_L)
+        u = np.where(R < 1.0, R * u1, u)
+        u = np.minimum(u, R)
+        if np.ndim(references) == 0 and np.ndim(line_bytes) == 0:
+            return float(u)
+        return u
+
+    def references_for_lines(self, unique_lines, line_bytes) -> float:
+        """Invert ``u(R; L)`` for ``R`` at a fixed line size.
+
+        Useful for answering "how many intervening references flush a
+        footprint of ``n`` lines?" style questions in tests and analyses.
+        Only valid where the model is monotone in ``R`` (which holds for all
+        published constant sets, since ``b + log10_d * log10(L)`` stays
+        positive for practical line sizes).
+        """
+        n = float(unique_lines)
+        L = float(line_bytes)
+        if n <= 0:
+            return 0.0
+        log_L = np.log10(L)
+        slope = self.b + self.log10_d * log_L
+        if slope <= 0:
+            raise ValueError(
+                f"footprint model not invertible at L={L}: effective "
+                f"exponent b + log10_d*log10(L) = {slope:.4f} <= 0"
+            )
+        log_R = (np.log10(n) - np.log10(self.W) - self.a * log_L) / slope
+        return float(np.power(10.0, log_R))
+
+    def effective_exponent(self, line_bytes) -> float:
+        """Exponent of ``R`` at fixed ``L``: ``b + log10_d * log10(L)``.
+
+        [26] showed ``u(R; L)`` is a power function of ``R`` for fixed
+        ``L``; this returns that power.
+        """
+        return float(self.b + self.log10_d * np.log10(float(line_bytes)))
+
+
+#: Constants fitted by Singh, Stone and Thiebaut [22] to a 200M-reference
+#: multiprogrammed IBM/370 MVS trace; the paper uses exactly these to model
+#: the displacing non-protocol workload.
+MVS_WORKLOAD = FootprintFunction(
+    W=2.19827,
+    a=0.033233,
+    b=0.827457,
+    log10_d=-0.13025,
+    name="IBM/370 MVS multiprogrammed workload [22]",
+)
+
+
+def mvs_footprint() -> FootprintFunction:
+    """Return the paper's non-protocol workload footprint function."""
+    return MVS_WORKLOAD

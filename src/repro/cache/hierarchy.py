@@ -1,0 +1,279 @@
+"""Two-level cache hierarchy model of the experimental platform.
+
+Combines the footprint function (:mod:`repro.cache.footprint`) with the
+set-occupancy flush model (:mod:`repro.cache.flush`) to produce the paper's
+``F1(x)`` and ``F2(x)``: the fractions of the protocol footprint displaced
+from the L1 and L2 caches by intervening processing that issued references
+for a duration ``x``.
+
+Platform specifics captured here (paper Section 3 / Appendix A):
+
+- the MIPS R4400 runs at 100 MHz and averages ``m = 5`` clock cycles per
+  memory reference, giving 20 million references per second of intervening
+  execution;
+- the R4400 primary cache is *split* into I- and D-caches, and the
+  reference stream is assumed to split approximately equally between the
+  two (the paper validates the assumption against Table 1 of Hill & Smith
+  [7]), so each L1 cache sees half of the intervening references;
+- the secondary cache is unified and much larger, so "the protocol
+  footprint is flushed much more slowly from L2 than from L1".
+
+The concrete Challenge/R4400 geometry (16 KB split L1 with 32 B lines,
+1 MB unified direct-mapped L2 with 128 B lines) is exposed as
+:func:`sgi_challenge_hierarchy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from .flush import flushed_fraction
+from .footprint import MVS_WORKLOAD, FootprintFunction
+
+__all__ = [
+    "CacheLevelConfig",
+    "CacheHierarchy",
+    "sgi_challenge_hierarchy",
+    "R4400_L1D",
+    "R4400_L1I",
+    "CHALLENGE_L2",
+]
+
+
+@dataclass(frozen=True)
+class CacheLevelConfig:
+    """Geometry of one cache level.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity of the cache in bytes.
+    line_bytes:
+        Line (block) size ``L`` in bytes.
+    associativity:
+        Set associativity ``A``; 1 means direct-mapped.
+    split_fraction:
+        Fraction of the reference stream this cache observes.  A split
+        primary D-cache that sees half of all references uses ``0.5``; a
+        unified cache uses ``1.0``.
+    name:
+        Label used in tables and plots.
+    """
+
+    size_bytes: int
+    line_bytes: int
+    associativity: int = 1
+    split_fraction: float = 1.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0:
+            raise ValueError("cache size and line size must be positive")
+        if self.size_bytes % self.line_bytes:
+            raise ValueError(
+                f"size_bytes ({self.size_bytes}) must be a multiple of "
+                f"line_bytes ({self.line_bytes})"
+            )
+        if self.associativity < 1:
+            raise ValueError("associativity must be >= 1")
+        n_lines = self.size_bytes // self.line_bytes
+        if n_lines % self.associativity:
+            raise ValueError(
+                f"line count ({n_lines}) must be a multiple of "
+                f"associativity ({self.associativity})"
+            )
+        if not (0.0 < self.split_fraction <= 1.0):
+            raise ValueError("split_fraction must be in (0, 1]")
+
+    @property
+    def n_lines(self) -> int:
+        """Total number of cache lines."""
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def n_sets(self) -> int:
+        """Number of cache sets ``S = lines / associativity``."""
+        return self.n_lines // self.associativity
+
+
+#: MIPS R4400 primary data cache: 16 KB, 32 B lines, direct-mapped; split
+#: cache seeing ~half of the reference stream.
+R4400_L1D = CacheLevelConfig(
+    size_bytes=16 * 1024,
+    line_bytes=32,
+    associativity=1,
+    split_fraction=0.5,
+    name="R4400 L1 D-cache",
+)
+
+#: MIPS R4400 primary instruction cache (same geometry as the D-cache).
+R4400_L1I = CacheLevelConfig(
+    size_bytes=16 * 1024,
+    line_bytes=32,
+    associativity=1,
+    split_fraction=0.5,
+    name="R4400 L1 I-cache",
+)
+
+#: SGI Challenge XL secondary cache: 1 MB unified, direct-mapped, 128 B
+#: lines.
+CHALLENGE_L2 = CacheLevelConfig(
+    size_bytes=1024 * 1024,
+    line_bytes=128,
+    associativity=1,
+    split_fraction=1.0,
+    name="Challenge L2 (unified)",
+)
+
+
+@dataclass(frozen=True)
+class CacheHierarchy:
+    """An ordered tuple of cache levels plus the displacing workload model.
+
+    ``levels[0]`` is the level closest to the processor.  The paper's
+    platform has two levels; the class supports any depth so ablations can
+    model single-level or three-level hierarchies.
+
+    Parameters
+    ----------
+    levels:
+        Cache levels, closest first.
+    footprint_fn:
+        Footprint function of the *displacing* (intervening) workload;
+        defaults to the MVS constants used in the paper.
+    clock_hz:
+        Processor clock frequency (100 MHz on the paper's platform).
+    cycles_per_reference:
+        Average clock cycles per memory reference (``m = 5`` in the paper).
+    """
+
+    levels: Tuple[CacheLevelConfig, ...] = (R4400_L1D, CHALLENGE_L2)
+    footprint_fn: FootprintFunction = field(default=MVS_WORKLOAD)
+    clock_hz: float = 100e6
+    cycles_per_reference: float = 5.0
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ValueError("hierarchy needs at least one cache level")
+        if self.clock_hz <= 0 or self.cycles_per_reference <= 0:
+            raise ValueError("clock_hz and cycles_per_reference must be positive")
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def references_per_second(self) -> float:
+        """Aggregate reference rate: ``clock / m``  (20 M/s in the paper)."""
+        return self.clock_hz / self.cycles_per_reference
+
+    @property
+    def references_per_us(self) -> float:
+        """Reference rate in references per microsecond (the simulation's
+        native time unit); 20 refs/us on the paper's platform."""
+        return self.references_per_second * 1e-6
+
+    # ------------------------------------------------------------------
+    # Core model evaluation
+    # ------------------------------------------------------------------
+    def references_for_time(self, x_us, intensity: float = 1.0):
+        """References issued by intervening execution of duration ``x`` µs.
+
+        ``intensity`` is the paper's ``V`` knob: the effective memory
+        reference intensity of the intervening (non-protocol) workload,
+        with ``V = 0`` meaning the idle time displaces nothing (the "V=0
+        curves" that bound the affinity benefit) and ``V = 1`` the full
+        20 M refs/s rate.
+        """
+        if intensity < 0:
+            raise ValueError("intensity must be non-negative")
+        x = np.asarray(x_us, dtype=np.float64)
+        if np.any(x < 0):
+            raise ValueError("durations must be non-negative")
+        out = x * self.references_per_us * intensity
+        if np.ndim(x_us) == 0:
+            return float(out)
+        return out
+
+    def flush_fraction_for_references(self, references, level: int):
+        """``F_level`` for a given total intervening reference count.
+
+        The level's ``split_fraction`` is applied (a split L1 sees half of
+        the stream), then the footprint function converts references to
+        unique lines at the level's line size, and the set-occupancy model
+        converts unique lines to a displaced fraction.
+        """
+        lv = self.levels[level]
+        refs_at_level = np.asarray(references, dtype=np.float64) * lv.split_fraction
+        u = self.footprint_fn.unique_lines(refs_at_level, lv.line_bytes)
+        return flushed_fraction(u, lv.n_sets, lv.associativity)
+
+    def flush_fractions(self, x_us, intensity: float = 1.0) -> np.ndarray:
+        """``(F1(x), F2(x), ...)`` for intervening execution of ``x`` µs.
+
+        Returns an array of shape ``(n_levels,) + shape(x)``.  This is the
+        quantity plotted in the paper's flush-curve figure: on the R4400
+        the protocol footprint vanishes from L1 within a few hundred
+        microseconds of intervening activity while surviving in the 1 MB L2
+        for tens of milliseconds.
+        """
+        refs = self.references_for_time(x_us, intensity)
+        return np.stack(
+            [
+                np.asarray(self.flush_fraction_for_references(refs, i), dtype=np.float64)
+                for i in range(self.n_levels)
+            ]
+        )
+
+    def time_to_flush(self, level: int, target_fraction: float = 0.5,
+                      intensity: float = 1.0) -> float:
+        """Intervening time (µs) after which ``F_level`` reaches a target.
+
+        Solved by bisection on the monotone ``F(x)``.  Used in analyses of
+        the "L2 flushes much more slowly than L1" observation.
+        """
+        if not (0.0 < target_fraction < 1.0):
+            raise ValueError("target_fraction must be in (0, 1)")
+        if intensity <= 0:
+            raise ValueError("intensity must be positive to ever flush")
+        lo, hi = 0.0, 1.0
+        # Grow hi until the target is bracketed (cap at ~1e9 us = 1000 s).
+        while (
+            self.flush_fraction_for_references(
+                self.references_for_time(hi, intensity), level
+            )
+            < target_fraction
+        ):
+            hi *= 2.0
+            if hi > 1e9:
+                raise RuntimeError("flush target not reachable within 1000 s")
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            f = self.flush_fraction_for_references(
+                self.references_for_time(mid, intensity), level
+            )
+            if f < target_fraction:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+
+
+def sgi_challenge_hierarchy(
+    footprint_fn: FootprintFunction = MVS_WORKLOAD,
+) -> CacheHierarchy:
+    """The paper's platform: R4400 split L1 over a 1 MB Challenge L2.
+
+    The D-cache is used as the representative L1 level (the footprint's
+    instruction half behaves symmetrically under the equal-split
+    assumption).
+    """
+    return CacheHierarchy(
+        levels=(R4400_L1D, CHALLENGE_L2),
+        footprint_fn=footprint_fn,
+        clock_hz=100e6,
+        cycles_per_reference=5.0,
+    )

@@ -1,0 +1,200 @@
+"""Trace-driven set-associative cache simulator.
+
+A faithful (if deliberately simple) LRU cache simulator used to *validate*
+the analytic flush model: warm the cache with a protocol-like footprint,
+run an intervening displacing trace through it, and measure directly which
+fraction of the footprint was evicted.  This mirrors the validation lineage
+behind the paper's analytic components ([22, 25] validate their models
+against real traces).
+
+The simulator is exact per-reference.  It is implemented with dict/OrderedDict
+per set (amortized O(1) per access) rather than NumPy, because LRU state
+updates are inherently sequential; traces used in tests and validation are
+small enough (<= a few million references) that this is fast in practice.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, List, Set
+
+import numpy as np
+
+from .hierarchy import CacheLevelConfig
+
+__all__ = ["AccessStats", "CacheSimulator", "measure_flushed_fraction"]
+
+
+@dataclass
+class AccessStats:
+    """Hit/miss counters returned by :meth:`CacheSimulator.access_trace`."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def __add__(self, other: "AccessStats") -> "AccessStats":
+        return AccessStats(
+            accesses=self.accesses + other.accesses,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+        )
+
+
+class CacheSimulator:
+    """Exact set-associative LRU cache over byte-address traces.
+
+    Parameters
+    ----------
+    config:
+        Geometry of the simulated cache level.  ``split_fraction`` is
+        ignored here — the caller decides which references reach this
+        cache.
+    """
+
+    def __init__(self, config: CacheLevelConfig) -> None:
+        self.config = config
+        self._n_sets = config.n_sets
+        self._assoc = config.associativity
+        self._line_shift = int(np.log2(config.line_bytes))
+        if (1 << self._line_shift) != config.line_bytes:
+            raise ValueError("line_bytes must be a power of two")
+        # sets[s] maps line_id -> None in LRU order (oldest first).
+        self._sets: List["OrderedDict[int, None]"] = [
+            OrderedDict() for _ in range(self._n_sets)
+        ]
+
+    # ------------------------------------------------------------------
+    # Address arithmetic
+    # ------------------------------------------------------------------
+    def line_of(self, address: int) -> int:
+        """Line id containing a byte address."""
+        return int(address) >> self._line_shift
+
+    def lines_of(self, addresses: np.ndarray) -> np.ndarray:
+        """Vectorized line ids for an address trace."""
+        return np.asarray(addresses, dtype=np.int64) >> self._line_shift
+
+    def set_of_line(self, line_id: int) -> int:
+        return line_id % self._n_sets
+
+    # ------------------------------------------------------------------
+    # Core access path
+    # ------------------------------------------------------------------
+    def access_line(self, line_id: int) -> bool:
+        """Touch one line; returns ``True`` on hit.
+
+        On a hit the line moves to MRU position; on a miss it is inserted
+        and, if the set is full, the LRU line is evicted.
+        """
+        s = self._sets[line_id % self._n_sets]
+        if line_id in s:
+            s.move_to_end(line_id)
+            return True
+        s[line_id] = None
+        if len(s) > self._assoc:
+            s.popitem(last=False)
+        return False
+
+    def access_trace(self, addresses: Iterable[int]) -> AccessStats:
+        """Run a byte-address trace through the cache."""
+        stats = AccessStats()
+        sets = self._sets
+        n_sets = self._n_sets
+        assoc = self._assoc
+        shift = self._line_shift
+        hits = 0
+        n = 0
+        for a in np.asarray(addresses, dtype=np.int64):
+            line = int(a) >> shift
+            s = sets[line % n_sets]
+            if line in s:
+                s.move_to_end(line)
+                hits += 1
+            else:
+                s[line] = None
+                if len(s) > assoc:
+                    s.popitem(last=False)
+            n += 1
+        stats.accesses = n
+        stats.hits = hits
+        stats.misses = n - hits
+        return stats
+
+    # ------------------------------------------------------------------
+    # Footprint conditioning / inspection
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Empty the cache entirely (power-on state)."""
+        for s in self._sets:
+            s.clear()
+
+    def warm_with_lines(self, line_ids: Iterable[int]) -> None:
+        """Install a footprint (by line id) as if just referenced."""
+        for line in line_ids:
+            self.access_line(int(line))
+
+    def warm_with_addresses(self, addresses: Iterable[int]) -> None:
+        """Install a footprint given as byte addresses."""
+        for line in self.lines_of(np.asarray(list(addresses), dtype=np.int64)):
+            self.access_line(int(line))
+
+    def resident_lines(self) -> Set[int]:
+        """The set of line ids currently cached."""
+        out: Set[int] = set()
+        for s in self._sets:
+            out.update(s.keys())
+        return out
+
+    def resident_fraction(self, footprint_lines: Iterable[int]) -> float:
+        """Fraction of a footprint (line ids) still resident."""
+        fp = set(int(x) for x in footprint_lines)
+        if not fp:
+            return 1.0
+        resident = self.resident_lines()
+        return len(fp & resident) / len(fp)
+
+    def unique_lines_in(self, addresses: np.ndarray) -> int:
+        """Count unique lines touched by a trace (for footprint fitting)."""
+        return int(np.unique(self.lines_of(addresses)).size)
+
+    @property
+    def occupancy(self) -> int:
+        """Number of lines currently resident."""
+        return sum(len(s) for s in self._sets)
+
+
+def measure_flushed_fraction(
+    config: CacheLevelConfig,
+    footprint_addresses: np.ndarray,
+    intervening_addresses: np.ndarray,
+) -> float:
+    """Directly measure the displaced fraction of a footprint.
+
+    Installs ``footprint_addresses`` into a fresh cache, runs
+    ``intervening_addresses`` through it, and reports the fraction of the
+    footprint's lines no longer resident — the empirical counterpart of the
+    analytic ``F`` of :func:`repro.cache.flush.flushed_fraction`.
+    """
+    sim = CacheSimulator(config)
+    sim.warm_with_addresses(np.asarray(footprint_addresses))
+    footprint_lines = {
+        int(x) for x in sim.lines_of(np.asarray(footprint_addresses, dtype=np.int64))
+    }
+    # Only footprint lines actually resident after warming count (a
+    # footprint larger than the cache can never be fully resident).
+    resident_before = sim.resident_lines() & footprint_lines
+    if not resident_before:
+        return 1.0
+    sim.access_trace(np.asarray(intervening_addresses))
+    resident_after = sim.resident_lines() & resident_before
+    return 1.0 - len(resident_after) / len(resident_before)

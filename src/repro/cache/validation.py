@@ -1,0 +1,161 @@
+"""Validation pipeline: analytic cache model vs trace-driven simulation.
+
+Two checks mirroring the validation lineage of the paper's analytic
+components:
+
+1. **Footprint fitting** (:func:`fit_footprint_constants`): measure
+   ``u(R; L)`` on a synthetic trace at several ``(R, L)`` checkpoints and
+   least-squares fit the Singh-Stone-Thiebaut constants
+   ``(W, a, b, log10 d)`` — the same procedure [22] applied to the MVS
+   trace.  The fit quality demonstrates the functional form is adequate
+   for power-law-locality streams.
+
+2. **Flush comparison** (:func:`compare_flush_model`): for a warmed
+   footprint and an intervening trace, compare the analytic displaced
+   fraction ``F`` (driven by the *fitted* footprint function) against the
+   exact fraction measured by the trace-driven simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .flush import flushed_fraction
+from .footprint import FootprintFunction
+from .hierarchy import CacheLevelConfig
+from .simulator import measure_flushed_fraction
+
+__all__ = [
+    "FootprintSample",
+    "measure_footprint_samples",
+    "fit_footprint_constants",
+    "FlushComparison",
+    "compare_flush_model",
+]
+
+
+@dataclass(frozen=True)
+class FootprintSample:
+    """One measured point of the empirical footprint function."""
+
+    references: int
+    line_bytes: int
+    unique_lines: int
+
+
+def measure_footprint_samples(
+    trace: np.ndarray,
+    reference_counts: Sequence[int],
+    line_sizes: Sequence[int],
+) -> Tuple[FootprintSample, ...]:
+    """Measure ``u(R; L)`` on a trace at given checkpoints.
+
+    For each requested ``R`` (truncated trace prefix) and each line size
+    ``L``, counts the unique lines referenced.  This is the raw data the
+    constants are fitted to.
+    """
+    trace = np.asarray(trace, dtype=np.int64)
+    samples = []
+    for L in line_sizes:
+        if L <= 0 or (L & (L - 1)):
+            raise ValueError(f"line size must be a positive power of two, got {L}")
+        shift = int(np.log2(L))
+        lines = trace >> shift
+        for R in reference_counts:
+            if R <= 0 or R > len(trace):
+                raise ValueError(
+                    f"reference count {R} out of range for trace of {len(trace)}"
+                )
+            samples.append(
+                FootprintSample(
+                    references=int(R),
+                    line_bytes=int(L),
+                    unique_lines=int(np.unique(lines[:R]).size),
+                )
+            )
+    return tuple(samples)
+
+
+def fit_footprint_constants(
+    samples: Sequence[FootprintSample], name: str = "fitted"
+) -> FootprintFunction:
+    """Least-squares fit of ``(W, a, b, log10 d)`` in log10 space.
+
+    The model is linear in log space::
+
+        log u = log W + a*log L + b*log R + log10_d*(log L * log R)   (base 10)
+
+    so an ordinary least-squares solve over the samples recovers the four
+    constants.  Requires samples spanning at least two distinct ``R`` and
+    two distinct ``L`` values (otherwise the design matrix is singular).
+    """
+    if len(samples) < 4:
+        raise ValueError("need at least 4 samples to fit 4 constants")
+    log_R = np.array([np.log10(s.references) for s in samples])
+    log_L = np.array([np.log10(s.line_bytes) for s in samples])
+    log_u = np.array([np.log10(max(s.unique_lines, 1)) for s in samples])
+    if np.unique(log_R).size < 2 or np.unique(log_L).size < 2:
+        raise ValueError("samples must span >= 2 reference counts and >= 2 line sizes")
+    design = np.column_stack([np.ones_like(log_R), log_L, log_R, log_L * log_R])
+    coef, *_ = np.linalg.lstsq(design, log_u, rcond=None)
+    log_W, a, b, log10_d = (float(c) for c in coef)
+    return FootprintFunction(W=float(10.0 ** log_W), a=a, b=b, log10_d=log10_d, name=name)
+
+
+@dataclass(frozen=True)
+class FlushComparison:
+    """Analytic-vs-measured displaced fractions at a series of checkpoints."""
+
+    reference_counts: Tuple[int, ...]
+    analytic: Tuple[float, ...]
+    measured: Tuple[float, ...]
+
+    @property
+    def max_abs_error(self) -> float:
+        return float(
+            np.max(np.abs(np.asarray(self.analytic) - np.asarray(self.measured)))
+        ) if self.reference_counts else 0.0
+
+    @property
+    def mean_abs_error(self) -> float:
+        return float(
+            np.mean(np.abs(np.asarray(self.analytic) - np.asarray(self.measured)))
+        ) if self.reference_counts else 0.0
+
+
+def compare_flush_model(
+    config: CacheLevelConfig,
+    footprint_fn: FootprintFunction,
+    footprint_addresses: np.ndarray,
+    intervening_trace: np.ndarray,
+    checkpoints: Sequence[int],
+) -> FlushComparison:
+    """Analytic ``F`` vs simulator-measured displaced fraction.
+
+    For each checkpoint ``R`` (a prefix length of the intervening trace),
+    computes
+
+    - analytic: ``F = flushed_fraction(u(R; L), S, A)`` using
+      ``footprint_fn`` (typically fitted to the same trace family), and
+    - measured: install the footprint in a fresh simulated cache, run the
+      ``R``-prefix of the intervening trace, count evicted footprint lines.
+    """
+    analytic = []
+    measured = []
+    trace = np.asarray(intervening_trace, dtype=np.int64)
+    for R in checkpoints:
+        if R < 0 or R > len(trace):
+            raise ValueError(f"checkpoint {R} out of range")
+        u = footprint_fn.unique_lines(float(R), config.line_bytes)
+        analytic.append(float(flushed_fraction(u, config.n_sets, config.associativity)))
+        measured.append(
+            measure_flushed_fraction(config, footprint_addresses, trace[:R])
+        )
+    return FlushComparison(
+        reference_counts=tuple(int(r) for r in checkpoints),
+        analytic=tuple(analytic),
+        measured=tuple(measured),
+    )

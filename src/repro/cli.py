@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro`` / the ``repro`` script.
+
+Commands
+--------
+``repro list``
+    Show the experiment index (id, title).
+``repro run e06 [--full] [--seed N]``
+    Run one experiment and print its table/series.
+``repro all [--full] [--seed N] [--with-extras]``
+    Run the whole suite in order (the content of EXPERIMENTS.md);
+    ``--with-extras`` appends the ablations (a01..a05) and extensions
+    (x01..x03).
+``repro csv OUTDIR [--full] [--seed N]``
+    Run every experiment and write its structured rows as
+    ``OUTDIR/<id>.csv`` (for plotting outside the terminal).
+``repro simulate --paradigm locking --policy mru --rate 12000 ...``
+    One ad-hoc simulation with a summary printout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.tables import format_kv
+from .experiments.base import ALL_IDS, EXPERIMENT_IDS, load_experiment, run_experiment
+from .sim.system import SystemConfig, run_simulation
+from .workloads.traffic import TrafficSpec
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Salehi/Kurose/Towsley (HPDC-4 1995): "
+            "scheduling for cache affinity in parallel network processing"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the experiment index")
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    p_run.add_argument("experiment", choices=list(ALL_IDS))
+    p_run.add_argument("--full", action="store_true",
+                       help="publication-length horizons (slower)")
+    p_run.add_argument("--seed", type=int, default=1)
+
+    p_all = sub.add_parser("all", help="run the whole suite")
+    p_all.add_argument("--full", action="store_true")
+    p_all.add_argument("--seed", type=int, default=1)
+    p_all.add_argument("--with-extras", action="store_true",
+                       help="also run ablations a01..a05 and extensions x01..x03")
+
+    p_csv = sub.add_parser("csv", help="write every experiment's rows as CSV")
+    p_csv.add_argument("outdir")
+    p_csv.add_argument("--full", action="store_true")
+    p_csv.add_argument("--seed", type=int, default=1)
+
+    p_sim = sub.add_parser("simulate", help="one ad-hoc simulation")
+    p_sim.add_argument("--paradigm", choices=("locking", "ips"), default="locking")
+    p_sim.add_argument("--policy", default="mru")
+    p_sim.add_argument("--rate", type=float, default=12_000.0,
+                       help="aggregate arrival rate (packets/s)")
+    p_sim.add_argument("--streams", type=int, default=8)
+    p_sim.add_argument("--processors", type=int, default=8)
+    p_sim.add_argument("--intensity", type=float, default=1.0,
+                       help="non-protocol displacement intensity")
+    p_sim.add_argument("--stacks", type=int, default=None,
+                       help="IPS stack count (default: one per processor)")
+    p_sim.add_argument("--burst", type=float, default=1.0,
+                       help="mean burst size on stream 0 (1 = smooth)")
+    p_sim.add_argument("--fixed-overhead-us", type=float, default=0.0,
+                       help="cache-independent per-packet overhead (the V knob)")
+    p_sim.add_argument("--lock-granularity", type=int, default=1,
+                       help="Locking paradigm: number of per-layer locks")
+    p_sim.add_argument("--duration-ms", type=float, default=500.0)
+    p_sim.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def _cmd_list() -> int:
+    for eid in EXPERIMENT_IDS:
+        module = load_experiment(eid)
+        print(f"{eid}: {module.TITLE}")
+    from .experiments import ablations, extensions
+    for aid in ("a01", "a02", "a03", "a04", "a05"):
+        doc = getattr(ablations, f"run_{aid}").__doc__.splitlines()[0]
+        print(f"{aid}: [ablation] {doc}")
+    for xid in ("x01", "x02", "x03"):
+        doc = getattr(extensions, f"run_{xid}").__doc__.splitlines()[0]
+        print(f"{xid}: [extension] {doc}")
+    return 0
+
+
+def _cmd_run(experiment: str, full: bool, seed: int) -> int:
+    result = run_experiment(experiment, fast=not full, seed=seed)
+    print(result)
+    return 0
+
+
+def _cmd_all(full: bool, seed: int, with_extras: bool = False) -> int:
+    ids = ALL_IDS if with_extras else EXPERIMENT_IDS
+    for eid in ids:
+        print(run_experiment(eid, fast=not full, seed=seed))
+        print()
+    return 0
+
+
+def _cmd_csv(outdir: str, full: bool, seed: int) -> int:
+    import os
+
+    os.makedirs(outdir, exist_ok=True)
+    for eid in EXPERIMENT_IDS:
+        result = run_experiment(eid, fast=not full, seed=seed)
+        path = os.path.join(outdir, f"{eid}.csv")
+        result.to_csv(path)
+        print(f"wrote {path} ({len(result.rows)} rows)")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .core.params import PlatformConfig
+
+    if args.burst > 1.0:
+        traffic = TrafficSpec.one_bursty_among_smooth(
+            args.streams, args.rate, mean_batch=args.burst
+        )
+    else:
+        traffic = TrafficSpec.homogeneous_poisson(args.streams, args.rate)
+    cfg = SystemConfig(
+        traffic=traffic,
+        paradigm=args.paradigm,
+        policy=args.policy,
+        platform=PlatformConfig(n_processors=args.processors),
+        nonprotocol_intensity=args.intensity,
+        n_stacks=args.stacks,
+        fixed_overhead_us=args.fixed_overhead_us,
+        lock_granularity=args.lock_granularity,
+        duration_us=args.duration_ms * 1000.0,
+        warmup_us=args.duration_ms * 150.0,  # 15% warm-up
+        seed=args.seed,
+    )
+    s = run_simulation(cfg)
+    print(format_kv({
+        "paradigm/policy": f"{args.paradigm}/{args.policy}",
+        "offered rate (pps)": s.offered_rate_pps,
+        "throughput (pps)": round(s.throughput_pps, 1),
+        "packets measured": s.n_packets,
+        "mean delay (us)": round(s.mean_delay_us, 1),
+        "95% CI (us)": f"[{s.delay_ci_us[0]:.1f}, {s.delay_ci_us[1]:.1f}]",
+        "mean service (us)": round(s.mean_exec_us, 1),
+        "mean queueing (us)": round(s.mean_queueing_us, 1),
+        "mean lock wait (us)": round(s.mean_lock_wait_us, 2),
+        "p95 delay (us)": round(s.p95_delay_us, 1),
+        "mean utilization": round(s.mean_utilization, 3),
+        "stable": s.stable,
+    }, title="simulation summary"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiment, args.full, args.seed)
+    if args.command == "all":
+        return _cmd_all(args.full, args.seed, args.with_extras)
+    if args.command == "csv":
+        return _cmd_csv(args.outdir, args.full, args.seed)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

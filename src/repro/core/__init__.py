@@ -1,0 +1,64 @@
+"""Core of the reproduction: model parameters, the analytic packet
+execution-time model, and the affinity scheduling policies.
+
+See :mod:`repro.core.params` for the platform/cost presets,
+:mod:`repro.core.exec_model` for the reload-transient interpolation model,
+and :mod:`repro.core.policies` for the Locking/IPS scheduling policies the
+paper proposes and evaluates.
+"""
+
+from .exec_model import COLD, ComponentState, ExecutionTimeModel
+from .params import (
+    FDDI_MAX_PAYLOAD_BYTES,
+    PAPER_COMPOSITION,
+    PAPER_COSTS,
+    PAPER_PLATFORM,
+    FootprintComposition,
+    PlatformConfig,
+    ProtocolCosts,
+)
+from .policies import (
+    IPS_POLICIES,
+    LOCKING_POLICIES,
+    FCFSPolicy,
+    HybridPolicy,
+    IPSMRUPolicy,
+    IPSPolicy,
+    IPSWiredPolicy,
+    LockingPolicy,
+    MRUPolicy,
+    PerProcessorPoolsPolicy,
+    SchedulerView,
+    StreamMRUPolicy,
+    WiredStreamsPolicy,
+    make_ips_policy,
+    make_locking_policy,
+)
+
+__all__ = [
+    "COLD",
+    "ComponentState",
+    "ExecutionTimeModel",
+    "FCFSPolicy",
+    "FDDI_MAX_PAYLOAD_BYTES",
+    "FootprintComposition",
+    "HybridPolicy",
+    "IPSMRUPolicy",
+    "IPSPolicy",
+    "IPSWiredPolicy",
+    "IPS_POLICIES",
+    "LOCKING_POLICIES",
+    "LockingPolicy",
+    "MRUPolicy",
+    "PAPER_COMPOSITION",
+    "PAPER_COSTS",
+    "PAPER_PLATFORM",
+    "PerProcessorPoolsPolicy",
+    "PlatformConfig",
+    "ProtocolCosts",
+    "SchedulerView",
+    "StreamMRUPolicy",
+    "WiredStreamsPolicy",
+    "make_ips_policy",
+    "make_locking_policy",
+]

@@ -1,0 +1,270 @@
+"""Analytic packet execution-time model (the paper's Section 3.2).
+
+The model interpolates the measured execution-time bounds by the fraction
+of the protocol footprint displaced from each cache level — the
+Squillante-Lazowska ``D + R*C`` reload-transient form, applied per level
+(the paper: "task execution time as the linear interpolation of the
+maximum reload transient is also the approach taken in [24]"; "the impact
+of the non-protocol workload is captured by scaling these bounds by the
+fraction of the protocol footprint found at each corresponding layer in
+the cache hierarchy"):
+
+.. math::
+
+    t(x) = t_{warm} + F_1(x)\\,(t_{L2} - t_{warm}) + F_2(x)\\,(t_{cold} - t_{L2})
+
+where ``F1``/``F2`` come from :class:`repro.cache.CacheHierarchy` driven by
+the intervening displacing reference count.
+
+On top of the single-footprint form, the model decomposes the footprint
+into components (:class:`repro.core.params.FootprintComposition`) whose
+cache states evolve independently — protocol code+globals, per-stream
+state, per-thread stack — because different scheduling policies preserve
+affinity for different components.  Each component contributes its weight
+times the per-level transients, driven by *its own* intervening reference
+count on the serving processor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+import numpy as np
+
+from ..cache.hierarchy import CacheHierarchy
+from .params import FootprintComposition, ProtocolCosts
+
+__all__ = ["ComponentState", "ExecutionTimeModel", "COLD"]
+
+#: Sentinel intervening-reference count meaning "never resident here".
+COLD: float = math.inf
+
+
+@dataclass(frozen=True)
+class ComponentState:
+    """Cache-state inputs for one packet execution on one processor.
+
+    Each field is the number of displacing memory references issued on the
+    serving processor since the corresponding footprint component last
+    executed there; ``COLD`` (infinity) means the component was never
+    resident.  ``shared_invalidated`` marks that another processor has
+    executed protocol code since this one last did, so the writable shared
+    portion of the code+globals component has migrated away (Locking
+    only).
+    """
+
+    code_refs: float = COLD
+    stream_refs: float = COLD
+    thread_refs: float = COLD
+    shared_invalidated: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("code_refs", "stream_refs", "thread_refs"):
+            v = getattr(self, name)
+            if not (v >= 0.0):  # also rejects NaN
+                raise ValueError(f"{name} must be >= 0 or COLD, got {v!r}")
+
+
+class ExecutionTimeModel:
+    """Maps cache state to packet execution time.
+
+    Parameters
+    ----------
+    costs:
+        Measured execution-time bounds and per-packet overheads.
+    composition:
+        Footprint component weights.
+    hierarchy:
+        Two-level (or deeper) cache hierarchy; only the first two levels
+        participate in the interpolation (matching the paper's platform) —
+        deeper levels would require additional measured bounds.
+    """
+
+    def __init__(
+        self,
+        costs: ProtocolCosts,
+        composition: FootprintComposition,
+        hierarchy: CacheHierarchy,
+    ) -> None:
+        if hierarchy.n_levels < 2:
+            raise ValueError(
+                "the execution-time model needs a two-level hierarchy "
+                "(t_warm / t_l2 / t_cold bounds)"
+            )
+        self.costs = costs
+        self.composition = composition
+        self.hierarchy = hierarchy
+        self._delta1 = costs.l1_reload_us
+        self._delta2 = costs.l2_reload_us
+        # Precomputed per-level constants for the scalar fast path used by
+        # the simulator (millions of per-packet evaluations; the generic
+        # NumPy path costs ~50x more on scalars).  Only direct-mapped
+        # levels qualify; higher associativity falls back to the exact
+        # vectorized path.
+        fp = hierarchy.footprint_fn
+        self._scalar_levels = []
+        for lv in hierarchy.levels[:2]:
+            log_L = math.log10(lv.line_bytes)
+            self._scalar_levels.append({
+                "split": lv.split_fraction,
+                "c0": math.log10(fp.W) + fp.a * log_L,       # log10 u at R=1
+                "slope": fp.b + fp.log10_d * log_L,          # d log10 u / d log10 R
+                "u1": 10.0 ** (math.log10(fp.W) + fp.a * log_L),
+                "log1m_p": math.log1p(-1.0 / lv.n_sets),
+                "direct_mapped": lv.associativity == 1,
+                "index": len(self._scalar_levels),
+            })
+
+    def _flush_scalar(self, refs: float, level: int) -> float:
+        """Scalar ``F_level`` (exact same math as the vectorized path)."""
+        p = self._scalar_levels[level]
+        if not p["direct_mapped"]:
+            return float(self.hierarchy.flush_fraction_for_references(refs, level))
+        if refs <= 0.0:
+            return 0.0
+        if math.isinf(refs):
+            return 1.0
+        r = refs * p["split"]
+        if r < 1.0:
+            u = r * p["u1"]
+        else:
+            u = 10.0 ** (p["c0"] + p["slope"] * math.log10(r))
+        if u > r:
+            u = r
+        f = -math.expm1(u * p["log1m_p"])
+        return 1.0 if f > 1.0 else (0.0 if f < 0.0 else f)
+
+    # ------------------------------------------------------------------
+    # Single-footprint form: the t(x) curve (experiment E05)
+    # ------------------------------------------------------------------
+    def flush_fractions(self, intervening_refs):
+        """``(F1, F2)`` for a displacing reference count (scalar or array)."""
+        if isinstance(intervening_refs, float):
+            return (
+                self._flush_scalar(intervening_refs, 0),
+                self._flush_scalar(intervening_refs, 1),
+            )
+        refs = np.asarray(intervening_refs, dtype=np.float64)
+        finite = np.isfinite(refs)
+        safe = np.where(finite, refs, 0.0)
+        f1 = np.asarray(self.hierarchy.flush_fraction_for_references(safe, 0))
+        f2 = np.asarray(self.hierarchy.flush_fraction_for_references(safe, 1))
+        f1 = np.where(finite, f1, 1.0)
+        f2 = np.where(finite, f2, 1.0)
+        if np.ndim(intervening_refs) == 0:
+            return float(f1), float(f2)
+        return f1, f2
+
+    def reload_penalty(self, intervening_refs):
+        """Reload transient ``F1*Δ1 + F2*Δ2`` (µs) for a whole footprint."""
+        f1, f2 = self.flush_fractions(intervening_refs)
+        return f1 * self._delta1 + f2 * self._delta2
+
+    def execution_time_after_idle(self, idle_us, intensity: float = 1.0):
+        """The paper's ``t(x)``: execution time after ``x`` µs of
+        intervening non-protocol activity at intensity ``V`` displaced a
+        previously fully-warm footprint.
+
+        Accepts scalars or arrays of ``idle_us``.  ``t(0) = t_warm`` and
+        ``t(x) -> t_cold`` as ``x -> inf`` (for ``V > 0``).
+        """
+        refs = self.hierarchy.references_for_time(idle_us, intensity)
+        return self.costs.t_warm_us + self.reload_penalty(refs)
+
+    # ------------------------------------------------------------------
+    # Component-decomposed form used by the simulator
+    # ------------------------------------------------------------------
+    def component_penalty_us(self, state: ComponentState) -> float:
+        """Total reload transient (µs) given per-component cache state."""
+        comp = self.composition
+        pen_stream = self.reload_penalty(state.stream_refs)
+        pen_thread = self.reload_penalty(state.thread_refs)
+        # Code+globals: optionally split into a migrating writable part
+        # (cold whenever another processor ran protocol since) and the
+        # read-only remainder (displaced only by intervening references).
+        pen_code_resident = self.reload_penalty(state.code_refs)
+        if state.shared_invalidated:
+            w_shared = comp.shared_writable_of_code
+            pen_code = (
+                w_shared * (self._delta1 + self._delta2)
+                + (1.0 - w_shared) * pen_code_resident
+            )
+        else:
+            pen_code = pen_code_resident
+        return (
+            comp.code_global * pen_code
+            + comp.stream_state * pen_stream
+            + comp.thread_stack * pen_thread
+        )
+
+    def execution_time_us(
+        self,
+        state: ComponentState,
+        *,
+        payload_bytes: float = 0.0,
+        data_touching: bool = False,
+        locking: bool = False,
+        extra_us: float = 0.0,
+    ) -> float:
+        """Full per-packet processing time (µs).
+
+        ``t_warm`` + component reload transients + dispatch overhead
+        (+ lock acquire/release under Locking)
+        (+ per-byte data-touching time when enabled — the paper's default
+        results exclude it, "motivated by the fact that in many real
+        environments packet processing time is dominated by non-data
+        touching operations")
+        (+ ``extra_us``, the paper's ``V``: a fixed cache-independent
+        per-packet overhead; the V-family curves of Figures 10/11 sweep
+        it, and checksumming a maximal FDDI payload corresponds to
+        V ≈ 139 µs at the quoted 32 B/µs rate).
+        """
+        if extra_us < 0:
+            raise ValueError("extra_us must be non-negative")
+        t = (
+            self.costs.t_warm_us
+            + self.component_penalty_us(state)
+            + self.costs.dispatch_us
+            + extra_us
+        )
+        if locking:
+            t += self.costs.lock_overhead_us
+        if data_touching:
+            t += self.costs.data_touching_us(payload_bytes)
+        return t
+
+    # ------------------------------------------------------------------
+    # Bounds
+    # ------------------------------------------------------------------
+    def warm_service_us(self, *, locking: bool = False) -> float:
+        """Best-case service time (all components warm)."""
+        return self.execution_time_us(
+            ComponentState(code_refs=0.0, stream_refs=0.0, thread_refs=0.0),
+            locking=locking,
+        )
+
+    def cold_service_us(self, *, locking: bool = False) -> float:
+        """Worst-case service time (all components cold)."""
+        return self.execution_time_us(ComponentState(), locking=locking)
+
+    def utilization_bound_rate(self, *, locking: bool, n_processors: int) -> float:
+        """Crude aggregate capacity bound (packets/µs).
+
+        The minimum of the CPU bound ``N / t_warm_service`` and — under
+        Locking — the critical-section bound ``1 / lock_cs``.  Used by the
+        capacity-search experiment to bracket its bisection.
+        """
+        best = self.warm_service_us(locking=locking)
+        rate = n_processors / best
+        if locking and self.costs.lock_cs_us > 0:
+            rate = min(rate, 1.0 / self.costs.lock_cs_us)
+        return rate
+
+    def describe(self) -> str:
+        """One-line summary for logs and reports."""
+        c = self.costs
+        return (
+            f"ExecutionTimeModel(t_warm={c.t_warm_us:.1f}us, "
+            f"t_l2={c.t_l2_us:.1f}us, t_cold={c.t_cold_us:.1f}us, "
+            f"max_benefit={c.max_affinity_benefit:.1%})"
+        )

@@ -1,0 +1,423 @@
+"""Affinity-based scheduling policies (the paper's first contribution).
+
+The paper proposes and evaluates scheduling policies for the resources
+involved in parallel network processing.  Two families:
+
+**Under Locking** (shared stack, N protocol threads, any packet may run on
+any processor):
+
+- :class:`FCFSPolicy` — the unaffinitized baseline: head-of-queue packet to
+  a *random* idle processor.  (Random rather than lowest-index, because a
+  deterministic choice would create accidental affinity at low load.)
+- :class:`MRUPolicy` — head-of-queue packet to the idle processor that
+  Most-Recently-Used executed protocol code, keeping the shared protocol
+  footprint (code + globals) as warm as possible.
+- :class:`StreamMRUPolicy` — like MRU, but first prefers the idle
+  processor where the packet's *stream* last executed (stream-state
+  affinity), falling back to MRU.
+- :class:`PerProcessorPoolsPolicy` — per-processor packet queues served by
+  processor-bound threads (preserving thread-stack affinity; note 7 of the
+  paper: the *cache affinity* benefits of per-processor thread pools had
+  not previously been evaluated).  Packets join their stream's last
+  processor's pool, spilling to the shortest pool when imbalance exceeds
+  ``balance_threshold``.
+- :class:`WiredStreamsPolicy` — each stream statically wired to one
+  processor (``stream_id mod N``); maximal stream-state affinity, no load
+  balancing.
+
+**Under IPS** (K independent stacks, no locks, each stack strictly serial):
+
+- :class:`IPSWiredPolicy` — stack ``k`` pinned to processor ``k mod N``
+  (the paper's recommendation except at low arrival rate).
+- :class:`IPSMRUPolicy` — a runnable stack goes to the processor where it
+  last ran if idle, else the MRU idle processor (the paper's
+  recommendation at low arrival rate).
+
+**Hybrid** (:class:`HybridPolicy`) — reconstruction of the hybrid approach
+proposed in the companion TR [17]: wired-stream queues with overflow
+stealing, giving wired-level affinity in steady state and Locking-level
+burst robustness.
+
+Policies interact with the simulator through a narrow *view* protocol
+(documented on :class:`SchedulerView`); they own their queues and are
+stateful per simulation run.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+__all__ = [
+    "SchedulerView",
+    "LockingPolicy",
+    "FCFSPolicy",
+    "MRUPolicy",
+    "StreamMRUPolicy",
+    "PerProcessorPoolsPolicy",
+    "WiredStreamsPolicy",
+    "HybridPolicy",
+    "IPSPolicy",
+    "IPSWiredPolicy",
+    "IPSMRUPolicy",
+    "LOCKING_POLICIES",
+    "IPS_POLICIES",
+    "make_locking_policy",
+    "make_ips_policy",
+]
+
+
+class SchedulerView(ABC):
+    """What a policy may observe about the system (duck-typed protocol).
+
+    The Locking/IPS dispatchers implement this interface; it deliberately
+    exposes only information a real scheduler would have cheaply at hand
+    (idle set, last-use timestamps, static stream/stack bindings) — not the
+    model's internal cache state.
+    """
+
+    @property
+    @abstractmethod
+    def n_processors(self) -> int: ...
+
+    @abstractmethod
+    def idle_processors(self) -> List[int]:
+        """Processor ids currently not executing protocol code."""
+
+    @abstractmethod
+    def last_protocol_end(self, proc_id: int) -> float:
+        """Simulation time protocol code last finished on a processor
+        (``-inf`` if never)."""
+
+    @abstractmethod
+    def stream_last_processor(self, stream_id: int) -> Optional[int]:
+        """Processor that last served the stream, or ``None``."""
+
+    @abstractmethod
+    def random_choice(self, items: List[int]) -> int:
+        """Uniform choice using the simulation's scheduling RNG stream."""
+
+
+def _mru_idle(view: SchedulerView, idle: List[int]) -> int:
+    """The idle processor with the most recent protocol activity.
+
+    Ties (e.g. several never-used processors at ``-inf``) break randomly so
+    that the policy does not silently favour low processor ids.
+    """
+    best_t = max(view.last_protocol_end(p) for p in idle)
+    best = [p for p in idle if view.last_protocol_end(p) == best_t]
+    return best[0] if len(best) == 1 else view.random_choice(best)
+
+
+# ----------------------------------------------------------------------
+# Locking-paradigm policies
+# ----------------------------------------------------------------------
+class LockingPolicy(ABC):
+    """Queueing + processor-selection policy for the Locking paradigm.
+
+    Lifecycle: the dispatcher calls :meth:`attach` once, then
+    :meth:`on_arrival` for every packet and :meth:`next_dispatch`
+    repeatedly (after arrivals and completions) until it returns ``None``.
+
+    ``per_processor_threads`` tells the dispatcher whether protocol threads
+    are bound to processors (preserving thread-stack affinity) or drawn
+    from a shared migratory pool.
+    """
+
+    name: str = "locking-policy"
+    per_processor_threads: bool = False
+
+    def __init__(self) -> None:
+        self.view: Optional[SchedulerView] = None
+
+    def attach(self, view: SchedulerView) -> None:
+        self.view = view
+
+    @abstractmethod
+    def on_arrival(self, packet) -> None:
+        """Enqueue a newly arrived packet."""
+
+    @abstractmethod
+    def next_dispatch(self) -> Optional[Tuple[int, object]]:
+        """Pick ``(processor_id, packet)`` to start now, or ``None``.
+
+        Must remove the returned packet from the policy's queues.  Called
+        repeatedly until ``None``.
+        """
+
+    @abstractmethod
+    def queued(self) -> int:
+        """Number of packets currently waiting in this policy's queues."""
+
+
+class _GlobalQueuePolicy(LockingPolicy):
+    """Shared base for policies with a single global FIFO."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queue: Deque = deque()
+
+    def on_arrival(self, packet) -> None:
+        self._queue.append(packet)
+
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def _select_processor(self, packet, idle: List[int]) -> int:
+        raise NotImplementedError
+
+    def next_dispatch(self) -> Optional[Tuple[int, object]]:
+        if not self._queue:
+            return None
+        idle = self.view.idle_processors()
+        if not idle:
+            return None
+        packet = self._queue.popleft()
+        return self._select_processor(packet, idle), packet
+
+
+class FCFSPolicy(_GlobalQueuePolicy):
+    """Unaffinitized baseline: global FIFO, random idle processor."""
+
+    name = "fcfs"
+
+    def _select_processor(self, packet, idle: List[int]) -> int:
+        return self.view.random_choice(idle)
+
+
+class MRUPolicy(_GlobalQueuePolicy):
+    """Global FIFO; serve on the most-recently-used idle processor."""
+
+    name = "mru"
+
+    def _select_processor(self, packet, idle: List[int]) -> int:
+        return _mru_idle(self.view, idle)
+
+
+class StreamMRUPolicy(_GlobalQueuePolicy):
+    """Stream-affinity first, MRU fallback.
+
+    Prefers the idle processor where the packet's stream last executed
+    (keeping per-stream connection state warm); otherwise behaves like
+    :class:`MRUPolicy`.
+    """
+
+    name = "stream-mru"
+
+    def _select_processor(self, packet, idle: List[int]) -> int:
+        last = self.view.stream_last_processor(packet.stream_id)
+        if last is not None and last in idle:
+            return last
+        return _mru_idle(self.view, idle)
+
+
+class PerProcessorPoolsPolicy(LockingPolicy):
+    """Per-processor packet pools served by processor-bound threads.
+
+    Packets join the pool of their stream's last processor (affinity),
+    spilling to the shortest pool when the preferred pool exceeds the
+    shortest by more than ``balance_threshold`` packets.  Streams that have
+    never been served start at their wired default (``stream_id mod N``).
+
+    Threads are bound to processors, so the thread-stack footprint
+    component is always warm — the specific benefit of per-processor
+    thread pools the paper highlights (its footnote 7).
+    """
+
+    name = "pools"
+    per_processor_threads = True
+
+    def __init__(self, balance_threshold: int = 2) -> None:
+        super().__init__()
+        if balance_threshold < 0:
+            raise ValueError("balance_threshold must be >= 0")
+        self.balance_threshold = balance_threshold
+        self._pools: Dict[int, Deque] = {}
+
+    def attach(self, view: SchedulerView) -> None:
+        super().attach(view)
+        self._pools = {p: deque() for p in range(view.n_processors)}
+
+    def on_arrival(self, packet) -> None:
+        preferred = self.view.stream_last_processor(packet.stream_id)
+        if preferred is None:
+            preferred = packet.stream_id % self.view.n_processors
+        shortest = min(self._pools, key=lambda p: (len(self._pools[p]), p))
+        if len(self._pools[preferred]) > len(self._pools[shortest]) + self.balance_threshold:
+            preferred = shortest
+        self._pools[preferred].append(packet)
+
+    def next_dispatch(self) -> Optional[Tuple[int, object]]:
+        idle = self.view.idle_processors()
+        # Serve the longest eligible pool first to drain imbalance.
+        candidates = [p for p in idle if self._pools[p]]
+        if not candidates:
+            return None
+        proc = max(candidates, key=lambda p: (len(self._pools[p]), -p))
+        return proc, self._pools[proc].popleft()
+
+    def queued(self) -> int:
+        return sum(len(q) for q in self._pools.values())
+
+
+class WiredStreamsPolicy(LockingPolicy):
+    """Streams statically wired to processors (``stream_id mod N``).
+
+    Maximal stream-state and thread-stack affinity; no load balancing — a
+    packet waits for its wired processor even when others sit idle.  The
+    paper finds this wins under Locking at high arrival rate (cross-
+    processor displacement dominates) but loses at low rate (MRU's
+    concentration keeps the whole footprint warm on one processor).
+    """
+
+    name = "wired-streams"
+    per_processor_threads = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pools: Dict[int, Deque] = {}
+
+    def attach(self, view: SchedulerView) -> None:
+        super().attach(view)
+        self._pools = {p: deque() for p in range(view.n_processors)}
+
+    def wired_processor(self, stream_id: int) -> int:
+        return stream_id % self.view.n_processors
+
+    def on_arrival(self, packet) -> None:
+        self._pools[self.wired_processor(packet.stream_id)].append(packet)
+
+    def next_dispatch(self) -> Optional[Tuple[int, object]]:
+        for proc in self.view.idle_processors():
+            if self._pools[proc]:
+                return proc, self._pools[proc].popleft()
+        return None
+
+    def queued(self) -> int:
+        return sum(len(q) for q in self._pools.values())
+
+
+class HybridPolicy(WiredStreamsPolicy):
+    """Wired streams with overflow stealing (reconstruction of TR [17]).
+
+    Behaves as :class:`WiredStreamsPolicy` while wired queues stay short;
+    when a wired queue backs up beyond ``overflow_threshold`` packets, an
+    idle processor may steal its head packet (paying the migration cost
+    the model charges naturally).  Retains wired-level affinity in steady
+    state while recruiting extra processors for bursts — the TR's "high
+    throughput, high intra-stream scalability, and robustness in the
+    presence of bursty arrivals".
+    """
+
+    name = "hybrid"
+    per_processor_threads = True
+
+    def __init__(self, overflow_threshold: int = 2) -> None:
+        super().__init__()
+        if overflow_threshold < 1:
+            raise ValueError("overflow_threshold must be >= 1")
+        self.overflow_threshold = overflow_threshold
+
+    def next_dispatch(self) -> Optional[Tuple[int, object]]:
+        own = super().next_dispatch()
+        if own is not None:
+            return own
+        idle = self.view.idle_processors()
+        if not idle:
+            return None
+        # Steal from the most backed-up wired queue, if any exceeds the
+        # threshold; the thief is the MRU idle processor.
+        overloaded = [
+            p for p, q in self._pools.items() if len(q) > self.overflow_threshold
+        ]
+        if not overloaded:
+            return None
+        victim = max(overloaded, key=lambda p: (len(self._pools[p]), -p))
+        thief = _mru_idle(self.view, idle)
+        return thief, self._pools[victim].popleft()
+
+
+# ----------------------------------------------------------------------
+# IPS-paradigm policies
+# ----------------------------------------------------------------------
+class IPSPolicy(ABC):
+    """Processor selection for runnable IPS stacks.
+
+    The IPS dispatcher keeps a per-stack serial queue; whenever a stack has
+    work and is not already executing, it asks the policy on which idle
+    processor the stack may run (``None`` = stay queued).
+    """
+
+    name: str = "ips-policy"
+
+    @abstractmethod
+    def select_processor(
+        self, stack_id: int, view: SchedulerView, stack_last_proc: Optional[int]
+    ) -> Optional[int]:
+        """Idle processor for the stack's next packet, or ``None``."""
+
+
+class IPSWiredPolicy(IPSPolicy):
+    """Stack ``k`` pinned to processor ``k mod N``."""
+
+    name = "ips-wired"
+
+    def select_processor(self, stack_id, view, stack_last_proc):
+        proc = stack_id % view.n_processors
+        return proc if proc in view.idle_processors() else None
+
+
+class IPSMRUPolicy(IPSPolicy):
+    """Stack runs where it last ran if idle, else on the MRU idle
+    processor."""
+
+    name = "ips-mru"
+
+    def select_processor(self, stack_id, view, stack_last_proc):
+        idle = view.idle_processors()
+        if not idle:
+            return None
+        if stack_last_proc is not None and stack_last_proc in idle:
+            return stack_last_proc
+        return _mru_idle(view, idle)
+
+
+# ----------------------------------------------------------------------
+# Registries
+# ----------------------------------------------------------------------
+LOCKING_POLICIES: Dict[str, Callable[[], LockingPolicy]] = {
+    "fcfs": FCFSPolicy,
+    "mru": MRUPolicy,
+    "stream-mru": StreamMRUPolicy,
+    "pools": PerProcessorPoolsPolicy,
+    "wired-streams": WiredStreamsPolicy,
+    "hybrid": HybridPolicy,
+}
+
+IPS_POLICIES: Dict[str, Callable[[], IPSPolicy]] = {
+    "ips-wired": IPSWiredPolicy,
+    "ips-mru": IPSMRUPolicy,
+}
+
+
+def make_locking_policy(name: str, **kwargs) -> LockingPolicy:
+    """Instantiate a Locking policy by registry name."""
+    try:
+        factory = LOCKING_POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown Locking policy {name!r}; known: {sorted(LOCKING_POLICIES)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def make_ips_policy(name: str, **kwargs) -> IPSPolicy:
+    """Instantiate an IPS policy by registry name."""
+    try:
+        factory = IPS_POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown IPS policy {name!r}; known: {sorted(IPS_POLICIES)}"
+        ) from None
+    return factory(**kwargs)

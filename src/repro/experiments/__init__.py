@@ -1,0 +1,26 @@
+"""Per-artifact experiments: one module per paper table/figure.
+
+See DESIGN.md §3 for the experiment index (E01-E14), including each
+artifact's quoted-vs-reconstructed status, and EXPERIMENTS.md for the
+paper-vs-measured record.  Run everything with ``python -m repro all``.
+"""
+
+from .base import (
+    EXPERIMENT_IDS,
+    ExperimentResult,
+    all_experiments,
+    delay_vs_rate_sweep,
+    find_capacity,
+    load_experiment,
+    run_experiment,
+)
+
+__all__ = [
+    "EXPERIMENT_IDS",
+    "ExperimentResult",
+    "all_experiments",
+    "delay_vs_rate_sweep",
+    "find_capacity",
+    "load_experiment",
+    "run_experiment",
+]

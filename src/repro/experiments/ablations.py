@@ -1,0 +1,247 @@
+"""Ablation studies for the reproduction's reconstructed parameters.
+
+DESIGN.md §4 lists the modelling decisions the capture forced us to
+reconstruct.  Each ablation below sweeps one of them and reports how the
+paper's qualitative conclusions respond — demonstrating which findings
+are robust to the reconstruction and which are parameter-sensitive:
+
+``A01`` lock costs (DESIGN §4.5 / EXPERIMENTS deviation 2): the IPS
+    latency margin over Locking grows monotonically with the per-packet
+    locking cost; the published "much lower latency" corresponds to the
+    upper end of the [3,13]-derived range.
+``A02`` shared-writable fraction (DESIGN §4.4): Locking's cross-processor
+    invalidation penalty scales with it; IPS is untouched (its defining
+    structural advantage).
+``A03`` footprint composition: shifting weight from shared code to
+    per-stream state strengthens stream-affinity policies
+    (Wired-Streams/stream-MRU) relative to plain MRU.
+``A04`` cache geometry: a larger L2 stretches the F2 timescale and
+    deepens the warm/cold gap recovery; a unified (non-split) L1 doubles
+    effective displacement.
+``A05`` lock granularity (ref [3]): splitting the shared stack's critical
+    work across per-layer locks pipelines packets through the stack,
+    raising Locking's serialization ceiling — at the price of more lock
+    acquisitions per packet (modelled as extra uncontended overhead).
+
+All five run from the CLI (``python -m repro run a01``) and have benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List
+
+from ..analysis.tables import format_table
+from ..cache.hierarchy import CHALLENGE_L2, R4400_L1D, CacheHierarchy
+from ..core.params import (
+    PAPER_COMPOSITION,
+    PAPER_COSTS,
+    FootprintComposition,
+    PlatformConfig,
+)
+from ..sim.system import SystemConfig, run_simulation
+from ..workloads.traffic import TrafficSpec
+from .base import ExperimentResult
+
+__all__ = ["run_a01", "run_a02", "run_a03", "run_a04", "run_a05"]
+
+
+def _base(fast: bool, seed: int, rate: float = 16_000.0,
+          n_streams: int = 8) -> SystemConfig:
+    return SystemConfig(
+        traffic=TrafficSpec.homogeneous_poisson(n_streams, rate),
+        duration_us=300_000 if fast else 1_500_000,
+        warmup_us=50_000 if fast else 250_000,
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# A01: lock cost sweep
+# ----------------------------------------------------------------------
+def run_a01(fast: bool = True, seed: int = 1, **_) -> ExperimentResult:
+    """IPS's latency margin vs per-packet locking cost."""
+    rows: List[Dict] = []
+    for overhead in (5.0, 10.0, 20.0, 40.0):
+        costs = replace(PAPER_COSTS, lock_overhead_us=overhead)
+        base = _base(fast, seed).with_(costs=costs)
+        locking = run_simulation(base.with_(policy="mru"))
+        ips = run_simulation(base.with_(paradigm="ips", policy="ips-wired"))
+        rows.append({
+            "lock_overhead_us": overhead,
+            "locking_mru_delay_us": round(locking.mean_delay_us, 1),
+            "ips_wired_delay_us": round(ips.mean_delay_us, 1),
+            "ips_margin_us": round(
+                locking.mean_delay_us - ips.mean_delay_us, 1
+            ),
+        })
+    margins = [r["ips_margin_us"] for r in rows]
+    return ExperimentResult(
+        experiment_id="a01",
+        title="Ablation: per-packet locking cost vs IPS latency margin",
+        rows=rows,
+        text=format_table(rows, title="16 kpps, 8 streams"),
+        notes=(
+            "IPS's margin grows monotonically with locking cost; the "
+            "paper's strong IPS latency win corresponds to the upper end "
+            "of the [3,13]-reported per-packet lock costs."
+        ),
+        meta={"margins": margins},
+    )
+
+
+# ----------------------------------------------------------------------
+# A02: shared-writable fraction sweep
+# ----------------------------------------------------------------------
+def run_a02(fast: bool = True, seed: int = 1, **_) -> ExperimentResult:
+    """Cross-processor invalidation penalty vs shared-writable fraction."""
+    rows: List[Dict] = []
+    for frac in (0.0, 0.15, 0.3, 0.6):
+        comp = replace(PAPER_COMPOSITION, shared_writable_of_code=frac)
+        base = _base(fast, seed).with_(composition=comp)
+        locking = run_simulation(base.with_(policy="wired-streams"))
+        ips = run_simulation(base.with_(paradigm="ips", policy="ips-wired"))
+        rows.append({
+            "shared_writable_frac": frac,
+            "locking_wired_exec_us": round(locking.mean_exec_us, 1),
+            "ips_wired_exec_us": round(ips.mean_exec_us, 1),
+        })
+    locking_execs = [r["locking_wired_exec_us"] for r in rows]
+    ips_execs = [r["ips_wired_exec_us"] for r in rows]
+    return ExperimentResult(
+        experiment_id="a02",
+        title="Ablation: shared-writable state fraction (Locking's penalty)",
+        rows=rows,
+        text=format_table(rows, title="16 kpps, 8 streams, wired policies"),
+        notes=(
+            "Locking's service time climbs with the migrating shared "
+            "fraction; IPS is structurally immune (private stack state)."
+        ),
+        meta={"locking_execs": locking_execs, "ips_execs": ips_execs},
+    )
+
+
+# ----------------------------------------------------------------------
+# A03: footprint composition sweep
+# ----------------------------------------------------------------------
+def run_a03(fast: bool = True, seed: int = 1, **_) -> ExperimentResult:
+    """Stream-affinity policies vs stream-state weight."""
+    compositions = {
+        "code-heavy": FootprintComposition(code_global=0.7, stream_state=0.15,
+                                           thread_stack=0.15),
+        "paper-default": PAPER_COMPOSITION,
+        "stream-heavy": FootprintComposition(code_global=0.25,
+                                             stream_state=0.60,
+                                             thread_stack=0.15),
+    }
+    rows: List[Dict] = []
+    for label, comp in compositions.items():
+        base = _base(fast, seed, rate=24_000.0).with_(composition=comp)
+        mru = run_simulation(base.with_(policy="mru"))
+        wired = run_simulation(base.with_(policy="wired-streams"))
+        rows.append({
+            "composition": label,
+            "stream_weight": comp.stream_state,
+            "mru_exec_us": round(mru.mean_exec_us, 1),
+            "wired_exec_us": round(wired.mean_exec_us, 1),
+            "wired_advantage_us": round(
+                mru.mean_exec_us - wired.mean_exec_us, 1
+            ),
+        })
+    advantages = [r["wired_advantage_us"] for r in rows]
+    return ExperimentResult(
+        experiment_id="a03",
+        title="Ablation: footprint composition vs stream-affinity payoff",
+        rows=rows,
+        text=format_table(rows, title="24 kpps, 8 streams"),
+        notes=(
+            "The heavier the per-stream state in the footprint, the larger "
+            "Wired-Streams' service-time advantage over plain MRU — the "
+            "knob behind the Fig. 6/7 crossover position."
+        ),
+        meta={"advantages": advantages},
+    )
+
+
+# ----------------------------------------------------------------------
+# A04: cache geometry sweep
+# ----------------------------------------------------------------------
+def run_a04(fast: bool = True, seed: int = 1, **_) -> ExperimentResult:
+    """Flush timescales and delays under alternative cache geometries."""
+    geometries = {
+        "paper (16K split L1, 1M L2)": CacheHierarchy(
+            levels=(R4400_L1D, CHALLENGE_L2)
+        ),
+        "unified L1": CacheHierarchy(
+            levels=(replace(R4400_L1D, split_fraction=1.0), CHALLENGE_L2)
+        ),
+        "4M L2": CacheHierarchy(
+            levels=(R4400_L1D, replace(CHALLENGE_L2, size_bytes=4 << 20))
+        ),
+        "256K L2": CacheHierarchy(
+            levels=(R4400_L1D, replace(CHALLENGE_L2, size_bytes=256 << 10))
+        ),
+    }
+    rows: List[Dict] = []
+    for label, hierarchy in geometries.items():
+        platform = PlatformConfig(hierarchy=hierarchy)
+        base = _base(fast, seed).with_(platform=platform)
+        mru = run_simulation(base.with_(policy="mru"))
+        rows.append({
+            "geometry": label,
+            "l1_half_flush_us": round(hierarchy.time_to_flush(0, 0.5), 0),
+            "l2_half_flush_us": round(hierarchy.time_to_flush(1, 0.5), 0),
+            "mru_delay_us": round(mru.mean_delay_us, 1),
+        })
+    return ExperimentResult(
+        experiment_id="a04",
+        title="Ablation: cache geometry vs flush timescales and delay",
+        rows=rows,
+        text=format_table(rows, title="16 kpps, 8 streams, Locking-MRU"),
+        notes=(
+            "A split L1 halves effective displacement (slower flushing); "
+            "L2 capacity sets how long cold-start penalties persist — the "
+            "larger the L2, the longer affinity survives idle periods."
+        ),
+        meta={"geometries": list(geometries)},
+    )
+
+
+# ----------------------------------------------------------------------
+# A05: lock granularity sweep (ref [3])
+# ----------------------------------------------------------------------
+def run_a05(fast: bool = True, seed: int = 1, **_) -> ExperimentResult:
+    """Locking behaviour vs lock granularity (coarse stack lock vs
+    per-layer locks)."""
+    rows: List[Dict] = []
+    rate = 40_000.0
+    for granularity in (1, 2, 3):
+        # Finer locks mean more acquire/release pairs per packet: charge
+        # a proportional uncontended overhead.
+        costs = replace(PAPER_COSTS,
+                        lock_overhead_us=PAPER_COSTS.lock_overhead_us
+                        * (1.0 + 0.3 * (granularity - 1)))
+        base = _base(fast, seed, rate=rate).with_(
+            costs=costs, lock_granularity=granularity,
+            policy="wired-streams",
+        )
+        s = run_simulation(base)
+        rows.append({
+            "n_locks": granularity,
+            "mean_delay_us": round(s.mean_delay_us, 1),
+            "mean_lock_wait_us": round(s.mean_lock_wait_us, 2),
+            "mean_exec_us": round(s.mean_exec_us, 1),
+        })
+    waits = [r["mean_lock_wait_us"] for r in rows]
+    return ExperimentResult(
+        experiment_id="a05",
+        title="Ablation: lock granularity under Locking (ref [3])",
+        rows=rows,
+        text=format_table(rows, title=f"{rate:.0f} pps, wired-streams"),
+        notes=(
+            "Per-layer locks pipeline packets through the stack's critical "
+            "sections (waits shrink) but add per-packet locking overhead; "
+            "IPS sidesteps the trade-off entirely."
+        ),
+        meta={"lock_waits": waits},
+    )

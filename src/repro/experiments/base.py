@@ -1,0 +1,203 @@
+"""Experiment framework: results, sweeps, and the registry.
+
+Every paper artifact (table or figure) has a module ``eNN_*.py`` exposing
+
+``EXPERIMENT_ID`` / ``TITLE``
+    identifiers used by the registry and CLI, and
+``run(fast=True, seed=1, **overrides) -> ExperimentResult``
+    regenerates the artifact's rows/series.  ``fast=True`` (the default,
+    used by tests and benchmarks) shrinks horizons and sweep densities;
+    ``fast=False`` runs publication-length simulations.
+
+Results carry both structured rows and pre-rendered text so the benchmark
+harness prints the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+from ..sim.system import SystemConfig, run_simulation
+
+__all__ = [
+    "ExperimentResult",
+    "delay_vs_rate_sweep",
+    "find_capacity",
+    "ABLATION_IDS",
+    "ALL_IDS",
+    "EXTENSION_IDS",
+    "EXPERIMENT_IDS",
+    "load_experiment",
+    "run_experiment",
+    "all_experiments",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """Structured + rendered output of one experiment."""
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, object]]
+    text: str
+    notes: str = ""
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        header = f"[{self.experiment_id}] {self.title}"
+        parts = [header, "=" * len(header), self.text]
+        if self.notes:
+            parts += ["", self.notes]
+        return "\n".join(parts)
+
+    def to_csv(self, path) -> None:
+        """Write the structured rows as CSV (columns = union of keys, in
+        first-appearance order)."""
+        import csv
+
+        columns: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        with open(path, "w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=columns, restval="")
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow(row)
+
+
+# ----------------------------------------------------------------------
+# Shared sweep helpers
+# ----------------------------------------------------------------------
+PolicySpec = Tuple[str, str]  # (paradigm, policy-name)
+
+
+def delay_vs_rate_sweep(
+    base: SystemConfig,
+    policies: Mapping[str, PolicySpec],
+    rates_pps: Sequence[float],
+    n_streams: int,
+) -> Tuple[List[Dict[str, object]], Dict[str, List[float]]]:
+    """Mean packet delay vs aggregate arrival rate for several policies.
+
+    Uses common random numbers: every policy at a given rate sees the
+    identical arrival sample path (same seed, same traffic spec), so
+    cross-policy differences are pure scheduling effects.
+
+    Returns ``(rows, series)`` where rows are flat dicts (one per rate)
+    and series maps policy label -> list of mean delays.
+    """
+    from ..workloads.traffic import TrafficSpec
+
+    series: Dict[str, List[float]] = {label: [] for label in policies}
+    rows: List[Dict[str, object]] = []
+    for rate in rates_pps:
+        traffic = TrafficSpec.homogeneous_poisson(n_streams, rate)
+        row: Dict[str, object] = {"rate_pps": rate}
+        for label, (paradigm, policy) in policies.items():
+            cfg = base.with_(traffic=traffic, paradigm=paradigm, policy=policy)
+            summary = run_simulation(cfg)
+            delay = summary.mean_delay_us if summary.stable else float("inf")
+            series[label].append(delay)
+            row[label] = delay
+        rows.append(row)
+    return rows, series
+
+
+def find_capacity(
+    make_config: Callable[[float], SystemConfig],
+    low_pps: float,
+    high_pps: float,
+    iterations: int = 10,
+) -> float:
+    """Bisect the maximum sustainable aggregate arrival rate.
+
+    ``make_config(rate)`` builds the run; stability is judged by
+    :attr:`repro.sim.metrics.SimulationSummary.stable` (no growing
+    backlog).  ``high_pps`` must be unstable and ``low_pps`` stable or the
+    bracket is widened/narrowed accordingly.
+    """
+    if low_pps <= 0 or high_pps <= low_pps:
+        raise ValueError("need 0 < low_pps < high_pps")
+    lo, hi = low_pps, high_pps
+    # Ensure the bracket: lo stable, hi unstable (best effort).
+    if not run_simulation(make_config(lo)).stable:
+        return lo
+    if run_simulation(make_config(hi)).stable:
+        return hi
+    for _ in range(iterations):
+        mid = 0.5 * (lo + hi)
+        if run_simulation(make_config(mid)).stable:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+EXPERIMENT_IDS: Tuple[str, ...] = (
+    "e01", "e02", "e03", "e04", "e05", "e06", "e07",
+    "e08", "e09", "e10", "e11", "e12", "e13", "e14",
+)
+
+#: Ablation studies of the reconstructed parameters (DESIGN.md §4).
+ABLATION_IDS: Tuple[str, ...] = ("a01", "a02", "a03", "a04", "a05")
+
+#: Extension experiments (paper's stated future work: TR [17] hybrid,
+#: packet-train traffic [9]).
+EXTENSION_IDS: Tuple[str, ...] = ("x01", "x02", "x03")
+
+#: Everything runnable from the CLI.
+ALL_IDS: Tuple[str, ...] = EXPERIMENT_IDS + ABLATION_IDS + EXTENSION_IDS
+
+_MODULES = {
+    "e01": "e01_timing_table",
+    "e02": "e02_footprint",
+    "e03": "e03_flush_curves",
+    "e04": "e04_cache_validation",
+    "e05": "e05_exec_time",
+    "e06": "e06_locking_few_streams",
+    "e07": "e07_locking_many_streams",
+    "e08": "e08_ips_delay",
+    "e09": "e09_capacity",
+    "e10": "e10_reduction_locking",
+    "e11": "e11_reduction_ips",
+    "e12": "e12_scalability",
+    "e13": "e13_burstiness",
+    "e14": "e14_data_touching",
+}
+
+
+def load_experiment(experiment_id: str):
+    """Import and return an experiment module by id."""
+    key = experiment_id.lower()
+    if key in ABLATION_IDS:
+        return importlib.import_module("repro.experiments.ablations")
+    if key in EXTENSION_IDS:
+        return importlib.import_module("repro.experiments.extensions")
+    if key not in _MODULES:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; known: "
+            f"{sorted(_MODULES) + list(ABLATION_IDS)}"
+        )
+    return importlib.import_module(f"repro.experiments.{_MODULES[key]}")
+
+
+def run_experiment(experiment_id: str, fast: bool = True, **kwargs) -> ExperimentResult:
+    """Run one experiment or ablation by id."""
+    key = experiment_id.lower()
+    module = load_experiment(key)
+    if key in ABLATION_IDS or key in EXTENSION_IDS:
+        return getattr(module, f"run_{key}")(fast=fast, **kwargs)
+    return module.run(fast=fast, **kwargs)
+
+
+def all_experiments(fast: bool = True) -> List[ExperimentResult]:
+    """Run the full suite in order."""
+    return [run_experiment(eid, fast=fast) for eid in EXPERIMENT_IDS]

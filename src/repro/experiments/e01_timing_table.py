@@ -1,0 +1,89 @@
+"""E01 — Measured packet execution-time bounds (paper Table 1).
+
+Regenerates the paper's conditioned-measurement table: packet execution
+time with the protocol footprint fully warm, displaced from L1 only, and
+fully cold, plus the component-isolation breakdown ("an experimental
+method for isolating the individual components of affinity-based
+overhead").
+
+Status: the paper quotes ``t_cold = 284.3 µs`` ("protocol receive time
+tends to t_cold"); the other cells are measured on the simulated platform
+and anchored to that number (see
+:func:`repro.measurement.calibrate.scale_to_target`).
+"""
+
+from __future__ import annotations
+
+from ..analysis.tables import format_kv, format_table
+from ..core.params import PAPER_COSTS
+from ..measurement.cachestate import CacheStateExperiment, FootprintLayout
+from ..measurement.calibrate import derive_composition, derive_costs, scale_to_target
+from .base import ExperimentResult
+
+EXPERIMENT_ID = "e01"
+TITLE = "Packet execution-time bounds under conditioned cache state (Table 1)"
+
+
+def run(fast: bool = True, seed: int = 1, layout: FootprintLayout = None,
+        **_) -> ExperimentResult:
+    """Run the measurement matrix; ``fast`` has no effect (always quick)."""
+    experiment = CacheStateExperiment(layout or FootprintLayout())
+    measured = experiment.measure_all()
+    raw = derive_costs(experiment)
+    anchored = scale_to_target(raw, PAPER_COSTS.t_cold_us)
+    composition = derive_composition(experiment)
+    breakdown = experiment.component_breakdown()
+
+    rows = []
+    for cond, label in (("warm", "fully warm (L1+L2)"),
+                        ("l2_warm", "L1 displaced, L2 warm"),
+                        ("cold", "fully cold")):
+        m = measured[cond]
+        anchored_value = {
+            "warm": anchored.t_warm_us,
+            "l2_warm": anchored.t_l2_us,
+            "cold": anchored.t_cold_us,
+        }[cond]
+        rows.append({
+            "condition": label,
+            "measured_us": round(m.time_us, 1),
+            "anchored_us": round(anchored_value, 1),
+            "l1_misses": m.l1_misses,
+            "l2_misses": m.l2_misses,
+            "paper_preset_us": {
+                "warm": PAPER_COSTS.t_warm_us,
+                "l2_warm": PAPER_COSTS.t_l2_us,
+                "cold": PAPER_COSTS.t_cold_us,
+            }[cond],
+        })
+
+    text = format_table(rows, title="Execution-time bounds (µs)")
+    text += "\n\n" + format_table(
+        [
+            {"component": k, "isolated_overhead_us": round(v, 1),
+             "weight": round(getattr(composition, k), 3)}
+            for k, v in breakdown.items()
+        ],
+        title="Component isolation (overhead when only that component is cold)",
+    )
+    text += "\n\n" + format_kv(
+        {
+            "max affinity benefit 1 - t_warm/t_cold": f"{anchored.max_affinity_benefit:.1%}",
+            "paper's V=0 reduction band": "40-50%",
+        }
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        text=text,
+        notes=(
+            "t_cold anchored to the paper's quoted 284.3 us; intermediate "
+            "bounds and the component split are measured on the simulated "
+            "R4400/Challenge platform (DESIGN.md substitution table)."
+        ),
+        meta={
+            "anchored_costs": anchored,
+            "derived_composition": composition,
+        },
+    )

@@ -1,0 +1,65 @@
+"""E03 — Flush-fraction curves F1(x), F2(x) (paper Fig. "F(x) computed for
+the 100-MHz clock rate of MIPS R4400, assuming an average of 5 clock
+cycles per memory reference").
+
+The headline qualitative observation to reproduce: "the protocol footprint
+is flushed much more slowly from L2 than from L1, reflecting its much
+larger size".
+
+Status: construction quoted (Appendix A); exact plotted x-range
+reconstructed (log-spaced from 10 µs to 10 s).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.tables import format_kv, format_series
+from ..cache.hierarchy import sgi_challenge_hierarchy
+from .base import ExperimentResult
+
+EXPERIMENT_ID = "e03"
+TITLE = "Footprint flush fractions F1(x), F2(x) on the R4400/Challenge"
+
+
+def run(fast: bool = True, seed: int = 1, intensity: float = 1.0,
+        **_) -> ExperimentResult:
+    hierarchy = sgi_challenge_hierarchy()
+    n_points = 10 if fast else 25
+    x_us = np.logspace(1, 7, n_points)  # 10 µs .. 10 s
+    F = hierarchy.flush_fractions(x_us, intensity=intensity)
+    series = {
+        "F1 (16KB L1, 32B lines)": [float(v) for v in F[0]],
+        "F2 (1MB L2, 128B lines)": [float(v) for v in F[1]],
+    }
+    rows = [
+        {"intervening_us": float(x), "F1": float(F[0][i]), "F2": float(F[1][i])}
+        for i, x in enumerate(x_us)
+    ]
+    half_life = {
+        "x where F1 = 0.5 (us)": round(hierarchy.time_to_flush(0, 0.5, intensity), 1),
+        "x where F2 = 0.5 (us)": round(hierarchy.time_to_flush(1, 0.5, intensity), 1),
+    }
+    ratio = half_life["x where F2 = 0.5 (us)"] / half_life["x where F1 = 0.5 (us)"]
+    text = format_series(
+        [float(x) for x in x_us], series, x_label="intervening_us",
+        title=f"Flush fractions (non-protocol intensity V={intensity})",
+        precision=3,
+    )
+    text += "\n\n" + format_kv({**half_life, "L2/L1 half-flush ratio": round(ratio, 1)})
+    from ..analysis.plot import ascii_plot
+    text += "\n\n" + ascii_plot(
+        [float(x) for x in x_us], series, x_label="intervening_us",
+        y_label="flushed fraction", logx=True, title="Flush-curve shape",
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        text=text,
+        notes=(
+            "Reproduces: 'the protocol footprint is flushed much more "
+            "slowly from L2 than from L1'."
+        ),
+        meta={"half_life": half_life, "l2_over_l1_ratio": ratio},
+    )

@@ -1,0 +1,108 @@
+"""E13 — Robustness to intra-stream burstiness: Locking vs IPS.
+
+The abstract: IPS "exhibits less robust response to intra-stream
+burstiness" — a burst on one stream serializes behind its single stack
+under IPS, while Locking recruits every idle processor.
+
+One stream sends geometric bursts (mean size swept at constant long-run
+load); the other streams stay Poisson.  The response metric is the bursty
+stream's own mean delay.  The packet-train arrival model [9] — the
+paper's stated extension (ii) — is included as an alternative burstiness
+generator.
+
+Status: claim quoted; scenario parameters reconstructed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..analysis.tables import format_table
+from ..sim.system import SystemConfig, run_simulation
+from ..workloads.packet_train import PacketTrainSpec
+from ..workloads.arrivals import PoissonSpec
+from ..workloads.traffic import TrafficSpec
+from .base import ExperimentResult
+
+EXPERIMENT_ID = "e13"
+TITLE = "Intra-stream burstiness: bursty-stream delay, Locking vs IPS"
+
+N_STREAMS = 8
+TOTAL_RATE = 16_000.0
+CONTENDERS: Dict[str, Tuple[str, str]] = {
+    "locking-mru": ("locking", "mru"),
+    "locking-wired": ("locking", "wired-streams"),
+    "hybrid": ("locking", "hybrid"),
+    "ips-wired": ("ips", "ips-wired"),
+}
+
+
+def _train_traffic(rate_per_stream: float, mean_train: float) -> TrafficSpec:
+    """Stream 0 = packet trains, others Poisson (extension (ii))."""
+    train = PacketTrainSpec.for_rate(
+        rate_per_stream, mean_train_len=mean_train, inter_car_us=50.0
+    )
+    return TrafficSpec(
+        (train,) + tuple(PoissonSpec(rate_per_stream) for _ in range(N_STREAMS - 1))
+    )
+
+
+def run(fast: bool = True, seed: int = 1, **_) -> ExperimentResult:
+    duration = 400_000 if fast else 2_000_000
+    warmup = 60_000 if fast else 300_000
+    burst_sizes = (1, 4, 8, 16) if fast else (1, 2, 4, 8, 12, 16, 24, 32)
+    per_stream = TOTAL_RATE / N_STREAMS
+
+    rows = []
+    for b in burst_sizes:
+        traffic = TrafficSpec.one_bursty_among_smooth(
+            N_STREAMS, TOTAL_RATE, mean_batch=float(b)
+        )
+        row: Dict[str, object] = {"mean_burst": b}
+        for label, (paradigm, policy) in CONTENDERS.items():
+            cfg = SystemConfig(
+                traffic=traffic, paradigm=paradigm, policy=policy,
+                duration_us=duration, warmup_us=warmup, seed=seed,
+            )
+            s = run_simulation(cfg)
+            row[label] = round(s.per_stream_mean_delay_us.get(0, float("nan")), 1)
+        rows.append(row)
+
+    # Packet-train variant at one burst level (extension (ii)).
+    train_rows = []
+    for trains in ((4.0,) if fast else (4.0, 8.0, 16.0)):
+        traffic = _train_traffic(per_stream, trains)
+        row = {"mean_train_len": trains}
+        for label, (paradigm, policy) in CONTENDERS.items():
+            cfg = SystemConfig(
+                traffic=traffic, paradigm=paradigm, policy=policy,
+                duration_us=duration, warmup_us=warmup, seed=seed,
+            )
+            s = run_simulation(cfg)
+            row[label] = round(s.per_stream_mean_delay_us.get(0, float("nan")), 1)
+        train_rows.append(row)
+
+    text = format_table(
+        rows,
+        title=(
+            "Bursty stream's mean delay (µs) vs mean burst size "
+            f"(total load {TOTAL_RATE:.0f} pps held constant)"
+        ),
+    )
+    text += "\n\n" + format_table(
+        train_rows,
+        title="Packet-train arrivals [9] on stream 0 (extension (ii))",
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows + train_rows,
+        text=text,
+        notes=(
+            "IPS's bursty-stream delay grows ~linearly with burst size "
+            "(serial stack); Locking grows slowly (bursts fan out across "
+            "processors); the hybrid policy tracks wired at small bursts "
+            "and Locking at large ones."
+        ),
+        meta={"burst_sizes": burst_sizes},
+    )

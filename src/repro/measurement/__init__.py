@@ -1,0 +1,44 @@
+"""Measurement harness: the paper's Section-4 experiment design.
+
+Conditioned cache-state measurements on the simulated platform
+(:mod:`~repro.measurement.cachestate`), calibration of the analytic model
+from those measurements (:mod:`~repro.measurement.calibrate`), and
+wall-clock timing of the Python fast path itself
+(:mod:`~repro.measurement.timing`).
+"""
+
+from .cachestate import (
+    CacheStateExperiment,
+    FootprintLayout,
+    MeasuredTime,
+    TwoLevelTimedCache,
+)
+from .calibrate import (
+    calibrated_paper_costs,
+    derive_composition,
+    derive_costs,
+    scale_to_target,
+)
+from .model_validation import (
+    ModelValidationPoint,
+    ModelValidationResult,
+    validate_exec_model,
+)
+from .timing import TimingResult, time_callable, time_fast_path
+
+__all__ = [
+    "CacheStateExperiment",
+    "FootprintLayout",
+    "MeasuredTime",
+    "ModelValidationPoint",
+    "ModelValidationResult",
+    "TimingResult",
+    "TwoLevelTimedCache",
+    "calibrated_paper_costs",
+    "derive_composition",
+    "derive_costs",
+    "scale_to_target",
+    "time_callable",
+    "time_fast_path",
+    "validate_exec_model",
+]

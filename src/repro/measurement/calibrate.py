@@ -1,0 +1,115 @@
+"""Calibration: turn conditioned measurements into model parameters.
+
+The paper: "We show instead how to parameterize the analytic model with
+experimental timing measurements."  This module closes that loop for the
+reproduction:
+
+- :func:`derive_costs` runs the cache-state experiment matrix and returns
+  a :class:`~repro.core.params.ProtocolCosts` whose bounds are the
+  *measured* (simulated-platform) times;
+- :func:`derive_composition` turns the component-isolation runs into
+  :class:`~repro.core.params.FootprintComposition` weights;
+- :func:`scale_to_target` rescales a measured cost set so its ``t_cold``
+  matches a published target (the paper's 284.3 µs) while preserving the
+  measured *ratios* — the standard way to anchor a simulated platform to
+  one published absolute number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Tuple
+
+from ..core.params import PAPER_COSTS, FootprintComposition, ProtocolCosts
+from .cachestate import CacheStateExperiment, FootprintLayout
+
+__all__ = [
+    "derive_costs",
+    "derive_composition",
+    "scale_to_target",
+    "calibrated_paper_costs",
+]
+
+
+def derive_costs(
+    experiment: CacheStateExperiment = None,
+    template: ProtocolCosts = PAPER_COSTS,
+) -> ProtocolCosts:
+    """Measured execution-time bounds from the simulated platform.
+
+    Overhead fields (locking, dispatch, checksum rate) are carried over
+    from ``template`` — they come from different measurements in the paper
+    (lock micro-benchmarks, the quoted 32 B/µs checksum rate) and are not
+    produced by the cache-state matrix.
+    """
+    if experiment is None:
+        experiment = CacheStateExperiment()
+    times = experiment.measure_all()
+    return replace(
+        template,
+        t_warm_us=times["warm"].time_us,
+        t_l2_us=times["l2_warm"].time_us,
+        t_cold_us=times["cold"].time_us,
+    )
+
+
+def derive_composition(experiment: CacheStateExperiment = None) -> FootprintComposition:
+    """Component weights from the isolation runs.
+
+    Each component's weight is its isolated cold-start overhead divided by
+    the sum over components (the shared-writable fraction is not derivable
+    from single-processor measurements and keeps its default).
+    """
+    if experiment is None:
+        experiment = CacheStateExperiment()
+    breakdown = experiment.component_breakdown()
+    total = sum(breakdown.values())
+    if total <= 0:
+        raise RuntimeError("component isolation produced no overhead; "
+                           "footprint layout too small for the caches?")
+    w = {k: v / total for k, v in breakdown.items()}
+    # Normalize exactly (floating error) by assigning the residual to the
+    # largest component.
+    residual = 1.0 - sum(w.values())
+    largest = max(w, key=w.get)
+    w[largest] += residual
+    return FootprintComposition(
+        code_global=w["code_global"],
+        stream_state=w["stream_state"],
+        thread_stack=w["thread_stack"],
+    )
+
+
+def scale_to_target(measured: ProtocolCosts,
+                    t_cold_target_us: float = 284.3) -> ProtocolCosts:
+    """Rescale measured bounds so ``t_cold`` hits a published target.
+
+    All three bounds are multiplied by the same factor, preserving the
+    measured warm/l2/cold ratios (the shape the simulated platform
+    determines) while anchoring the absolute scale to the one number the
+    paper quotes.
+    """
+    if t_cold_target_us <= 0:
+        raise ValueError("t_cold_target_us must be positive")
+    factor = t_cold_target_us / measured.t_cold_us
+    return replace(
+        measured,
+        t_warm_us=measured.t_warm_us * factor,
+        t_l2_us=measured.t_l2_us * factor,
+        t_cold_us=t_cold_target_us,
+    )
+
+
+def calibrated_paper_costs(
+    layout: FootprintLayout = FootprintLayout(),
+) -> Tuple[ProtocolCosts, FootprintComposition]:
+    """Full calibration pipeline anchored to the paper's t_cold.
+
+    Returns ``(costs, composition)`` ready to drop into a
+    :class:`repro.sim.SystemConfig` — the measured alternative to the
+    :data:`~repro.core.params.PAPER_COSTS` preset.
+    """
+    experiment = CacheStateExperiment(layout)
+    costs = scale_to_target(derive_costs(experiment))
+    composition = derive_composition(experiment)
+    return costs, composition

@@ -1,0 +1,40 @@
+"""Discrete-event multiprocessor simulation of parallel protocol processing.
+
+The simulation model of the paper's Section 3.1: N processors, protocol
+threads, per-stream packet arrivals, a displacing non-protocol workload,
+and pluggable affinity scheduling policies under the Locking and IPS
+parallelization paradigms.  Packet service times are produced by the
+analytic execution-time model driven by each processor's cache-state
+history.
+"""
+
+from .dispatch import BaseDispatcher, IPSDispatcher, LockingDispatcher
+from .engine import SimulationError, Simulator
+from .entities import Packet, ProcessorState, ThreadPool
+from .locks import LayeredLocks, SerialLock
+from .metrics import MetricsCollector, PacketRecord, SimulationSummary
+from .rng import RandomStreams
+from .system import NetworkProcessingSystem, SystemConfig, run_simulation
+from .trace import ExecutionTracer, ServiceTraceRecord
+
+__all__ = [
+    "BaseDispatcher",
+    "IPSDispatcher",
+    "LockingDispatcher",
+    "MetricsCollector",
+    "NetworkProcessingSystem",
+    "Packet",
+    "PacketRecord",
+    "ProcessorState",
+    "RandomStreams",
+    "LayeredLocks",
+    "SerialLock",
+    "SimulationError",
+    "SimulationSummary",
+    "Simulator",
+    "ExecutionTracer",
+    "ServiceTraceRecord",
+    "SystemConfig",
+    "ThreadPool",
+    "run_simulation",
+]

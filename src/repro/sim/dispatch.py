@@ -1,0 +1,313 @@
+"""Paradigm dispatchers: Locking and IPS.
+
+A dispatcher owns the mapping from arrived packets to (processor, thread)
+executions, implements the :class:`repro.core.policies.SchedulerView`
+protocol for its scheduling policy, and encodes each paradigm's coherence
+semantics when assembling the per-packet :class:`ComponentState`:
+
+**Migration coherence.**  Writable footprint components live in the cache
+of the processor that last *wrote* them; serving elsewhere finds them cold
+(dirty lines migrate via the coherence protocol).  Concretely:
+
+- per-stream state is warm only on the processor that last served the
+  stream (elsewhere: ``COLD``);
+- a thread's stack is warm only where the thread last ran;
+- under **Locking**, the writable fraction of the shared code+globals
+  component is invalidated whenever *any other* processor completed
+  protocol work since this processor last did (global epoch test);
+- under **IPS**, each stack's writable data is private: it is cold only
+  when the *stack itself* migrated to a new processor — the structural
+  reason "IPS maximizes cache affinity".
+
+Read-mostly code+globals are displaced only by local intervening
+references (tracked by the processor's displacing-reference clock).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..core.exec_model import COLD, ComponentState
+from ..core.policies import IPSPolicy, LockingPolicy, SchedulerView
+from .entities import Packet, ProcessorState, ThreadPool
+from .locks import LayeredLocks
+
+__all__ = ["BaseDispatcher", "LockingDispatcher", "IPSDispatcher"]
+
+
+class BaseDispatcher(SchedulerView):
+    """Shared machinery: SchedulerView implementation + service lifecycle.
+
+    Subclasses implement :meth:`on_arrival` and :meth:`try_dispatch`; the
+    owning :class:`~repro.sim.system.NetworkProcessingSystem` provides the
+    engine, processors, model, RNG and metrics through ``system``.
+    """
+
+    #: paradigm pays per-packet lock costs?
+    locking_paradigm: bool = False
+
+    def __init__(self, system) -> None:
+        self.system = system
+        #: stream id -> processor that last served it (migration tracking).
+        self._stream_last_proc: Dict[int, int] = {}
+        #: monotone count of completed protocol executions, system-wide.
+        self.protocol_epoch: int = 0
+
+    # ------------------------------------------------------------------
+    # SchedulerView
+    # ------------------------------------------------------------------
+    @property
+    def n_processors(self) -> int:
+        return len(self.system.processors)
+
+    def idle_processors(self) -> List[int]:
+        return [p.proc_id for p in self.system.processors if not p.busy]
+
+    def last_protocol_end(self, proc_id: int) -> float:
+        return self.system.processors[proc_id].last_protocol_end
+
+    def stream_last_processor(self, stream_id: int) -> Optional[int]:
+        return self._stream_last_proc.get(stream_id)
+
+    def random_choice(self, items: List[int]) -> int:
+        if not items:
+            raise ValueError("empty choice set")
+        if len(items) == 1:
+            return items[0]
+        idx = int(self.system.rngs.scheduling.integers(0, len(items)))
+        return items[idx]
+
+    # ------------------------------------------------------------------
+    # Component cache-state assembly
+    # ------------------------------------------------------------------
+    def _stream_refs(self, proc: ProcessorState, stream_id: int, now: float) -> float:
+        """Intervening refs for the stream-state component (migration-aware)."""
+        last = self._stream_last_proc.get(stream_id)
+        if last != proc.proc_id:
+            return COLD
+        return proc.refs_since_touch(("stream", stream_id), now)
+
+    # ------------------------------------------------------------------
+    # Service lifecycle helpers
+    # ------------------------------------------------------------------
+    def _begin(self, proc: ProcessorState, packet: Packet, thread_id: int,
+               state: ComponentState, lock_wait: float, exec_time: float) -> None:
+        now = self.system.sim.now
+        packet.service_start_us = now
+        packet.processor_id = proc.proc_id
+        packet.thread_id = thread_id
+        packet.lock_wait_us = lock_wait
+        packet.exec_time_us = exec_time
+        proc.begin_service(packet, now)
+        if self.system.tracer is not None:
+            self.system.tracer.record(packet, state, lock_wait, exec_time, now)
+        span = lock_wait + exec_time
+        self.system.sim.schedule(span, lambda: self._complete(proc))
+
+    def _complete(self, proc: ProcessorState) -> None:
+        raise NotImplementedError
+
+    # Subclass interface ------------------------------------------------
+    def on_arrival(self, packet: Packet) -> None:
+        raise NotImplementedError
+
+    def try_dispatch(self) -> None:
+        raise NotImplementedError
+
+    def queued(self) -> int:
+        raise NotImplementedError
+
+
+class LockingDispatcher(BaseDispatcher):
+    """Shared protocol stack, N protocol threads, pluggable policy."""
+
+    locking_paradigm = True
+
+    def __init__(self, system, policy: LockingPolicy) -> None:
+        super().__init__(system)
+        self.policy = policy
+        self.policy.attach(self)
+        self.threads = ThreadPool(
+            n_threads=self.n_processors,
+            per_processor=policy.per_processor_threads,
+        )
+        self.lock = LayeredLocks(system.config.lock_granularity)
+
+    def on_arrival(self, packet: Packet) -> None:
+        self.policy.on_arrival(packet)
+        self.try_dispatch()
+
+    def try_dispatch(self) -> None:
+        while True:
+            assignment = self.policy.next_dispatch()
+            if assignment is None:
+                return
+            proc_id, packet = assignment
+            self._start_service(proc_id, packet)
+
+    def queued(self) -> int:
+        return self.policy.queued()
+
+    def _start_service(self, proc_id: int, packet: Packet) -> None:
+        system = self.system
+        now = system.sim.now
+        proc = system.processors[proc_id]
+        if proc.busy:
+            raise RuntimeError(
+                f"policy {self.policy.name!r} dispatched to busy processor {proc_id}"
+            )
+        thread_id = self.threads.acquire(proc_id)
+
+        thread_last = self.threads.last_processor(thread_id)
+        thread_refs = (
+            proc.refs_since_touch(("thread", thread_id), now)
+            if thread_last == proc_id
+            else COLD  # never ran, or stack lines migrated with the thread
+        )
+        state = ComponentState(
+            code_refs=proc.refs_since_touch(("code",), now),
+            stream_refs=self._stream_refs(proc, packet.stream_id, now),
+            thread_refs=thread_refs,
+            shared_invalidated=self.protocol_epoch > proc.protocol_epoch_seen,
+        )
+        exec_time = system.model.execution_time_us(
+            state,
+            payload_bytes=packet.size_bytes,
+            data_touching=system.data_touching,
+            locking=True,
+            extra_us=system.fixed_overhead_us,
+        )
+        lock_wait = self.lock.reserve(now, system.costs.lock_cs_us)
+        self._begin(proc, packet, thread_id, state, lock_wait, exec_time)
+
+    def _complete(self, proc: ProcessorState) -> None:
+        system = self.system
+        now = system.sim.now
+        packet = proc.current_packet
+        self.protocol_epoch += 1
+        touched = (
+            ("code",),
+            ("stream", packet.stream_id),
+            ("thread", packet.thread_id),
+        )
+        proc.end_service(now, packet.exec_time_us, touched, self.protocol_epoch)
+        packet.completion_us = now
+        self.threads.release(packet.thread_id)
+        self._stream_last_proc[packet.stream_id] = proc.proc_id
+        system.metrics.on_completion(packet)
+        self.try_dispatch()
+
+
+class IPSDispatcher(BaseDispatcher):
+    """Independent Protocol Stacks: K lock-free serial stack instances.
+
+    Streams are statically bound to stacks (``stream_id mod K``); each
+    stack processes its packets strictly in order, one at a time (the
+    structural source of IPS's limited intra-stream scalability and burst
+    sensitivity).  The policy chooses which idle processor a runnable
+    stack uses.
+    """
+
+    locking_paradigm = False
+
+    def __init__(self, system, policy: IPSPolicy, n_stacks: int) -> None:
+        super().__init__(system)
+        if n_stacks < 1:
+            raise ValueError("need at least one stack")
+        self.policy = policy
+        self.n_stacks = n_stacks
+        self._queues: List[Deque[Packet]] = [deque() for _ in range(n_stacks)]
+        self._stack_busy: List[bool] = [False] * n_stacks
+        self._stack_last_proc: Dict[int, Optional[int]] = {
+            k: None for k in range(n_stacks)
+        }
+
+    def stack_of(self, stream_id: int) -> int:
+        return stream_id % self.n_stacks
+
+    def stack_last_processor(self, stack_id: int) -> Optional[int]:
+        return self._stack_last_proc[stack_id]
+
+    def on_arrival(self, packet: Packet) -> None:
+        self._queues[self.stack_of(packet.stream_id)].append(packet)
+        self.try_dispatch()
+
+    def queued(self) -> int:
+        return sum(len(q) for q in self._queues)
+
+    def try_dispatch(self) -> None:
+        # Runnable stacks compete in order of their head packet's arrival
+        # time (global FCFS across stacks), matching a work-conserving
+        # kernel scheduler.
+        while True:
+            runnable: List[Tuple[float, int]] = [
+                (q[0].arrival_us, k)
+                for k, q in enumerate(self._queues)
+                if q and not self._stack_busy[k]
+            ]
+            if not runnable:
+                return
+            runnable.sort()
+            progress = False
+            for _, k in runnable:
+                proc_id = self.policy.select_processor(
+                    k, self, self._stack_last_proc[k]
+                )
+                if proc_id is None:
+                    continue
+                if self.system.processors[proc_id].busy:
+                    raise RuntimeError(
+                        f"IPS policy {self.policy.name!r} chose busy processor"
+                    )
+                self._start_service(k, proc_id)
+                progress = True
+                break  # re-evaluate runnable set after each start
+            if not progress:
+                return
+
+    def _start_service(self, stack_id: int, proc_id: int) -> None:
+        system = self.system
+        now = system.sim.now
+        proc = system.processors[proc_id]
+        packet = self._queues[stack_id].popleft()
+        self._stack_busy[stack_id] = True
+
+        # Stack-private writable data is cold iff the stack migrated; the
+        # per-stack thread's stack follows the stack instance.
+        migrated = self._stack_last_proc[stack_id] != proc_id
+        thread_key = ("stack_thread", stack_id)
+        state = ComponentState(
+            code_refs=proc.refs_since_touch(("code",), now),
+            stream_refs=self._stream_refs(proc, packet.stream_id, now),
+            thread_refs=(COLD if migrated else proc.refs_since_touch(thread_key, now)),
+            shared_invalidated=migrated,
+        )
+        exec_time = system.model.execution_time_us(
+            state,
+            payload_bytes=packet.size_bytes,
+            data_touching=system.data_touching,
+            locking=False,
+            extra_us=system.fixed_overhead_us,
+        )
+        packet.thread_id = stack_id  # one serving context per stack
+        self._begin(proc, packet, stack_id, state, 0.0, exec_time)
+
+    def _complete(self, proc: ProcessorState) -> None:
+        system = self.system
+        now = system.sim.now
+        packet = proc.current_packet
+        stack_id = self.stack_of(packet.stream_id)
+        self.protocol_epoch += 1
+        touched = (
+            ("code",),
+            ("stream", packet.stream_id),
+            ("stack_thread", stack_id),
+        )
+        proc.end_service(now, packet.exec_time_us, touched, self.protocol_epoch)
+        packet.completion_us = now
+        self._stack_busy[stack_id] = False
+        self._stack_last_proc[stack_id] = proc.proc_id
+        self._stream_last_proc[packet.stream_id] = proc.proc_id
+        system.metrics.on_completion(packet)
+        self.try_dispatch()

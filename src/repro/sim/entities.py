@@ -1,0 +1,239 @@
+"""Simulation entities: packets, processors, threads.
+
+The heart of the affinity model lives in :class:`ProcessorState`: each
+processor keeps a **displacing-reference clock** — a monotone counter of
+memory references issued on that processor (protocol execution at the full
+platform rate, non-protocol activity at the rate scaled by the intensity
+``V``).  Every footprint component (protocol code+globals or stack
+instance, per-stream state, per-thread stack) records the clock value when
+it last finished executing there; the *intervening displacing references*
+for a new packet are simply the clock deltas, which the analytic model
+turns into flushed fractions per cache level.
+
+This formulation captures, with one mechanism, all of:
+
+- displacement of the protocol footprint by non-protocol activity while
+  the processor is otherwise idle (the paper's central effect),
+- displacement of one stream's state by other streams' protocol
+  processing on the same processor (heavy multiplexing), and
+- total footprint loss when a component migrates to a processor it never
+  visited (``COLD``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..core.exec_model import COLD
+
+__all__ = ["Packet", "ProcessorState", "ThreadPool"]
+
+
+@dataclass
+class Packet:
+    """One protocol message travelling through the system.
+
+    Timestamps are filled in as the packet progresses; ``delay_us`` is the
+    paper's response metric (arrival to completion of protocol
+    processing).
+    """
+
+    packet_id: int
+    stream_id: int
+    arrival_us: float
+    size_bytes: int = 0
+    service_start_us: float = math.nan
+    completion_us: float = math.nan
+    exec_time_us: float = math.nan
+    lock_wait_us: float = 0.0
+    processor_id: int = -1
+    thread_id: int = -1
+
+    @property
+    def delay_us(self) -> float:
+        """Total packet delay: arrival to processing completion."""
+        return self.completion_us - self.arrival_us
+
+    @property
+    def queueing_us(self) -> float:
+        """Time spent waiting before service began."""
+        return self.service_start_us - self.arrival_us
+
+
+class ProcessorState:
+    """Per-processor execution and cache-affinity state."""
+
+    def __init__(self, proc_id: int, references_per_us: float,
+                 nonprotocol_intensity: float) -> None:
+        if references_per_us <= 0:
+            raise ValueError("references_per_us must be positive")
+        if nonprotocol_intensity < 0:
+            raise ValueError("nonprotocol_intensity (V) must be >= 0")
+        self.proc_id = proc_id
+        self.references_per_us = references_per_us
+        self.nonprotocol_intensity = nonprotocol_intensity
+
+        self.busy: bool = False
+        self.current_packet: Optional[Packet] = None
+        #: Simulation time protocol processing last completed here.
+        self.last_protocol_end: float = -math.inf
+        #: Global protocol-execution epoch observed at our last completion
+        #: (used for the shared-writable invalidation test under Locking).
+        self.protocol_epoch_seen: int = -1
+
+        #: Displacing-reference clock (references issued on this CPU).
+        self._ref_clock: float = 0.0
+        #: Time up to which the clock has been accrued.
+        self._accrued_until: float = 0.0
+        #: component key -> ref-clock value when it last finished here.
+        self._last_touch: Dict[Hashable, float] = {}
+
+        #: Accumulated busy time (protocol) for utilization metrics.
+        self.protocol_busy_us: float = 0.0
+        #: Accumulated non-protocol execution time granted.
+        self.nonprotocol_us: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Reference-clock accounting
+    # ------------------------------------------------------------------
+    def accrue_idle(self, now_us: float) -> None:
+        """Fold idle (non-protocol) displacement into the clock up to now.
+
+        While the processor is not executing protocol code, the general
+        non-protocol workload runs and issues ``V * rate`` displacing
+        references per µs.  Called lazily whenever the clock is read or the
+        processor changes state.
+        """
+        if now_us < self._accrued_until - 1e-9:
+            raise ValueError(
+                f"time went backwards: {now_us} < {self._accrued_until}"
+            )
+        dt = max(0.0, now_us - self._accrued_until)
+        if dt > 0.0 and not self.busy:
+            self._ref_clock += dt * self.references_per_us * self.nonprotocol_intensity
+            self.nonprotocol_us += dt
+        self._accrued_until = max(self._accrued_until, now_us)
+
+    def ref_clock(self, now_us: float) -> float:
+        """Current displacing-reference clock value."""
+        self.accrue_idle(now_us)
+        return self._ref_clock
+
+    def refs_since_touch(self, key: Hashable, now_us: float) -> float:
+        """Displacing references since component ``key`` last ran here.
+
+        Returns :data:`repro.core.exec_model.COLD` if the component never
+        executed on this processor.
+        """
+        clock = self.ref_clock(now_us)
+        last = self._last_touch.get(key)
+        if last is None:
+            return COLD
+        return max(0.0, clock - last)
+
+    # ------------------------------------------------------------------
+    # Protocol execution lifecycle
+    # ------------------------------------------------------------------
+    def begin_service(self, packet: Packet, now_us: float) -> None:
+        if self.busy:
+            raise RuntimeError(f"processor {self.proc_id} is already busy")
+        self.accrue_idle(now_us)
+        self.busy = True
+        self.current_packet = packet
+
+    def end_service(self, now_us: float, exec_time_us: float,
+                    touched_keys: Tuple[Hashable, ...],
+                    protocol_epoch: int) -> Packet:
+        """Complete the current packet; update affinity bookkeeping.
+
+        Protocol execution itself issues references at the *full* platform
+        rate (it is real execution); those references displace every other
+        component's footprint but refresh the components just touched, so
+        the touched keys are stamped with the post-execution clock value.
+        """
+        if not self.busy or self.current_packet is None:
+            raise RuntimeError(f"processor {self.proc_id} is not serving a packet")
+        # The clock was accrued through service start; protocol refs now.
+        self._ref_clock += exec_time_us * self.references_per_us
+        self._accrued_until = now_us
+        for key in touched_keys:
+            self._last_touch[key] = self._ref_clock
+        self.protocol_busy_us += exec_time_us
+        self.last_protocol_end = now_us
+        self.protocol_epoch_seen = protocol_epoch
+        packet = self.current_packet
+        self.busy = False
+        self.current_packet = None
+        return packet
+
+    def utilization(self, elapsed_us: float) -> float:
+        """Fraction of elapsed time spent executing protocol code."""
+        return self.protocol_busy_us / elapsed_us if elapsed_us > 0 else 0.0
+
+
+class ThreadPool:
+    """Protocol thread pool with last-processor tracking.
+
+    Under the Locking paradigm the paper's system has N protocol threads.
+    Two organizations:
+
+    - **shared pool** (``per_processor=False``): any free thread serves the
+      next packet.  We prefer a free thread whose stack was last on the
+      target processor (LIFO within that preference) — the natural
+      behaviour of a free-list — but threads migrate under load, losing
+      thread-stack affinity.
+    - **per-processor pools** (``per_processor=True``): thread ``i`` is
+      bound to processor ``i``; the thread-stack component never migrates.
+    """
+
+    def __init__(self, n_threads: int, per_processor: bool) -> None:
+        if n_threads < 1:
+            raise ValueError("need at least one thread")
+        self.n_threads = n_threads
+        self.per_processor = per_processor
+        self._free: List[int] = list(range(n_threads - 1, -1, -1))  # LIFO
+        self._last_proc: Dict[int, Optional[int]] = {t: None for t in range(n_threads)}
+        self._busy: Dict[int, int] = {}  # thread -> processor
+
+    def acquire(self, proc_id: int) -> int:
+        """Take a thread to run on ``proc_id``; returns the thread id."""
+        if self.per_processor:
+            tid = proc_id % self.n_threads
+            if tid in self._busy:
+                raise RuntimeError(
+                    f"bound thread {tid} already busy (processor over-subscribed)"
+                )
+            try:
+                self._free.remove(tid)
+            except ValueError:
+                raise RuntimeError(f"thread {tid} not free") from None
+        else:
+            if not self._free:
+                raise RuntimeError("no free protocol threads")
+            # Prefer a thread whose stack was last on this processor.
+            tid = None
+            for cand in reversed(self._free):
+                if self._last_proc[cand] == proc_id:
+                    tid = cand
+                    break
+            if tid is None:
+                tid = self._free[-1]
+            self._free.remove(tid)
+        self._busy[tid] = proc_id
+        return tid
+
+    def release(self, thread_id: int) -> None:
+        proc = self._busy.pop(thread_id, None)
+        if proc is None:
+            raise RuntimeError(f"thread {thread_id} was not busy")
+        self._last_proc[thread_id] = proc
+        self._free.append(thread_id)
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    def last_processor(self, thread_id: int) -> Optional[int]:
+        return self._last_proc[thread_id]

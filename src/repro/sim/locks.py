@@ -1,0 +1,123 @@
+"""Shared-stack lock model for the Locking paradigm.
+
+The Locking parallelization shares one protocol stack among all
+processors, protected by locks.  References [3, 13, 19] establish that
+software synchronization imposes a large overhead on parallel protocol
+stacks; the model here captures the two first-order effects:
+
+1. a fixed *uncontended* acquire/release cost per packet (accounted in the
+   execution-time model via ``ProtocolCosts.lock_overhead_us``), and
+2. a *serialized critical section* of length ``lock_cs_us`` per packet —
+   shared connection/demux state updates that only one processor may
+   perform at a time.  Aggregate Locking throughput can therefore never
+   exceed ``1 / lock_cs_us`` packets/µs no matter how many processors are
+   added; IPS has no such ceiling.
+
+The critical section is modelled at the *start* of each packet's service
+(a standard simplification: the exact position within service shifts
+individual completions by at most one service time and leaves steady-state
+means unaffected).
+"""
+
+from __future__ import annotations
+
+__all__ = ["SerialLock"]
+
+
+class SerialLock:
+    """A single FIFO lock timed in simulation microseconds.
+
+    ``reserve(now, hold_us)`` returns the waiting time until the lock can
+    be granted, and books the hold.  Because the simulator dispatches
+    packets in event order, booking at reserve time yields FIFO granting.
+    """
+
+    def __init__(self) -> None:
+        self._free_at: float = 0.0
+        self.total_wait_us: float = 0.0
+        self.total_hold_us: float = 0.0
+        self.acquisitions: int = 0
+        self.contended: int = 0
+
+    def reserve(self, now_us: float, hold_us: float) -> float:
+        """Book the lock for ``hold_us`` starting as soon as possible.
+
+        Returns the wait (µs) before the critical section may begin.
+        """
+        if hold_us < 0:
+            raise ValueError("hold_us must be non-negative")
+        wait = max(0.0, self._free_at - now_us)
+        start = now_us + wait
+        self._free_at = start + hold_us
+        self.total_wait_us += wait
+        self.total_hold_us += hold_us
+        self.acquisitions += 1
+        if wait > 0.0:
+            self.contended += 1
+        return wait
+
+    @property
+    def mean_wait_us(self) -> float:
+        return self.total_wait_us / self.acquisitions if self.acquisitions else 0.0
+
+    @property
+    def contention_ratio(self) -> float:
+        """Fraction of acquisitions that had to wait."""
+        return self.contended / self.acquisitions if self.acquisitions else 0.0
+
+    def utilization(self, elapsed_us: float) -> float:
+        """Fraction of elapsed time the lock was held."""
+        return self.total_hold_us / elapsed_us if elapsed_us > 0 else 0.0
+
+
+class LayeredLocks:
+    """Per-layer locking (the granularity dimension of Bjorkman &
+    Gunningberg [3]).
+
+    The x-kernel's shared-stack critical work can be protected by one
+    coarse lock (``n_locks = 1``, the default model) or split across the
+    protocol layers (FDDI demux / IP state / UDP sessions), each with its
+    own lock.  A packet then traverses the locks *in order*, holding each
+    for ``cs_us / n_locks``; packets pipeline through the layers, so the
+    aggregate serialization ceiling rises from ``1/cs`` to ``n/cs``.
+
+    The model books each stage lock at its stage's nominal start time and
+    propagates waiting downstream (a packet delayed at stage ``i`` arrives
+    later at stage ``i+1``); the returned total wait is what service
+    start must absorb.
+    """
+
+    def __init__(self, n_locks: int = 1) -> None:
+        if n_locks < 1:
+            raise ValueError("n_locks must be >= 1")
+        self.n_locks = n_locks
+        self.locks = [SerialLock() for _ in range(n_locks)]
+
+    def reserve(self, now_us: float, total_cs_us: float) -> float:
+        """Book all stage locks for one packet; returns the total wait."""
+        if total_cs_us < 0:
+            raise ValueError("total_cs_us must be non-negative")
+        stage_us = total_cs_us / self.n_locks
+        t = now_us
+        total_wait = 0.0
+        for lock in self.locks:
+            wait = lock.reserve(t, stage_us)
+            total_wait += wait
+            t += wait + stage_us
+        return total_wait
+
+    @property
+    def acquisitions(self) -> int:
+        return self.locks[0].acquisitions if self.locks else 0
+
+    @property
+    def total_wait_us(self) -> float:
+        return sum(l.total_wait_us for l in self.locks)
+
+    @property
+    def contention_ratio(self) -> float:
+        acq = self.acquisitions
+        if not acq:
+            return 0.0
+        contended = sum(l.contended for l in self.locks)
+        return min(1.0, contended / (acq * self.n_locks))

@@ -1,0 +1,190 @@
+"""Metrics collection: per-packet records, summaries, batch-means CIs.
+
+The paper's principal response metric is **mean packet delay** (arrival to
+completion of protocol processing) as a function of packet arrival rate;
+secondary metrics are throughput capacity, per-processor utilization, and
+lock contention.  This module records every completed packet (after a
+warm-up cutoff), computes summary statistics, and estimates confidence
+intervals with the method of non-overlapping batch means.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..analysis.stats import batch_means_ci
+from .entities import Packet
+
+__all__ = ["PacketRecord", "MetricsCollector", "SimulationSummary"]
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    """Immutable snapshot of one completed packet."""
+
+    stream_id: int
+    arrival_us: float
+    service_start_us: float
+    completion_us: float
+    exec_time_us: float
+    lock_wait_us: float
+    processor_id: int
+
+    @property
+    def delay_us(self) -> float:
+        return self.completion_us - self.arrival_us
+
+    @property
+    def queueing_us(self) -> float:
+        return self.service_start_us - self.arrival_us
+
+
+@dataclass(frozen=True)
+class SimulationSummary:
+    """Aggregated results of one simulation run."""
+
+    n_packets: int
+    duration_us: float
+    mean_delay_us: float
+    delay_ci_us: Tuple[float, float]
+    mean_queueing_us: float
+    mean_exec_us: float
+    mean_lock_wait_us: float
+    p50_delay_us: float
+    p95_delay_us: float
+    p99_delay_us: float
+    throughput_pps: float
+    offered_rate_pps: float
+    utilization_per_proc: Tuple[float, ...]
+    max_backlog: int
+    final_backlog: int
+    per_stream_mean_delay_us: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def mean_utilization(self) -> float:
+        return float(np.mean(self.utilization_per_proc)) if self.utilization_per_proc else 0.0
+
+    @property
+    def stable(self) -> bool:
+        """Heuristic stability check: the run is considered saturated if
+        work was still piling up at the end (final backlog comparable to
+        everything ever queued) — used by capacity searches."""
+        return self.final_backlog <= max(50, 0.02 * self.n_packets)
+
+    def row(self) -> Dict[str, float]:
+        """Flat dict for table assembly."""
+        return {
+            "n_packets": self.n_packets,
+            "mean_delay_us": self.mean_delay_us,
+            "mean_queueing_us": self.mean_queueing_us,
+            "mean_exec_us": self.mean_exec_us,
+            "p95_delay_us": self.p95_delay_us,
+            "throughput_pps": self.throughput_pps,
+            "utilization": self.mean_utilization,
+        }
+
+
+class MetricsCollector:
+    """Accumulates packet records and produces a summary.
+
+    Packets completing before ``warmup_us`` are discarded (transient
+    removal); the arrival counter still includes them so offered load is
+    reported exactly.
+    """
+
+    def __init__(self, warmup_us: float = 0.0) -> None:
+        if warmup_us < 0:
+            raise ValueError("warmup_us must be non-negative")
+        self.warmup_us = warmup_us
+        self.records: List[PacketRecord] = []
+        self.arrivals: int = 0
+        self.completions: int = 0
+        self.max_backlog: int = 0
+        self._backlog: int = 0
+
+    # ------------------------------------------------------------------
+    # Event hooks
+    # ------------------------------------------------------------------
+    def on_arrival(self, packet: Packet) -> None:
+        self.arrivals += 1
+        self._backlog += 1
+        if self._backlog > self.max_backlog:
+            self.max_backlog = self._backlog
+
+    def on_completion(self, packet: Packet) -> None:
+        self.completions += 1
+        self._backlog -= 1
+        if packet.completion_us >= self.warmup_us:
+            self.records.append(
+                PacketRecord(
+                    stream_id=packet.stream_id,
+                    arrival_us=packet.arrival_us,
+                    service_start_us=packet.service_start_us,
+                    completion_us=packet.completion_us,
+                    exec_time_us=packet.exec_time_us,
+                    lock_wait_us=packet.lock_wait_us,
+                    processor_id=packet.processor_id,
+                )
+            )
+
+    @property
+    def backlog(self) -> int:
+        """Packets arrived but not yet completed."""
+        return self._backlog
+
+    # ------------------------------------------------------------------
+    # Summary
+    # ------------------------------------------------------------------
+    def summarize(
+        self,
+        duration_us: float,
+        utilization_per_proc: Tuple[float, ...],
+        offered_rate_pps: float,
+        n_batches: int = 20,
+    ) -> SimulationSummary:
+        """Build the run summary (delays in µs, rates in packets/second)."""
+        if not self.records:
+            nan = math.nan
+            return SimulationSummary(
+                n_packets=0, duration_us=duration_us, mean_delay_us=nan,
+                delay_ci_us=(nan, nan), mean_queueing_us=nan, mean_exec_us=nan,
+                mean_lock_wait_us=nan, p50_delay_us=nan, p95_delay_us=nan,
+                p99_delay_us=nan, throughput_pps=0.0,
+                offered_rate_pps=offered_rate_pps,
+                utilization_per_proc=utilization_per_proc,
+                max_backlog=self.max_backlog, final_backlog=self._backlog,
+            )
+        delays = np.array([r.delay_us for r in self.records])
+        queueing = np.array([r.queueing_us for r in self.records])
+        execs = np.array([r.exec_time_us for r in self.records])
+        lock_waits = np.array([r.lock_wait_us for r in self.records])
+        mean_delay = float(delays.mean())
+        ci = batch_means_ci(delays, n_batches=n_batches)
+        measured_span = duration_us - self.warmup_us
+        throughput_pps = len(delays) / measured_span * 1e6 if measured_span > 0 else 0.0
+        per_stream: Dict[int, float] = {}
+        stream_ids = np.array([r.stream_id for r in self.records])
+        for sid in np.unique(stream_ids):
+            per_stream[int(sid)] = float(delays[stream_ids == sid].mean())
+        return SimulationSummary(
+            n_packets=len(delays),
+            duration_us=duration_us,
+            mean_delay_us=mean_delay,
+            delay_ci_us=ci,
+            mean_queueing_us=float(queueing.mean()),
+            mean_exec_us=float(execs.mean()),
+            mean_lock_wait_us=float(lock_waits.mean()),
+            p50_delay_us=float(np.percentile(delays, 50)),
+            p95_delay_us=float(np.percentile(delays, 95)),
+            p99_delay_us=float(np.percentile(delays, 99)),
+            throughput_pps=throughput_pps,
+            offered_rate_pps=offered_rate_pps,
+            utilization_per_proc=utilization_per_proc,
+            max_backlog=self.max_backlog,
+            final_backlog=self._backlog,
+            per_stream_mean_delay_us=per_stream,
+        )

@@ -1,0 +1,273 @@
+"""Top-level assembly: configure, run, summarize one simulation.
+
+:class:`SystemConfig` captures every knob of a run (platform, costs,
+paradigm, policy, traffic, non-protocol intensity ``V``, horizon, seed);
+:class:`NetworkProcessingSystem` wires the engine, processors, model,
+dispatcher and metrics together and exposes :meth:`run`.
+
+Typical use (the library's main entry point)::
+
+    from repro import SystemConfig, NetworkProcessingSystem, TrafficSpec
+
+    cfg = SystemConfig(
+        paradigm="locking",
+        policy="mru",
+        traffic=TrafficSpec.homogeneous_poisson(n_streams=8, total_rate_pps=12_000),
+        nonprotocol_intensity=1.0,
+        duration_us=2_000_000,
+        seed=1,
+    )
+    summary = NetworkProcessingSystem(cfg).run()
+    print(summary.mean_delay_us)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Union
+
+from ..core.exec_model import ExecutionTimeModel
+from ..core.params import (
+    PAPER_COMPOSITION,
+    PAPER_COSTS,
+    FootprintComposition,
+    PlatformConfig,
+    ProtocolCosts,
+)
+from ..core.policies import (
+    IPSPolicy,
+    LockingPolicy,
+    make_ips_policy,
+    make_locking_policy,
+)
+from ..workloads.arrivals import PoissonArrivals
+from ..workloads.sessions import SessionChurnSpec
+from ..workloads.traffic import TrafficSpec
+from .dispatch import IPSDispatcher, LockingDispatcher
+from .engine import Simulator
+from .entities import Packet, ProcessorState
+from .metrics import MetricsCollector, SimulationSummary
+from .rng import RandomStreams
+from .trace import ExecutionTracer
+
+__all__ = ["SystemConfig", "NetworkProcessingSystem", "run_simulation"]
+
+PARADIGMS = ("locking", "ips")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete description of one simulation run.
+
+    ``policy`` may be a registry name (see
+    :data:`repro.core.policies.LOCKING_POLICIES` /
+    :data:`~repro.core.policies.IPS_POLICIES`) or a ready policy instance;
+    ``policy_kwargs`` are forwarded to the registry factory.
+
+    ``nonprotocol_intensity`` is the displacing memory-reference
+    intensity of the non-protocol workload that absorbs idle processor
+    time (0 = no displacement; 1 = the full platform reference rate).
+
+    ``fixed_overhead_us`` is the paper's ``V``: a fixed, cache-independent
+    per-packet overhead added to every service (the V-family curves of
+    Figures 10/11; checksumming a maximal 4432 B FDDI payload corresponds
+    to V ≈ 139 µs).
+
+    ``lock_granularity`` selects the Locking paradigm's lock structure:
+    1 = one coarse stack lock (default); k > 1 = per-layer locks the
+    packet pipelines through (the granularity dimension of ref [3]),
+    raising the serialization ceiling from ``1/cs`` to ``k/cs``.
+
+    ``churn`` adds a dynamic stream population on top of the base
+    traffic (streams open/close as a birth-death process; see
+    :class:`repro.workloads.SessionChurnSpec`) — used to test the
+    abstract's "greater number of concurrent streams" claim.
+    """
+
+    traffic: TrafficSpec
+    paradigm: str = "locking"
+    policy: Union[str, LockingPolicy, IPSPolicy] = "mru"
+    platform: PlatformConfig = field(default_factory=PlatformConfig)
+    costs: ProtocolCosts = PAPER_COSTS
+    composition: FootprintComposition = PAPER_COMPOSITION
+    nonprotocol_intensity: float = 1.0
+    n_stacks: Optional[int] = None
+    churn: Optional[SessionChurnSpec] = None
+    data_touching: bool = False
+    fixed_overhead_us: float = 0.0
+    lock_granularity: int = 1
+    trace: bool = False
+    duration_us: float = 2_000_000.0
+    warmup_us: float = 200_000.0
+    seed: int = 1
+    policy_kwargs: Dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.paradigm not in PARADIGMS:
+            raise ValueError(f"paradigm must be one of {PARADIGMS}, got {self.paradigm!r}")
+        if self.nonprotocol_intensity < 0:
+            raise ValueError("nonprotocol_intensity (V) must be >= 0")
+        if self.duration_us <= 0:
+            raise ValueError("duration_us must be positive")
+        if not (0.0 <= self.warmup_us < self.duration_us):
+            raise ValueError("need 0 <= warmup_us < duration_us")
+        if self.n_stacks is not None and self.n_stacks < 1:
+            raise ValueError("n_stacks must be >= 1")
+        if self.fixed_overhead_us < 0:
+            raise ValueError("fixed_overhead_us (V) must be >= 0")
+        if self.lock_granularity < 1:
+            raise ValueError("lock_granularity must be >= 1")
+
+    def with_(self, **changes) -> "SystemConfig":
+        """Functional update (sweep helper)."""
+        return replace(self, **changes)
+
+    @property
+    def effective_n_stacks(self) -> int:
+        return self.n_stacks if self.n_stacks is not None else self.platform.n_processors
+
+
+class NetworkProcessingSystem:
+    """One fully wired simulation instance (single-use: build, run)."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.costs = config.costs
+        self.data_touching = config.data_touching
+        self.fixed_overhead_us = config.fixed_overhead_us
+        self.sim = Simulator()
+        self.rngs = RandomStreams(config.seed)
+        self.metrics = MetricsCollector(warmup_us=config.warmup_us)
+        self.model = ExecutionTimeModel(
+            config.costs, config.composition, config.platform.hierarchy
+        )
+        refs_per_us = config.platform.references_per_us
+        self.processors: List[ProcessorState] = [
+            ProcessorState(p, refs_per_us, config.nonprotocol_intensity)
+            for p in range(config.platform.n_processors)
+        ]
+        self.tracer = ExecutionTracer(self.model) if config.trace else None
+        self.dispatcher = self._build_dispatcher()
+        self._packet_counter = 0
+        self._stream_counter = config.traffic.n_streams
+        self.peak_concurrent_sessions = 0
+        self._live_sessions = 0
+        self._ran = False
+
+    def _build_dispatcher(self):
+        cfg = self.config
+        if cfg.paradigm == "locking":
+            policy = cfg.policy
+            if isinstance(policy, str):
+                policy = make_locking_policy(policy, **cfg.policy_kwargs)
+            if not isinstance(policy, LockingPolicy):
+                raise TypeError(
+                    f"Locking paradigm needs a LockingPolicy, got {type(policy)!r}"
+                )
+            return LockingDispatcher(self, policy)
+        policy = cfg.policy
+        if isinstance(policy, str):
+            policy = make_ips_policy(policy, **cfg.policy_kwargs)
+        if not isinstance(policy, IPSPolicy):
+            raise TypeError(f"IPS paradigm needs an IPSPolicy, got {type(policy)!r}")
+        return IPSDispatcher(self, policy, cfg.effective_n_stacks)
+
+    # ------------------------------------------------------------------
+    # Arrival generation (event-driven, one pending event per stream)
+    # ------------------------------------------------------------------
+    def _start_arrivals(self) -> None:
+        for stream_id, spec in enumerate(self.config.traffic.stream_specs):
+            process = spec.build(self.rngs.arrivals(stream_id))
+            self._schedule_next_arrival(stream_id, process)
+        if self.config.churn is not None:
+            self._schedule_next_session()
+
+    def _schedule_next_arrival(self, stream_id: int, process,
+                               end_us: Optional[float] = None) -> None:
+        horizon = self.config.duration_us if end_us is None else min(
+            end_us, self.config.duration_us
+        )
+        gap_us, batch = process.next_batch()
+        when = self.sim.now + gap_us
+        if when > horizon:
+            if end_us is not None and when <= self.config.duration_us:
+                # The churning stream died; account its departure.
+                self._live_sessions -= 1
+            return  # no further arrivals within the horizon
+        def fire() -> None:
+            for _ in range(batch):
+                self._inject_packet(stream_id)
+            self._schedule_next_arrival(stream_id, process, end_us)
+        self.sim.at(when, fire)
+
+    # ------------------------------------------------------------------
+    # Session churn (dynamic stream population)
+    # ------------------------------------------------------------------
+    def _schedule_next_session(self) -> None:
+        churn = self.config.churn
+        rng = self.rngs.get("sessions")
+        gap_us = float(rng.exponential(1e6 / churn.sessions_per_second))
+        when = self.sim.now + gap_us
+        if when > self.config.duration_us:
+            return
+        def fire() -> None:
+            self._open_session(when)
+            self._schedule_next_session()
+        self.sim.at(when, fire)
+
+    def _open_session(self, now_us: float) -> None:
+        churn = self.config.churn
+        stream_id = self._stream_counter
+        self._stream_counter += 1
+        self._live_sessions += 1
+        self.peak_concurrent_sessions = max(
+            self.peak_concurrent_sessions, self._live_sessions
+        )
+        rng = self.rngs.arrivals(stream_id)
+        lifetime = float(rng.exponential(churn.mean_lifetime_us))
+        process = PoissonArrivals(churn.per_stream_rate_pps, rng)
+        self._schedule_next_arrival(stream_id, process,
+                                    end_us=now_us + lifetime)
+
+    def _inject_packet(self, stream_id: int) -> None:
+        size = self.config.traffic.size_model.sample(self.rngs.sizes)
+        packet = Packet(
+            packet_id=self._packet_counter,
+            stream_id=stream_id,
+            arrival_us=self.sim.now,
+            size_bytes=size,
+        )
+        self._packet_counter += 1
+        self.metrics.on_arrival(packet)
+        self.dispatcher.on_arrival(packet)
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationSummary:
+        """Execute the configured horizon and return the summary.
+
+        Arrivals stop at the horizon; packets still queued or in service
+        at that point are reported in ``final_backlog`` (a growing final
+        backlog is the saturation signal used by capacity searches).
+        """
+        if self._ran:
+            raise RuntimeError("a NetworkProcessingSystem instance is single-use")
+        self._ran = True
+        self._start_arrivals()
+        self.sim.run_until(self.config.duration_us)
+        duration = self.config.duration_us
+        utilization = tuple(p.utilization(duration) for p in self.processors)
+        offered = self.config.traffic.total_rate_pps
+        if self.config.churn is not None:
+            offered += self.config.churn.offered_rate_pps
+        return self.metrics.summarize(
+            duration_us=duration,
+            utilization_per_proc=utilization,
+            offered_rate_pps=offered,
+        )
+
+
+def run_simulation(config: SystemConfig) -> SimulationSummary:
+    """Convenience wrapper: build and run in one call."""
+    return NetworkProcessingSystem(config).run()

@@ -1,0 +1,49 @@
+"""Traffic generation: arrival processes, packet trains, traffic specs."""
+
+from .arrivals import (
+    ArrivalBatch,
+    ArrivalProcess,
+    ArrivalSpec,
+    BatchPoissonArrivals,
+    BatchPoissonSpec,
+    DeterministicArrivals,
+    DeterministicSpec,
+    OnOffArrivals,
+    OnOffSpec,
+    PoissonArrivals,
+    PoissonSpec,
+)
+from .packet_train import PacketTrainArrivals, PacketTrainSpec
+from .replay import ReplayArrivals, ReplaySpec
+from .sessions import SessionChurnSpec
+from .traffic import (
+    GUSELLA_LAN_MIX,
+    EmpiricalMix,
+    FixedSize,
+    PacketSizeModel,
+    TrafficSpec,
+)
+
+__all__ = [
+    "ArrivalBatch",
+    "ArrivalProcess",
+    "ArrivalSpec",
+    "BatchPoissonArrivals",
+    "BatchPoissonSpec",
+    "DeterministicArrivals",
+    "DeterministicSpec",
+    "EmpiricalMix",
+    "FixedSize",
+    "GUSELLA_LAN_MIX",
+    "OnOffArrivals",
+    "OnOffSpec",
+    "PacketSizeModel",
+    "PacketTrainArrivals",
+    "PacketTrainSpec",
+    "PoissonArrivals",
+    "PoissonSpec",
+    "ReplayArrivals",
+    "ReplaySpec",
+    "SessionChurnSpec",
+    "TrafficSpec",
+]

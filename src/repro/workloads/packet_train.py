@@ -1,0 +1,119 @@
+"""Jain-Routhier packet-train arrival model [9].
+
+The paper lists, among the extensions under pursuit, "examining the
+performance of affinity-based scheduling as a function of stream
+burstiness and source locality, as captured by the Packet-Train model of
+[9]".  This module implements that model so the burstiness experiments can
+be driven by it (an *extension* experiment; the main results use Poisson).
+
+Model (Jain & Routhier, JSAC 1986): traffic on a stream consists of
+**trains**; a train is a sequence of **cars** (packets) separated by short
+inter-car gaps; trains are separated by much longer inter-train gaps.  We
+parameterize:
+
+- geometric train length with mean ``mean_train_len`` (support >= 1),
+- fixed (or exponential) inter-car gap ``inter_car_us``,
+- exponential inter-train gap with mean ``inter_train_us``.
+
+The long-run packet rate is
+``mean_train_len / (inter_train_us + (mean_train_len - 1) * inter_car_us)``
+packets/µs; :func:`PacketTrainSpec.for_rate` solves for the inter-train
+gap that achieves a target rate (so burstiness can be swept at constant
+offered load).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .arrivals import ArrivalBatch, ArrivalProcess, ArrivalSpec
+
+__all__ = ["PacketTrainArrivals", "PacketTrainSpec"]
+
+
+class PacketTrainArrivals(ArrivalProcess):
+    """Stateful packet-train sampler (one stream)."""
+
+    def __init__(self, mean_train_len: float, inter_car_us: float,
+                 inter_train_us: float, rng: np.random.Generator,
+                 exponential_car_gaps: bool = False) -> None:
+        if mean_train_len < 1.0:
+            raise ValueError("mean_train_len must be >= 1")
+        if inter_car_us < 0 or inter_train_us <= 0:
+            raise ValueError("need inter_car_us >= 0 and inter_train_us > 0")
+        self._p = 1.0 / mean_train_len
+        self._inter_car_us = inter_car_us
+        self._inter_train_us = inter_train_us
+        self._rng = rng
+        self._exp_car = exponential_car_gaps
+        self._cars_left = 0  # cars remaining in the current train
+
+    def next_batch(self) -> ArrivalBatch:
+        if self._cars_left > 0:
+            self._cars_left -= 1
+            gap = (
+                float(self._rng.exponential(self._inter_car_us))
+                if self._exp_car
+                else self._inter_car_us
+            )
+            return gap, 1
+        # Start a new train: exponential locomotive gap, geometric length.
+        train_len = int(self._rng.geometric(self._p))
+        self._cars_left = train_len - 1
+        return float(self._rng.exponential(self._inter_train_us)), 1
+
+
+@dataclass(frozen=True)
+class PacketTrainSpec(ArrivalSpec):
+    """Packet-train traffic parameterized by train shape and gaps."""
+
+    mean_train_len: float
+    inter_car_us: float
+    inter_train_us: float
+    exponential_car_gaps: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mean_train_len < 1.0:
+            raise ValueError("mean_train_len must be >= 1")
+        if self.inter_car_us < 0 or self.inter_train_us <= 0:
+            raise ValueError("need inter_car_us >= 0 and inter_train_us > 0")
+
+    def build(self, rng: np.random.Generator) -> PacketTrainArrivals:
+        return PacketTrainArrivals(
+            self.mean_train_len, self.inter_car_us, self.inter_train_us,
+            rng, self.exponential_car_gaps,
+        )
+
+    @property
+    def mean_rate_pps(self) -> float:
+        mean_cycle_us = (
+            self.inter_train_us + (self.mean_train_len - 1.0) * self.inter_car_us
+        )
+        return self.mean_train_len / mean_cycle_us * 1e6
+
+    @classmethod
+    def for_rate(cls, rate_pps: float, mean_train_len: float,
+                 inter_car_us: float,
+                 exponential_car_gaps: bool = False) -> "PacketTrainSpec":
+        """Solve the inter-train gap for a target long-run packet rate.
+
+        Raises if the requested rate is infeasible for the given train
+        shape (cars alone already exceed the target budget).
+        """
+        if rate_pps <= 0:
+            raise ValueError("rate_pps must be positive")
+        cycle_us = mean_train_len / rate_pps * 1e6
+        inter_train_us = cycle_us - (mean_train_len - 1.0) * inter_car_us
+        if inter_train_us <= 0:
+            raise ValueError(
+                f"rate {rate_pps} pps infeasible for trains of "
+                f"{mean_train_len} cars every {inter_car_us} us"
+            )
+        return cls(
+            mean_train_len=mean_train_len,
+            inter_car_us=inter_car_us,
+            inter_train_us=inter_train_us,
+            exponential_car_gaps=exponential_car_gaps,
+        )

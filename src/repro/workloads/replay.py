@@ -1,0 +1,93 @@
+"""Trace-replay arrivals: drive the simulator from recorded timestamps.
+
+The paper's experiments use synthetic processes, but a downstream user of
+this library will often have a packet trace (timestamps from a capture, a
+previous simulation, or a workload generator outside this package).
+:class:`ReplaySpec` wraps an array of arrival times as an arrival process,
+with optional looping (the trace repeats, shifted to preserve its internal
+spacing) and time scaling (replay the same trace at a hotter or cooler
+rate: ``time_scale=0.5`` replays twice as fast).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .arrivals import ArrivalBatch, ArrivalProcess, ArrivalSpec
+
+__all__ = ["ReplayArrivals", "ReplaySpec"]
+
+
+class ReplayArrivals(ArrivalProcess):
+    """Stateful replay of a (pre-scaled) timestamp trace."""
+
+    def __init__(self, times_us: np.ndarray, loop: bool) -> None:
+        self._times = times_us
+        self._loop = loop
+        # Gap inserted between cycles: the trace's mean inter-arrival.
+        self._cycle_pad = (
+            float(times_us[-1]) / max(1, len(times_us) - 1)
+        )
+        self._idx = 0
+        self._offset = 0.0
+        self._prev = 0.0
+
+    def next_batch(self) -> ArrivalBatch:
+        if self._idx >= len(self._times):
+            if not self._loop:
+                # Exhausted: push the "next" arrival beyond any horizon
+                # (callers bound arrivals by the simulation horizon).
+                return float("inf"), 1
+            self._offset += float(self._times[-1]) + self._cycle_pad
+            self._idx = 0
+        t = self._offset + float(self._times[self._idx])
+        self._idx += 1
+        gap = t - self._prev
+        self._prev = t
+        return gap, 1
+
+
+@dataclass(frozen=True)
+class ReplaySpec(ArrivalSpec):
+    """Replay recorded arrival times (µs, ascending, first > 0)."""
+
+    times_us: Tuple[float, ...]
+    loop: bool = True
+    time_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.times_us:
+            raise ValueError("times_us must be non-empty")
+        arr = np.asarray(self.times_us, dtype=np.float64)
+        if arr[0] <= 0:
+            raise ValueError("first arrival must be after time 0")
+        if np.any(np.diff(arr) < 0):
+            raise ValueError("times_us must be sorted ascending")
+        if self.time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+
+    @classmethod
+    def from_array(cls, times_us: Sequence[float], **kwargs) -> "ReplaySpec":
+        return cls(times_us=tuple(float(t) for t in times_us), **kwargs)
+
+    def _scaled(self) -> np.ndarray:
+        return np.asarray(self.times_us, dtype=np.float64) * self.time_scale
+
+    def build(self, rng: np.random.Generator) -> ReplayArrivals:
+        return ReplayArrivals(self._scaled(), self.loop)
+
+    @property
+    def mean_rate_pps(self) -> float:
+        """Long-run rate: arrivals per loop cycle (looped), or per trace
+        span (one-shot)."""
+        times = self._scaled()
+        span_us = float(times[-1])
+        if span_us <= 0:
+            return 0.0
+        if self.loop:
+            pad = span_us / max(1, len(times) - 1)
+            return len(times) / (span_us + pad) * 1e6
+        return len(times) / span_us * 1e6

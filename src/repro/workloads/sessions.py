@@ -1,0 +1,63 @@
+"""Dynamic stream population (session churn).
+
+The abstract claims affinity scheduling "enabl[es] the host to support a
+greater number of concurrent streams".  The main experiments hold the
+stream population fixed; this module models the population itself as a
+birth-death process so that claim can be tested directly:
+
+- new streams (connections) open as a Poisson process at
+  ``sessions_per_second``;
+- each lives for an exponential lifetime with mean ``mean_lifetime_us``;
+- while alive it sends Poisson packets at ``per_stream_rate_pps``.
+
+By Little's law the mean concurrent population is
+``sessions_per_second * mean_lifetime_us * 1e-6`` and the mean offered
+packet rate is population × per-stream rate — both exposed as properties
+so experiments can sweep "concurrent streams" directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SessionChurnSpec"]
+
+
+@dataclass(frozen=True)
+class SessionChurnSpec:
+    """Birth-death stream population riding on top of the base traffic."""
+
+    sessions_per_second: float
+    mean_lifetime_us: float
+    per_stream_rate_pps: float
+
+    def __post_init__(self) -> None:
+        if self.sessions_per_second <= 0:
+            raise ValueError("sessions_per_second must be positive")
+        if self.mean_lifetime_us <= 0:
+            raise ValueError("mean_lifetime_us must be positive")
+        if self.per_stream_rate_pps <= 0:
+            raise ValueError("per_stream_rate_pps must be positive")
+
+    @property
+    def mean_concurrent_sessions(self) -> float:
+        """Little's law: arrival rate x mean lifetime."""
+        return self.sessions_per_second * self.mean_lifetime_us * 1e-6
+
+    @property
+    def offered_rate_pps(self) -> float:
+        """Long-run mean packet rate contributed by the churning
+        population."""
+        return self.mean_concurrent_sessions * self.per_stream_rate_pps
+
+    @classmethod
+    def for_population(cls, mean_sessions: float, mean_lifetime_us: float,
+                       per_stream_rate_pps: float) -> "SessionChurnSpec":
+        """Construct by target mean concurrent population."""
+        if mean_sessions <= 0:
+            raise ValueError("mean_sessions must be positive")
+        return cls(
+            sessions_per_second=mean_sessions / (mean_lifetime_us * 1e-6),
+            mean_lifetime_us=mean_lifetime_us,
+            per_stream_rate_pps=per_stream_rate_pps,
+        )

@@ -1,0 +1,67 @@
+"""Simulated x-kernel protocol framework: the UDP/IP/FDDI receive path.
+
+A from-scratch reimplementation of the protocol-processing substrate the
+paper instruments: message buffers with header push/pop, a protocol-graph
+framework with sessions and demultiplexing, concrete FDDI/IP/UDP layers,
+an in-memory FDDI driver (the paper's own technique for out-running a real
+attachment), and stack builders for both the shared (Locking) and
+replicated (IPS) configurations.
+"""
+
+from .checksum import internet_checksum, pseudo_header_checksum, verify_checksum
+from .driver import InMemoryFDDIDriver, StreamEndpoint
+from .fddi import ETHERTYPE_IP, FDDI_HEADER_LEN, FDDI_MTU, FDDIProtocol, encode_fddi_header
+from .ip import IP_HEADER_LEN, IPPROTO_UDP, IPProtocol, encode_ip_header, ip_to_bytes
+from .message import Message, MessageError
+from .protocol import (
+    ChecksumError,
+    DemuxError,
+    LayerStats,
+    Protocol,
+    ProtocolError,
+    ProtocolGraph,
+    Session,
+    TruncatedHeaderError,
+)
+from .send import SendPath, SendSession, TransmitQueue, loopback
+from .stack import ReceiveFastPath, build_ips_stacks, build_receive_stack
+from .udp import UDP_HEADER_LEN, UDPProtocol, UDPSession, encode_udp_header
+
+__all__ = [
+    "ChecksumError",
+    "DemuxError",
+    "ETHERTYPE_IP",
+    "FDDIProtocol",
+    "FDDI_HEADER_LEN",
+    "FDDI_MTU",
+    "IPProtocol",
+    "IPPROTO_UDP",
+    "IP_HEADER_LEN",
+    "InMemoryFDDIDriver",
+    "LayerStats",
+    "Message",
+    "MessageError",
+    "Protocol",
+    "ProtocolError",
+    "ProtocolGraph",
+    "ReceiveFastPath",
+    "SendPath",
+    "SendSession",
+    "Session",
+    "StreamEndpoint",
+    "TransmitQueue",
+    "TruncatedHeaderError",
+    "UDPProtocol",
+    "UDPSession",
+    "UDP_HEADER_LEN",
+    "build_ips_stacks",
+    "build_receive_stack",
+    "encode_fddi_header",
+    "encode_ip_header",
+    "encode_udp_header",
+    "internet_checksum",
+    "loopback",
+    "ip_to_bytes",
+    "pseudo_header_checksum",
+    "verify_checksum",
+]

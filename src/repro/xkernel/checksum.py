@@ -1,0 +1,55 @@
+"""Internet checksum (RFC 1071), vectorized.
+
+The 16-bit one's-complement sum used by IP headers and (optionally) UDP.
+Implemented over NumPy for the data-touching benchmarks: summing 16-bit
+big-endian words with end-around carry folding, vectorized so the per-byte
+cost profile mirrors a tuned C implementation's (linear in size, no Python
+per-byte loop).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["internet_checksum", "verify_checksum", "pseudo_header_checksum"]
+
+
+def _ones_complement_sum(data: bytes) -> int:
+    """One's-complement 16-bit sum of a byte string (big-endian words)."""
+    buf = np.frombuffer(data, dtype=np.uint8)
+    if len(buf) % 2:
+        buf = np.concatenate([buf, np.zeros(1, dtype=np.uint8)])
+    # Big-endian 16-bit words: high byte first.
+    words = buf.reshape(-1, 2).astype(np.uint32)
+    total = int((words[:, 0] << 8).sum() + words[:, 1].sum())
+    # Fold carries until the sum fits in 16 bits.
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 checksum: complement of the one's-complement sum."""
+    return (~_ones_complement_sum(data)) & 0xFFFF
+
+
+def verify_checksum(data: bytes) -> bool:
+    """True iff ``data`` (including its embedded checksum field) verifies.
+
+    A correct RFC 1071 packet sums (with the checksum field in place) to
+    ``0xFFFF``, so the complement is zero.
+    """
+    return internet_checksum(data) == 0
+
+
+def pseudo_header_checksum(src_ip: bytes, dst_ip: bytes, protocol: int,
+                           length: int, payload: bytes) -> int:
+    """UDP/TCP checksum over the IPv4 pseudo header plus payload."""
+    if len(src_ip) != 4 or len(dst_ip) != 4:
+        raise ValueError("src_ip and dst_ip must be 4-byte IPv4 addresses")
+    if not (0 <= protocol <= 0xFF):
+        raise ValueError("protocol must fit in one byte")
+    if not (0 <= length <= 0xFFFF):
+        raise ValueError("length must fit in 16 bits")
+    pseudo = src_ip + dst_ip + bytes([0, protocol]) + length.to_bytes(2, "big")
+    return internet_checksum(pseudo + payload)

@@ -1,0 +1,131 @@
+"""In-memory FDDI driver.
+
+The paper: "We developed in-memory drivers (a technique also used in
+[13, 21]), since the Challenge's eight 100 MHz R4400 processors are
+together much faster than the single FDDI network attachment on our
+machine.  Data is not received from the actual FDDI network."
+
+This driver synthesizes complete, valid FDDI/IP/UDP frames for a set of
+simulated streams and hands them to the stack — the receive-side analogue
+of a network interface, without a network.  Each stream is a (source IP,
+source port, destination port) triple; payloads carry a 4-byte sequence
+number so sessions can detect reordering, followed by filler bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from .checksum import pseudo_header_checksum
+from .fddi import ETHERTYPE_IP, encode_fddi_header
+from .ip import encode_ip_header, ip_to_bytes
+from .udp import UDP_HEADER_LEN, encode_udp_header
+
+__all__ = ["StreamEndpoint", "InMemoryFDDIDriver"]
+
+
+@dataclass(frozen=True)
+class StreamEndpoint:
+    """Identity of one simulated traffic stream."""
+
+    src_ip: str
+    src_port: int
+    dst_port: int
+
+    def __post_init__(self) -> None:
+        ip_to_bytes(self.src_ip)  # validates
+        for name in ("src_port", "dst_port"):
+            v = getattr(self, name)
+            if not (0 <= v <= 0xFFFF):
+                raise ValueError(f"{name} must fit in 16 bits")
+
+
+class InMemoryFDDIDriver:
+    """Synthesizes inbound frames for a set of streams.
+
+    Parameters
+    ----------
+    local_mac / local_ip:
+        The receiving host's addresses (frames are addressed to them).
+    streams:
+        Stream endpoints; frame generation is per-stream with independent
+        sequence numbers.
+    compute_udp_checksum:
+        Fill in a correct UDP checksum (needed when the stack verifies
+        payload checksums; costs frame-build time, off by default).
+    """
+
+    def __init__(
+        self,
+        local_mac: bytes,
+        local_ip: str,
+        streams: List[StreamEndpoint],
+        compute_udp_checksum: bool = False,
+    ) -> None:
+        if len(local_mac) != 6:
+            raise ValueError("local_mac must be 6 bytes")
+        if not streams:
+            raise ValueError("need at least one stream")
+        ports = [s.dst_port for s in streams]
+        self.local_mac = bytes(local_mac)
+        self.local_ip = local_ip
+        self.local_ip_bytes = ip_to_bytes(local_ip)
+        self.streams = list(streams)
+        self.compute_udp_checksum = compute_udp_checksum
+        self._seq: List[int] = [0] * len(streams)
+        self._ident = 0
+        # Source MACs derived deterministically from the stream index.
+        self._src_macs = [
+            bytes([0x02, 0x00, 0x00, 0x00, (i >> 8) & 0xFF, i & 0xFF])
+            for i in range(len(streams))
+        ]
+
+    @property
+    def n_streams(self) -> int:
+        return len(self.streams)
+
+    def next_frame(self, stream_index: int, payload_bytes: int = 64) -> bytes:
+        """Build the next frame for a stream (sequence number advances)."""
+        if not (0 <= stream_index < len(self.streams)):
+            raise IndexError(f"stream index {stream_index} out of range")
+        if payload_bytes < 4:
+            raise ValueError("payload must hold the 4-byte sequence number")
+        ep = self.streams[stream_index]
+        seq = self._seq[stream_index]
+        self._seq[stream_index] = seq + 1
+        payload = seq.to_bytes(4, "big") + bytes((payload_bytes - 4) * [0xA5])
+
+        udp_len = UDP_HEADER_LEN + len(payload)
+        checksum = 0
+        if self.compute_udp_checksum:
+            src = ip_to_bytes(ep.src_ip)
+            datagram = encode_udp_header(ep.src_port, ep.dst_port,
+                                         len(payload), 0) + payload
+            checksum = pseudo_header_checksum(
+                src, self.local_ip_bytes, 17, udp_len, datagram
+            )
+            if checksum == 0:
+                checksum = 0xFFFF  # RFC 768: transmitted 0 means "none"
+        udp = encode_udp_header(ep.src_port, ep.dst_port, len(payload), checksum)
+
+        self._ident = (self._ident + 1) & 0xFFFF
+        ip = encode_ip_header(
+            ip_to_bytes(ep.src_ip), self.local_ip_bytes,
+            payload_len=udp_len, ident=self._ident,
+        )
+        mac = encode_fddi_header(self.local_mac, self._src_macs[stream_index],
+                                 ETHERTYPE_IP)
+        return mac + ip + udp + payload
+
+    def frames(self, schedule: Iterator[int], payload_bytes: int = 64) -> Iterator[bytes]:
+        """Frames following a stream-index schedule (e.g. round robin)."""
+        for idx in schedule:
+            yield self.next_frame(idx, payload_bytes)
+
+    def round_robin(self, n_frames: int, payload_bytes: int = 64) -> List[bytes]:
+        """Convenience: ``n_frames`` frames cycling through the streams."""
+        return [
+            self.next_frame(i % self.n_streams, payload_bytes)
+            for i in range(n_frames)
+        ]

@@ -1,0 +1,107 @@
+"""FDDI MAC layer (receive-side fast path).
+
+The paper's platform terminates an FDDI ring; its in-memory driver hands
+MAC frames to this layer.  We implement the subset the receive fast path
+touches:
+
+- frame control byte (LLC frames: ``0x50``),
+- 6-byte destination and source MAC addresses,
+- an 802.2 LLC/SNAP header carrying the EtherType (``0x0800`` for IP),
+
+with a maximum frame payload sized so a maximal 4432-byte UDP payload
+(the paper's "largest possible FDDI packets, each with 4432 bytes of
+data") fits under the FDDI MTU.
+
+The MAC-level FCS is assumed stripped/verified by the adapter (as on real
+FDDI hardware), so the host-software path — the thing being modelled —
+does not touch it.
+"""
+
+from __future__ import annotations
+
+from .message import Message
+from .protocol import DemuxError, Protocol, ProtocolError, Session, TruncatedHeaderError
+
+__all__ = [
+    "FDDI_HEADER_LEN",
+    "FDDI_MTU",
+    "ETHERTYPE_IP",
+    "LLC_FRAME_CONTROL",
+    "FDDIProtocol",
+    "encode_fddi_header",
+]
+
+#: frame control (1) + dst (6) + src (6) + LLC/SNAP (8) = 21 bytes.
+FDDI_HEADER_LEN = 21
+#: FDDI maximum frame size is 4500 bytes including MAC overhead; the
+#: payload MTU available above the MAC+LLC is 4479 here — comfortably
+#: above IP(20) + UDP(8) + 4432 payload = 4460.
+FDDI_MTU = 4479
+ETHERTYPE_IP = 0x0800
+LLC_FRAME_CONTROL = 0x50
+_SNAP_LLC = bytes([0xAA, 0xAA, 0x03, 0x00, 0x00, 0x00])  # DSAP,SSAP,CTRL,OUI
+
+
+def encode_fddi_header(dst_mac: bytes, src_mac: bytes,
+                       ethertype: int = ETHERTYPE_IP) -> bytes:
+    """Build the 21-byte MAC+LLC/SNAP header."""
+    if len(dst_mac) != 6 or len(src_mac) != 6:
+        raise ValueError("MAC addresses must be 6 bytes")
+    if not (0 <= ethertype <= 0xFFFF):
+        raise ValueError("ethertype must fit in 16 bits")
+    return (
+        bytes([LLC_FRAME_CONTROL])
+        + dst_mac
+        + src_mac
+        + _SNAP_LLC
+        + ethertype.to_bytes(2, "big")
+    )
+
+
+class FDDIProtocol(Protocol):
+    """FDDI receive processing: address filter + EtherType demux."""
+
+    name = "fddi"
+
+    def __init__(self, local_mac: bytes, accept_broadcast: bool = True) -> None:
+        super().__init__()
+        if len(local_mac) != 6:
+            raise ValueError("local_mac must be 6 bytes")
+        self.local_mac = bytes(local_mac)
+        self.accept_broadcast = accept_broadcast
+        self._upper: dict[int, Protocol] = {}
+
+    def register_upper(self, ethertype: int, protocol: Protocol) -> None:
+        """Attach an upper-layer protocol for an EtherType."""
+        if not (0 <= ethertype <= 0xFFFF):
+            raise ValueError("ethertype must fit in 16 bits")
+        self._upper[ethertype] = protocol
+
+    def receive(self, msg: Message) -> Session:
+        if len(msg) < FDDI_HEADER_LEN:
+            self._dropped()
+            raise TruncatedHeaderError(f"frame of {len(msg)} bytes")
+        if len(msg) > FDDI_HEADER_LEN + FDDI_MTU:
+            self._dropped()
+            raise ProtocolError(f"frame exceeds FDDI MTU: {len(msg)}")
+        header = msg.pop(FDDI_HEADER_LEN)
+        if header[0] != LLC_FRAME_CONTROL:
+            self._dropped()
+            raise ProtocolError(f"unsupported frame control 0x{header[0]:02x}")
+        dst = header[1:7]
+        if dst != self.local_mac and not (
+            self.accept_broadcast and dst == b"\xff" * 6
+        ):
+            self._dropped()
+            raise DemuxError("frame not addressed to this station")
+        # layout: FC[0], dst[1:7], src[7:13], LLC/SNAP[13:19], type[19:21]
+        if header[13:19] != _SNAP_LLC:
+            self._dropped()
+            raise ProtocolError("non-SNAP LLC frame on fast path")
+        ethertype = int.from_bytes(header[19:21], "big")
+        upper = self._upper.get(ethertype)
+        if upper is None:
+            self._dropped()
+            raise DemuxError(f"no upper protocol for ethertype 0x{ethertype:04x}")
+        self._delivered(len(msg))
+        return upper.receive(msg)

@@ -1,0 +1,128 @@
+"""IPv4 layer (receive-side fast path).
+
+Implements the checks the x-kernel's IP receive fast path performs on an
+unfragmented datagram: version/IHL validation, header checksum, total
+length consistency, fragment rejection (slow path, not modelled), TTL
+sanity, local-address filter, and protocol demux (UDP on the fast path).
+
+Header layout (20 bytes, no options on the fast path)::
+
+    0: version(4) | IHL(4)        1: TOS
+    2-3: total length             4-5: identification
+    6-7: flags(3) | frag offset   8: TTL       9: protocol
+    10-11: header checksum        12-15: src   16-19: dst
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict
+
+from .checksum import internet_checksum, verify_checksum
+from .message import Message
+from .protocol import (
+    ChecksumError,
+    DemuxError,
+    Protocol,
+    ProtocolError,
+    Session,
+    TruncatedHeaderError,
+)
+
+__all__ = [
+    "IP_HEADER_LEN",
+    "IPPROTO_UDP",
+    "IPProtocol",
+    "encode_ip_header",
+    "ip_to_bytes",
+]
+
+IP_HEADER_LEN = 20
+IPPROTO_UDP = 17
+_HDR = struct.Struct("!BBHHHBBH4s4s")
+
+
+def ip_to_bytes(dotted: str) -> bytes:
+    """``"10.0.0.1"`` -> 4 raw bytes."""
+    parts = dotted.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not an IPv4 address: {dotted!r}")
+    values = [int(p) for p in parts]
+    if any(not (0 <= v <= 255) for v in values):
+        raise ValueError(f"octet out of range in {dotted!r}")
+    return bytes(values)
+
+
+def encode_ip_header(src: bytes, dst: bytes, payload_len: int,
+                     protocol: int = IPPROTO_UDP, ttl: int = 64,
+                     ident: int = 0) -> bytes:
+    """Build a checksummed 20-byte IPv4 header."""
+    if len(src) != 4 or len(dst) != 4:
+        raise ValueError("src/dst must be 4-byte addresses")
+    total_len = IP_HEADER_LEN + payload_len
+    if total_len > 0xFFFF:
+        raise ValueError(f"datagram too large: {total_len}")
+    raw = _HDR.pack(0x45, 0, total_len, ident, 0, ttl, protocol, 0, src, dst)
+    csum = internet_checksum(raw)
+    return raw[:10] + csum.to_bytes(2, "big") + raw[12:]
+
+
+class IPProtocol(Protocol):
+    """IPv4 receive fast path."""
+
+    name = "ip"
+
+    def __init__(self, local_ip: bytes, verify_header_checksum: bool = True) -> None:
+        super().__init__()
+        if len(local_ip) != 4:
+            raise ValueError("local_ip must be 4 bytes")
+        self.local_ip = bytes(local_ip)
+        self.verify_header_checksum = verify_header_checksum
+        self._upper: Dict[int, Protocol] = {}
+
+    def register_upper(self, ip_protocol: int, protocol: Protocol) -> None:
+        if not (0 <= ip_protocol <= 0xFF):
+            raise ValueError("ip protocol number must fit one byte")
+        self._upper[ip_protocol] = protocol
+
+    def receive(self, msg: Message) -> Session:
+        if len(msg) < IP_HEADER_LEN:
+            self._dropped()
+            raise TruncatedHeaderError(f"IP datagram of {len(msg)} bytes")
+        header = msg.peek(IP_HEADER_LEN)
+        version_ihl = header[0]
+        if version_ihl != 0x45:
+            self._dropped()
+            raise ProtocolError(
+                f"fast path handles version 4 / IHL 5 only, got 0x{version_ihl:02x}"
+            )
+        if self.verify_header_checksum and not verify_checksum(header):
+            self._dropped()
+            raise ChecksumError("IP header checksum mismatch")
+        total_len = int.from_bytes(header[2:4], "big")
+        if total_len < IP_HEADER_LEN or total_len > len(msg):
+            self._dropped()
+            raise ProtocolError(
+                f"IP total length {total_len} inconsistent with frame ({len(msg)})"
+            )
+        flags_frag = int.from_bytes(header[6:8], "big")
+        if flags_frag & 0x3FFF:  # fragment offset or MF bit
+            self._dropped()
+            raise ProtocolError("fragmented datagram (slow path, unsupported)")
+        if header[8] == 0:
+            self._dropped()
+            raise ProtocolError("TTL expired")
+        if header[16:20] != self.local_ip:
+            self._dropped()
+            raise DemuxError("datagram not addressed to this host")
+        upper = self._upper.get(header[9])
+        if upper is None:
+            self._dropped()
+            raise DemuxError(f"no upper protocol for IP proto {header[9]}")
+        msg.pop(IP_HEADER_LEN)
+        msg.truncate(total_len - IP_HEADER_LEN)  # strip any link padding
+        self._delivered(len(msg))
+        receive_from = getattr(upper, "receive_from", None)
+        if receive_from is not None:
+            return receive_from(msg, src_ip=header[12:16])
+        return upper.receive(msg)

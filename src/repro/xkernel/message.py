@@ -1,0 +1,95 @@
+"""x-kernel style message buffers.
+
+The x-kernel [8, 15] threads a *message* object through the protocol
+graph; each layer strips (pops) its header on the receive path and
+prepends (pushes) one on the send path.  This implementation keeps the
+payload in a single ``bytearray`` with headroom so pushes and pops are
+O(header) and never copy the payload — the same design motivation as the
+original's directed-acyclic message structure, scaled down to what the
+fast path needs.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Message", "MessageError"]
+
+
+class MessageError(ValueError):
+    """Malformed message operation (under/overflow)."""
+
+
+class Message:
+    """A network message with cheap header push/pop.
+
+    Parameters
+    ----------
+    payload:
+        Initial contents (the innermost payload on the send path, or the
+        full frame on the receive path).
+    headroom:
+        Bytes reserved in front for future pushes without reallocation.
+    """
+
+    __slots__ = ("_buf", "_head", "_tail")
+
+    def __init__(self, payload: bytes = b"", headroom: int = 64) -> None:
+        if headroom < 0:
+            raise MessageError("headroom must be non-negative")
+        self._buf = bytearray(headroom) + bytearray(payload)
+        self._head = headroom
+        self._tail = len(self._buf)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._tail - self._head
+
+    def __bytes__(self) -> bytes:
+        return bytes(self._buf[self._head : self._tail])
+
+    @property
+    def data(self) -> memoryview:
+        """Zero-copy view of the current contents."""
+        return memoryview(self._buf)[self._head : self._tail]
+
+    # ------------------------------------------------------------------
+    def push(self, header: bytes) -> None:
+        """Prepend a header (send path / encapsulation)."""
+        n = len(header)
+        if n > self._head:
+            # Grow headroom geometrically; rare in steady state.
+            grow = max(n - self._head, len(self._buf), 64)
+            self._buf = bytearray(grow) + self._buf
+            self._head += grow
+            self._tail += grow
+        self._head -= n
+        self._buf[self._head : self._head + n] = header
+
+    def pop(self, n: int) -> bytes:
+        """Strip and return ``n`` bytes from the front (receive path)."""
+        if n < 0:
+            raise MessageError("cannot pop a negative count")
+        if n > len(self):
+            raise MessageError(f"pop of {n} bytes from a {len(self)}-byte message")
+        out = bytes(self._buf[self._head : self._head + n])
+        self._head += n
+        return out
+
+    def peek(self, n: int) -> bytes:
+        """Return the first ``n`` bytes without consuming them."""
+        if n < 0 or n > len(self):
+            raise MessageError(f"peek of {n} bytes from a {len(self)}-byte message")
+        return bytes(self._buf[self._head : self._head + n])
+
+    def truncate(self, length: int) -> None:
+        """Drop trailing bytes beyond ``length`` (e.g. strip a trailer)."""
+        if length < 0 or length > len(self):
+            raise MessageError(f"truncate to {length} of {len(self)} bytes")
+        self._tail = self._head + length
+
+    def clone(self) -> "Message":
+        """Independent copy (for fan-out delivery)."""
+        m = Message.__new__(Message)
+        m._buf = bytearray(self._buf)
+        m._head = self._head
+        m._tail = self._tail
+        return m

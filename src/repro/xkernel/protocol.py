@@ -1,0 +1,131 @@
+"""x-kernel protocol-graph framework.
+
+A slim reimplementation of the x-kernel's [8, 15] organizing abstractions
+for the receive-side fast path:
+
+- :class:`Protocol` — a layer in the protocol graph.  On receive it parses
+  and strips its header from the :class:`~repro.xkernel.message.Message`,
+  *demultiplexes* to an upper protocol or session, and passes the message
+  up.
+- :class:`Session` — an open communication endpoint holding per-connection
+  state (the "stream state" footprint component of the model).  Created by
+  a protocol's demux on an active key.
+- :class:`ProtocolGraph` — the composed stack with per-layer counters.
+
+Errors on the fast path (bad checksum, unknown demux key, truncated
+header) raise :class:`ProtocolError` subclasses, and the per-layer drop
+counters record them — matching how protocol implementations account
+discard paths.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Hashable, List
+
+from .message import Message
+
+__all__ = [
+    "ProtocolError",
+    "DemuxError",
+    "ChecksumError",
+    "TruncatedHeaderError",
+    "LayerStats",
+    "Session",
+    "Protocol",
+    "ProtocolGraph",
+]
+
+
+class ProtocolError(Exception):
+    """Base for receive-path processing failures."""
+
+
+class DemuxError(ProtocolError):
+    """No session/upper protocol for the demux key."""
+
+
+class ChecksumError(ProtocolError):
+    """Header or payload checksum verification failed."""
+
+
+class TruncatedHeaderError(ProtocolError):
+    """Message shorter than the layer's header."""
+
+
+@dataclass
+class LayerStats:
+    """Per-layer receive counters."""
+
+    delivered: int = 0
+    dropped: int = 0
+    bytes_in: int = 0
+
+    def record_delivery(self, n_bytes: int) -> None:
+        self.delivered += 1
+        self.bytes_in += n_bytes
+
+    def record_drop(self) -> None:
+        self.dropped += 1
+
+
+class Session:
+    """An open endpoint with per-connection state.
+
+    Subclasses extend :meth:`deliver`; the base maintains the counters
+    that constitute the mutable stream state the affinity model tracks.
+    """
+
+    def __init__(self, key: Hashable, protocol: "Protocol") -> None:
+        self.key = key
+        self.protocol = protocol
+        self.packets_received = 0
+        self.bytes_received = 0
+        self.last_payload_len = 0
+
+    def deliver(self, msg: Message) -> None:
+        """Consume a message destined for this session."""
+        self.packets_received += 1
+        n = len(msg)
+        self.bytes_received += n
+        self.last_payload_len = n
+
+
+class Protocol(ABC):
+    """One layer of the receive-side protocol graph."""
+
+    name: str = "protocol"
+
+    def __init__(self) -> None:
+        self.stats = LayerStats()
+
+    @abstractmethod
+    def receive(self, msg: Message) -> Session:
+        """Process one inbound message: strip header, demux, pass up.
+
+        Returns the terminal :class:`Session` that consumed the message
+        (for instrumentation); raises :class:`ProtocolError` on the drop
+        path.
+        """
+
+    def _delivered(self, n_bytes: int) -> None:
+        self.stats.record_delivery(n_bytes)
+
+    def _dropped(self) -> None:
+        self.stats.record_drop()
+
+
+class ProtocolGraph:
+    """The composed stack: an ordered list of layers, bottom first."""
+
+    def __init__(self, bottom: Protocol, layers: List[Protocol]) -> None:
+        self.bottom = bottom
+        self.layers = layers  # includes bottom, for reporting
+
+    def receive(self, frame: bytes, headroom: int = 0) -> Session:
+        """Run one raw frame up the stack; returns the consuming session."""
+        return self.bottom.receive(Message(frame, headroom=headroom))
+
+    def stats_by_layer(self) -> Dict[str, LayerStats]:
+        return {layer.name: layer.stats for layer in self.layers}

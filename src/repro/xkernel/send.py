@@ -1,0 +1,199 @@
+"""Send-side UDP/IP/FDDI fast path (the paper's extension (i)).
+
+The paper's results cover the receive side; its stated extensions include
+"(i) evaluating affinity-based scheduling of send-side UDP/IP/FDDI
+processing".  This module provides the send-side substrate: each layer
+*pushes* its header onto the message travelling down the graph —
+
+    application payload
+      -> UDP header (optional pseudo-header checksum)
+      -> IP header (checksummed, fragmented never: fast path only)
+      -> FDDI MAC + LLC/SNAP header
+      -> transmit queue of the in-memory driver
+
+A :class:`SendPath` bundles the layers and a transmit-capture driver;
+:func:`loopback` wires a send path to a receive path so tests and examples
+can validate full round trips (what goes down one stack comes up the
+other bit-identically).
+
+Affinity-wise the send side is symmetric to the receive side — the same
+code/stream/thread footprint components, so the simulator models it with
+the same :class:`~repro.core.exec_model.ExecutionTimeModel`; see the E15
+ablation experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .checksum import pseudo_header_checksum
+from .fddi import ETHERTYPE_IP, FDDI_HEADER_LEN, FDDI_MTU, encode_fddi_header
+from .ip import IP_HEADER_LEN, IPPROTO_UDP, encode_ip_header, ip_to_bytes
+from .message import Message
+from .protocol import ProtocolError
+from .udp import UDP_HEADER_LEN, encode_udp_header
+
+__all__ = ["TransmitQueue", "SendSession", "SendPath", "loopback"]
+
+#: Payload ceiling so the frame fits the FDDI MTU.
+MAX_SEND_PAYLOAD = FDDI_MTU - IP_HEADER_LEN - UDP_HEADER_LEN
+
+
+class TransmitQueue:
+    """Driver-side capture of outbound frames (the in-memory analogue of a
+    transmit ring)."""
+
+    def __init__(self, capacity: int = 0) -> None:
+        """``capacity`` of 0 means unbounded; otherwise sends beyond the
+        capacity raise (models transmit-ring exhaustion)."""
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self.frames: List[bytes] = []
+        self.bytes_queued = 0
+
+    def enqueue(self, frame: bytes) -> None:
+        if self.capacity and len(self.frames) >= self.capacity:
+            raise ProtocolError(
+                f"transmit queue full ({self.capacity} frames)"
+            )
+        self.frames.append(frame)
+        self.bytes_queued += len(frame)
+
+    def drain(self) -> List[bytes]:
+        """Take all queued frames (the 'NIC' transmitting them)."""
+        out = self.frames
+        self.frames = []
+        return out
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+
+@dataclass
+class SendSession:
+    """One open outbound UDP flow: fixed 5-tuple, per-send sequence."""
+
+    local_ip: str
+    local_port: int
+    remote_ip: str
+    remote_port: int
+    packets_sent: int = 0
+    bytes_sent: int = 0
+    _next_seq: int = 0
+
+    def stamp_sequence(self, payload: bytes) -> bytes:
+        """Prefix the 4-byte application sequence number (the synthetic
+        workload convention the receive side checks)."""
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        return seq.to_bytes(4, "big") + payload
+
+
+class SendPath:
+    """The UDP/IP/FDDI encapsulation path for one host."""
+
+    def __init__(
+        self,
+        local_mac: bytes,
+        local_ip: str,
+        remote_mac: bytes,
+        compute_udp_checksum: bool = True,
+        transmit_capacity: int = 0,
+    ) -> None:
+        if len(local_mac) != 6 or len(remote_mac) != 6:
+            raise ValueError("MAC addresses must be 6 bytes")
+        self.local_mac = bytes(local_mac)
+        self.local_ip = local_ip
+        self.local_ip_bytes = ip_to_bytes(local_ip)
+        self.remote_mac = bytes(remote_mac)
+        self.compute_udp_checksum = compute_udp_checksum
+        self.queue = TransmitQueue(transmit_capacity)
+        self._sessions: Dict[Tuple[int, str, int], SendSession] = {}
+        self._ident = 0
+
+    # ------------------------------------------------------------------
+    def open_session(self, local_port: int, remote_ip: str,
+                     remote_port: int) -> SendSession:
+        """Open (or return) the outbound flow for a 5-tuple."""
+        ip_to_bytes(remote_ip)  # validate
+        for name, v in (("local_port", local_port), ("remote_port", remote_port)):
+            if not (0 <= v <= 0xFFFF):
+                raise ValueError(f"{name} must fit in 16 bits")
+        key = (local_port, remote_ip, remote_port)
+        if key not in self._sessions:
+            self._sessions[key] = SendSession(
+                local_ip=self.local_ip, local_port=local_port,
+                remote_ip=remote_ip, remote_port=remote_port,
+            )
+        return self._sessions[key]
+
+    @property
+    def n_sessions(self) -> int:
+        return len(self._sessions)
+
+    # ------------------------------------------------------------------
+    def send(self, session: SendSession, payload: bytes,
+             stamp_sequence: bool = True) -> bytes:
+        """Encapsulate one datagram down the stack; returns the frame.
+
+        The frame is also placed on the transmit queue.  Raises
+        :class:`ProtocolError` for payloads that cannot fit the FDDI MTU.
+        """
+        if stamp_sequence:
+            payload = session.stamp_sequence(payload)
+        if len(payload) > MAX_SEND_PAYLOAD:
+            raise ProtocolError(
+                f"payload of {len(payload)} bytes exceeds the "
+                f"{MAX_SEND_PAYLOAD}-byte send MTU (no fragmentation on "
+                "the fast path)"
+            )
+        msg = Message(payload, headroom=FDDI_HEADER_LEN + IP_HEADER_LEN
+                      + UDP_HEADER_LEN)
+
+        # UDP layer.
+        udp_len = UDP_HEADER_LEN + len(payload)
+        checksum = 0
+        if self.compute_udp_checksum:
+            datagram = encode_udp_header(
+                session.local_port, session.remote_port, len(payload), 0
+            ) + payload
+            checksum = pseudo_header_checksum(
+                self.local_ip_bytes, ip_to_bytes(session.remote_ip),
+                IPPROTO_UDP, udp_len, datagram,
+            )
+            if checksum == 0:
+                checksum = 0xFFFF  # RFC 768: 0 on the wire means "none"
+        msg.push(encode_udp_header(session.local_port, session.remote_port,
+                                   len(payload), checksum))
+
+        # IP layer.
+        self._ident = (self._ident + 1) & 0xFFFF
+        msg.push(encode_ip_header(
+            self.local_ip_bytes, ip_to_bytes(session.remote_ip),
+            payload_len=len(msg), ident=self._ident,
+        ))
+
+        # FDDI MAC layer.
+        msg.push(encode_fddi_header(self.remote_mac, self.local_mac,
+                                    ETHERTYPE_IP))
+
+        frame = bytes(msg)
+        self.queue.enqueue(frame)
+        session.packets_sent += 1
+        session.bytes_sent += len(payload)
+        return frame
+
+
+def loopback(send_path: SendPath, receive_fast_path) -> int:
+    """Transmit every queued frame into a receive stack; returns count.
+
+    The receive stack must be addressed as the send path's remote (same
+    MAC the frames carry, matching IP/ports).  Raises on any receive-side
+    drop — a loopback must be lossless.
+    """
+    frames = send_path.queue.drain()
+    for frame in frames:
+        receive_fast_path.graph.receive(frame)
+    return len(frames)

@@ -1,0 +1,102 @@
+"""Tests for the closed-form queueing validation formulas."""
+
+import pytest
+
+from repro.analysis.mg1 import (
+    erlang_c,
+    md1_mean_delay,
+    mg1_mean_delay,
+    mm1_mean_delay,
+    mmc_mean_delay,
+)
+
+
+class TestMM1:
+    def test_known_value(self):
+        # lambda=0.5, mu=1 -> W = 1/(1-0.5) = 2.
+        assert mm1_mean_delay(0.5, 1.0) == pytest.approx(2.0)
+
+    def test_blows_up_near_saturation(self):
+        assert mm1_mean_delay(0.99, 1.0) > 50.0
+
+    def test_stability_enforced(self):
+        with pytest.raises(ValueError):
+            mm1_mean_delay(1.0, 1.0)
+        with pytest.raises(ValueError):
+            mm1_mean_delay(2.0, 1.0)
+
+
+class TestMD1:
+    def test_known_value(self):
+        # rho=0.5, s=1: W = 1 + 0.5/(2*0.5) = 1.5.
+        assert md1_mean_delay(0.5, 1.0) == pytest.approx(1.5)
+
+    def test_half_the_mm1_waiting(self):
+        # M/D/1 waiting time is half of M/M/1's at equal rho.
+        lam, mu = 0.8, 1.0
+        wait_md1 = md1_mean_delay(lam, 1.0 / mu) - 1.0 / mu
+        wait_mm1 = mm1_mean_delay(lam, mu) - 1.0 / mu
+        assert wait_md1 == pytest.approx(wait_mm1 / 2.0)
+
+    def test_zero_load(self):
+        assert md1_mean_delay(0.0, 5.0) == pytest.approx(5.0)
+
+
+class TestMG1:
+    def test_reduces_to_md1_for_deterministic(self):
+        s = 2.0
+        assert mg1_mean_delay(0.3, s, s * s) == pytest.approx(md1_mean_delay(0.3, s))
+
+    def test_reduces_to_mm1_for_exponential(self):
+        # Exponential: E[S^2] = 2 E[S]^2.
+        lam, mu = 0.6, 1.0
+        assert mg1_mean_delay(lam, 1.0 / mu, 2.0 / mu**2) == pytest.approx(
+            mm1_mean_delay(lam, mu)
+        )
+
+    def test_variance_inflates_delay(self):
+        s = 1.0
+        low = mg1_mean_delay(0.7, s, s * s)
+        high = mg1_mean_delay(0.7, s, 4.0 * s * s)
+        assert high > low
+
+    def test_second_moment_validated(self):
+        with pytest.raises(ValueError):
+            mg1_mean_delay(0.1, 2.0, 1.0)
+
+
+class TestErlangC:
+    def test_single_server_equals_rho(self):
+        # C(1, a) = a for M/M/1.
+        assert erlang_c(1, 0.6) == pytest.approx(0.6)
+
+    def test_zero_load(self):
+        assert erlang_c(4, 0.0) == 0.0
+
+    def test_monotone_in_load(self):
+        assert erlang_c(4, 3.5) > erlang_c(4, 1.0)
+
+    def test_in_unit_interval(self):
+        for a in (0.5, 2.0, 3.9):
+            assert 0.0 <= erlang_c(4, a) <= 1.0
+
+    def test_stability_enforced(self):
+        with pytest.raises(ValueError):
+            erlang_c(4, 4.0)
+        with pytest.raises(ValueError):
+            erlang_c(0, 0.5)
+
+
+class TestMMC:
+    def test_reduces_to_mm1(self):
+        assert mmc_mean_delay(0.5, 1.0, 1) == pytest.approx(mm1_mean_delay(0.5, 1.0))
+
+    def test_pooling_beats_split_servers(self):
+        # M/M/4 at rho=0.7 beats an M/M/1 at the same per-server load.
+        mu = 1.0
+        w4 = mmc_mean_delay(2.8, mu, 4)
+        w1 = mmc_mean_delay(0.7, mu, 1)
+        assert w4 < w1
+
+    def test_approaches_service_time_at_light_load(self):
+        assert mmc_mean_delay(0.01, 1.0, 8) == pytest.approx(1.0, rel=1e-3)

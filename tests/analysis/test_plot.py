@@ -1,0 +1,74 @@
+"""Tests for text plotting."""
+
+import math
+
+import pytest
+
+from repro.analysis.plot import ascii_plot, sparkline
+
+
+class TestSparkline:
+    def test_monotone_series_monotone_blocks(self):
+        s = sparkline([1.0, 2.0, 3.0, 4.0])
+        assert len(s) == 4
+        assert list(s) == sorted(s, key=lambda c: " ▁▂▃▄▅▆▇█".index(c))
+
+    def test_constant_series(self):
+        s = sparkline([5.0, 5.0, 5.0])
+        assert len(set(s)) == 1
+
+    def test_nonfinite_rendered_as_dot(self):
+        s = sparkline([1.0, math.inf, 2.0, None])
+        assert s[1] == "·" and s[3] == "·"
+
+    def test_all_nonfinite(self):
+        assert sparkline([math.nan, math.inf]) == "··"
+
+
+class TestAsciiPlot:
+    def test_contains_marks_and_legend(self):
+        out = ascii_plot([1, 2, 3], {"a": [10.0, 20.0, 30.0],
+                                     "b": [30.0, 20.0, 10.0]})
+        assert "o=a" in out and "x=b" in out
+        assert "o" in out and "x" in out
+
+    def test_axis_labels(self):
+        out = ascii_plot([1, 2], {"y": [1.0, 2.0]}, x_label="rate",
+                         y_label="delay")
+        assert "(rate)" in out
+        assert "delay:" in out
+
+    def test_infinite_values_clipped_as_caret(self):
+        out = ascii_plot([1, 2, 3], {"y": [1.0, 2.0, math.inf]})
+        assert "^" in out
+
+    def test_title_first_line(self):
+        out = ascii_plot([1, 2], {"y": [1.0, 2.0]}, title="The Title")
+        assert out.splitlines()[0] == "The Title"
+
+    def test_log_x_marker(self):
+        out = ascii_plot([10, 100, 1000], {"y": [1.0, 2.0, 3.0]}, logx=True)
+        assert "log" in out
+
+    def test_y_range_printed(self):
+        out = ascii_plot([1, 2], {"y": [5.0, 15.0]})
+        assert "15" in out and "5" in out
+
+    def test_constant_series_centred(self):
+        out = ascii_plot([1, 2, 3], {"y": [7.0, 7.0, 7.0]})
+        assert "o" in out
+
+    def test_empty_x(self):
+        assert ascii_plot([], {"y": []}) == "(no data)"
+
+    def test_no_finite_data(self):
+        assert "(no finite data)" in ascii_plot([1], {"y": [math.inf]})
+
+    def test_grid_size_validated(self):
+        with pytest.raises(ValueError):
+            ascii_plot([1], {"y": [1.0]}, width=4)
+
+    def test_row_count_matches_height(self):
+        out = ascii_plot([1, 2], {"y": [1.0, 2.0]}, height=10)
+        plot_rows = [l for l in out.splitlines() if "|" in l]
+        assert len(plot_rows) == 10

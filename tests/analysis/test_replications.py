@@ -1,0 +1,87 @@
+"""Tests for independent replications and paired comparisons."""
+
+import pytest
+
+from repro.analysis.replications import paired_comparison, replicate
+from repro.workloads.traffic import TrafficSpec
+
+from ..conftest import fast_config
+
+
+def small_config(**overrides):
+    return fast_config(
+        traffic=TrafficSpec.homogeneous_poisson(4, 8_000.0),
+        duration_us=80_000, warmup_us=10_000, **overrides,
+    )
+
+
+class TestReplicate:
+    def test_runs_requested_replications(self):
+        r = replicate(small_config(), n_replications=3)
+        assert r.n_replications == 3
+        assert len(r.per_run_means) == 3
+
+    def test_ci_contains_mean(self):
+        r = replicate(small_config(), n_replications=4)
+        assert r.ci_us[0] <= r.mean_delay_us <= r.ci_us[1]
+
+    def test_different_seeds_give_different_means(self):
+        r = replicate(small_config(), n_replications=3)
+        assert len(set(r.per_run_means)) == 3
+
+    def test_deterministic_given_base_seed(self):
+        a = replicate(small_config(), n_replications=2, base_seed=77)
+        b = replicate(small_config(), n_replications=2, base_seed=77)
+        assert a.per_run_means == b.per_run_means
+
+    def test_custom_metric(self):
+        r = replicate(small_config(), n_replications=2,
+                      metric=lambda s: s.mean_exec_us)
+        assert all(150.0 < m < 300.0 for m in r.per_run_means)
+
+    def test_relative_half_width(self):
+        r = replicate(small_config(), n_replications=4)
+        assert 0.0 <= r.relative_half_width < 1.0
+
+    def test_single_replication_zero_width(self):
+        r = replicate(small_config(), n_replications=1)
+        assert r.half_width_us == 0.0
+
+    def test_stability_flag(self):
+        r = replicate(small_config(), n_replications=2)
+        assert r.all_stable
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            replicate(small_config(), n_replications=0)
+
+
+class TestPairedComparison:
+    def test_affinity_significantly_better_than_baseline(self):
+        cmp = paired_comparison(
+            small_config(policy="fcfs"),
+            small_config(policy="stream-mru"),
+            n_replications=4,
+        )
+        # fcfs minus affinity: positive difference, CI excludes zero.
+        assert cmp.mean_difference_us > 0
+        assert cmp.significant
+
+    def test_identical_configs_not_significant(self):
+        cmp = paired_comparison(
+            small_config(policy="mru"),
+            small_config(policy="mru"),
+            n_replications=3,
+        )
+        assert cmp.mean_difference_us == pytest.approx(0.0)
+        assert not cmp.significant
+
+    def test_pairing_uses_common_seeds(self):
+        cmp = paired_comparison(
+            small_config(policy="fcfs"),
+            small_config(policy="mru"),
+            n_replications=3, base_seed=55,
+        )
+        again = replicate(small_config(policy="fcfs"), n_replications=3,
+                          base_seed=55)
+        assert cmp.a.per_run_means == again.per_run_means

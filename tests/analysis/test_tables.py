@@ -1,0 +1,68 @@
+"""Tests for table/series rendering."""
+
+import math
+
+from repro.analysis.tables import format_kv, format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}])
+        lines = out.splitlines()
+        assert lines[0].split("|")[0].strip() == "a"
+        assert "10" in lines[3]
+
+    def test_title(self):
+        out = format_table([{"x": 1}], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([])
+
+    def test_missing_cells_dash(self):
+        out = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "-" in out.splitlines()[2]
+
+    def test_column_selection_and_order(self):
+        out = format_table([{"a": 1, "b": 2, "c": 3}], columns=["c", "a"])
+        header = out.splitlines()[0]
+        assert header.index("c") < header.index("a")
+        assert "b" not in header
+
+    def test_nan_and_bool_rendering(self):
+        out = format_table([{"x": math.nan, "ok": True}])
+        assert "nan" in out and "yes" in out
+
+    def test_scientific_for_extremes(self):
+        out = format_table([{"x": 1e9}], precision=2)
+        assert "e+" in out
+
+    def test_precision(self):
+        out = format_table([{"x": 1.23456}], precision=4)
+        assert "1.2346" in out
+
+
+class TestFormatSeries:
+    def test_aligns_x_with_series(self):
+        out = format_series([1.0, 2.0], {"y": [10.0, 20.0]}, x_label="t")
+        lines = out.splitlines()
+        assert lines[0].startswith("t")
+        assert "20" in lines[3]
+
+    def test_short_series_padded(self):
+        out = format_series([1.0, 2.0], {"y": [10.0]})
+        assert "-" in out.splitlines()[-1]
+
+
+class TestFormatKV:
+    def test_alignment(self):
+        out = format_kv({"short": 1, "a-much-longer-key": 2})
+        lines = out.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_title_line(self):
+        out = format_kv({"k": "v"}, title="Header")
+        assert out.splitlines()[0] == "Header"
+
+    def test_empty(self):
+        assert format_kv({}) == ""

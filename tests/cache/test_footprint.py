@@ -1,0 +1,135 @@
+"""Unit and property tests for the Singh-Stone-Thiebaut footprint function."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.cache.footprint import MVS_WORKLOAD, FootprintFunction, mvs_footprint
+
+
+class TestConstruction:
+    def test_mvs_constants_match_paper(self):
+        assert MVS_WORKLOAD.W == pytest.approx(2.19827)
+        assert MVS_WORKLOAD.a == pytest.approx(0.033233)
+        assert MVS_WORKLOAD.b == pytest.approx(0.827457)
+        assert MVS_WORKLOAD.log10_d == pytest.approx(-0.13025)
+
+    def test_mvs_footprint_returns_singleton(self):
+        assert mvs_footprint() is MVS_WORKLOAD
+
+    def test_rejects_nonpositive_W(self):
+        with pytest.raises(ValueError, match="W must be positive"):
+            FootprintFunction(W=0.0, a=0.1, b=0.8, log10_d=-0.1)
+
+    def test_rejects_nonpositive_b(self):
+        with pytest.raises(ValueError, match="b must be positive"):
+            FootprintFunction(W=1.0, a=0.1, b=0.0, log10_d=-0.1)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            MVS_WORKLOAD.W = 3.0
+
+
+class TestUniqueLines:
+    def test_zero_references_zero_lines(self):
+        assert MVS_WORKLOAD.unique_lines(0.0, 32) == 0.0
+
+    def test_single_reference_at_most_one_line(self):
+        assert MVS_WORKLOAD.unique_lines(1.0, 32) <= 1.0
+
+    def test_never_exceeds_reference_count(self):
+        for R in (1, 5, 100, 1e6):
+            assert MVS_WORKLOAD.unique_lines(R, 32) <= R
+
+    def test_known_value_base10(self):
+        # Direct evaluation of eq. 2 in log10 form at R=1e4, L=32.
+        expected = 10 ** (
+            np.log10(2.19827)
+            + 0.033233 * np.log10(32)
+            + 0.827457 * 4.0
+            - 0.13025 * np.log10(32) * 4.0
+        )
+        assert MVS_WORKLOAD.unique_lines(1e4, 32) == pytest.approx(expected, rel=1e-12)
+
+    def test_scalar_input_returns_float(self):
+        out = MVS_WORKLOAD.unique_lines(1000.0, 32)
+        assert isinstance(out, float)
+
+    def test_array_input_returns_array(self):
+        out = MVS_WORKLOAD.unique_lines(np.array([10.0, 100.0]), 32)
+        assert isinstance(out, np.ndarray)
+        assert out.shape == (2,)
+
+    def test_monotone_in_references(self):
+        R = np.logspace(0, 8, 60)
+        u = MVS_WORKLOAD.unique_lines(R, 32)
+        assert np.all(np.diff(u) >= -1e-9)
+
+    def test_larger_lines_touch_fewer_lines_at_scale(self):
+        # At large R the negative interaction term dominates: bigger lines
+        # mean fewer unique lines for the same reference count.
+        assert MVS_WORKLOAD.unique_lines(1e6, 128) < MVS_WORKLOAD.unique_lines(1e6, 32)
+
+    def test_rejects_negative_references(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            MVS_WORKLOAD.unique_lines(-1.0, 32)
+
+    def test_rejects_nonpositive_line(self):
+        with pytest.raises(ValueError, match="line_bytes"):
+            MVS_WORKLOAD.unique_lines(10.0, 0)
+
+    def test_fractional_references_interpolate_linearly(self):
+        half = MVS_WORKLOAD.unique_lines(0.5, 32)
+        one = MVS_WORKLOAD.unique_lines(1.0, 32)
+        assert 0.0 < half <= one
+
+    @given(
+        R=st.floats(min_value=1.0, max_value=1e9),
+        L=st.sampled_from([16, 32, 64, 128]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_bounds(self, R, L):
+        u = MVS_WORKLOAD.unique_lines(R, L)
+        assert 0.0 <= u <= R
+
+    @given(
+        R=st.floats(min_value=1.0, max_value=1e8),
+        factor=st.floats(min_value=1.0, max_value=100.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_monotone(self, R, factor):
+        assert MVS_WORKLOAD.unique_lines(R * factor, 32) >= (
+            MVS_WORKLOAD.unique_lines(R, 32) - 1e-9
+        )
+
+
+class TestInverse:
+    def test_round_trip(self):
+        R = 1e5
+        u = MVS_WORKLOAD.unique_lines(R, 32)
+        assert MVS_WORKLOAD.references_for_lines(u, 32) == pytest.approx(R, rel=1e-6)
+
+    def test_zero_lines(self):
+        assert MVS_WORKLOAD.references_for_lines(0.0, 32) == 0.0
+
+    def test_non_invertible_slope_raises(self):
+        fp = FootprintFunction(W=1.0, a=0.0, b=0.2, log10_d=-0.5)
+        # slope = 0.2 - 0.5*log10(L); negative for L >= 10^(0.4) ~ 2.5
+        with pytest.raises(ValueError, match="not invertible"):
+            fp.references_for_lines(10.0, 32)
+
+
+class TestEffectiveExponent:
+    def test_matches_definition(self):
+        L = 32
+        expected = MVS_WORKLOAD.b + MVS_WORKLOAD.log10_d * np.log10(L)
+        assert MVS_WORKLOAD.effective_exponent(L) == pytest.approx(expected)
+
+    def test_power_law_in_R(self):
+        # [26]: u is a power function of R at fixed L.
+        L = 32
+        exp = MVS_WORKLOAD.effective_exponent(L)
+        u1 = MVS_WORKLOAD.unique_lines(1e5, L)
+        u2 = MVS_WORKLOAD.unique_lines(1e6, L)
+        assert u2 / u1 == pytest.approx(10 ** exp, rel=1e-9)

@@ -1,0 +1,129 @@
+"""Tests for cache-level configs and the two-level hierarchy model."""
+
+import numpy as np
+import pytest
+
+from repro.cache.footprint import MVS_WORKLOAD
+from repro.cache.hierarchy import (
+    CHALLENGE_L2,
+    R4400_L1D,
+    CacheHierarchy,
+    CacheLevelConfig,
+    sgi_challenge_hierarchy,
+)
+
+
+class TestCacheLevelConfig:
+    def test_r4400_l1_geometry(self):
+        assert R4400_L1D.size_bytes == 16 * 1024
+        assert R4400_L1D.line_bytes == 32
+        assert R4400_L1D.n_lines == 512
+        assert R4400_L1D.n_sets == 512  # direct-mapped
+        assert R4400_L1D.split_fraction == 0.5
+
+    def test_challenge_l2_geometry(self):
+        assert CHALLENGE_L2.size_bytes == 1024 * 1024
+        assert CHALLENGE_L2.n_lines == 8192
+        assert CHALLENGE_L2.split_fraction == 1.0
+
+    def test_sets_with_associativity(self):
+        c = CacheLevelConfig(size_bytes=8192, line_bytes=64, associativity=4)
+        assert c.n_lines == 128
+        assert c.n_sets == 32
+
+    def test_rejects_size_not_multiple_of_line(self):
+        with pytest.raises(ValueError, match="multiple"):
+            CacheLevelConfig(size_bytes=1000, line_bytes=64)
+
+    def test_rejects_lines_not_multiple_of_assoc(self):
+        with pytest.raises(ValueError, match="associativity"):
+            CacheLevelConfig(size_bytes=192, line_bytes=64, associativity=2)
+
+    def test_rejects_bad_split_fraction(self):
+        with pytest.raises(ValueError, match="split_fraction"):
+            CacheLevelConfig(size_bytes=1024, line_bytes=32, split_fraction=0.0)
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(ValueError):
+            CacheLevelConfig(size_bytes=0, line_bytes=32)
+
+
+class TestCacheHierarchy:
+    def test_paper_reference_rate(self):
+        h = sgi_challenge_hierarchy()
+        # 100 MHz / 5 cycles-per-reference = 20 M refs/s = 20 refs/us.
+        assert h.references_per_second == pytest.approx(20e6)
+        assert h.references_per_us == pytest.approx(20.0)
+
+    def test_references_for_time_scales_with_intensity(self):
+        h = sgi_challenge_hierarchy()
+        assert h.references_for_time(1000.0, 1.0) == pytest.approx(20_000.0)
+        assert h.references_for_time(1000.0, 0.5) == pytest.approx(10_000.0)
+        assert h.references_for_time(1000.0, 0.0) == 0.0
+
+    def test_references_rejects_negative(self):
+        h = sgi_challenge_hierarchy()
+        with pytest.raises(ValueError):
+            h.references_for_time(-1.0)
+        with pytest.raises(ValueError):
+            h.references_for_time(1.0, intensity=-0.5)
+
+    def test_flush_fractions_shape(self):
+        h = sgi_challenge_hierarchy()
+        F = h.flush_fractions(np.array([10.0, 1e3, 1e5]))
+        assert F.shape == (2, 3)
+        assert np.all((F >= 0) & (F <= 1))
+
+    def test_l1_flushes_much_faster_than_l2(self):
+        # The paper's headline hierarchy observation.
+        h = sgi_challenge_hierarchy()
+        F = h.flush_fractions(1_000.0)  # 1 ms of intervening work
+        assert F[0] > 0.5      # L1 mostly gone
+        assert F[1] < 0.15     # L2 barely touched
+
+    def test_split_fraction_halves_displacement(self):
+        unified = CacheLevelConfig(16 * 1024, 32, 1, 1.0)
+        split = CacheLevelConfig(16 * 1024, 32, 1, 0.5)
+        hu = CacheHierarchy(levels=(unified, CHALLENGE_L2))
+        hs = CacheHierarchy(levels=(split, CHALLENGE_L2))
+        refs = 5_000.0
+        fu = hu.flush_fraction_for_references(refs, 0)
+        fs = hs.flush_fraction_for_references(refs, 0)
+        assert fs < fu
+
+    def test_time_to_flush_ordering(self):
+        h = sgi_challenge_hierarchy()
+        t1 = h.time_to_flush(0, 0.5)
+        t2 = h.time_to_flush(1, 0.5)
+        assert t2 > 10 * t1  # "much more slowly"
+
+    def test_time_to_flush_is_consistent(self):
+        h = sgi_challenge_hierarchy()
+        t = h.time_to_flush(0, 0.5)
+        f = h.flush_fraction_for_references(h.references_for_time(t), 0)
+        assert f == pytest.approx(0.5, abs=1e-6)
+
+    def test_time_to_flush_validates(self):
+        h = sgi_challenge_hierarchy()
+        with pytest.raises(ValueError):
+            h.time_to_flush(0, 1.5)
+        with pytest.raises(ValueError):
+            h.time_to_flush(0, 0.5, intensity=0.0)
+
+    def test_intensity_slows_flushing(self):
+        h = sgi_challenge_hierarchy()
+        assert h.time_to_flush(0, 0.5, intensity=0.5) > h.time_to_flush(
+            0, 0.5, intensity=1.0
+        )
+
+    def test_needs_at_least_one_level(self):
+        with pytest.raises(ValueError, match="at least one"):
+            CacheHierarchy(levels=())
+
+    def test_rejects_bad_clock(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy(levels=(R4400_L1D,), clock_hz=0.0)
+
+    def test_custom_footprint_fn(self):
+        h = sgi_challenge_hierarchy(footprint_fn=MVS_WORKLOAD)
+        assert h.footprint_fn is MVS_WORKLOAD

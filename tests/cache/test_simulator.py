@@ -1,0 +1,154 @@
+"""Tests for the exact trace-driven LRU cache simulator."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.cache.hierarchy import CacheLevelConfig
+from repro.cache.simulator import AccessStats, CacheSimulator, measure_flushed_fraction
+from repro.cache.traces import sequential_trace, uniform_trace
+
+
+def tiny_cache(assoc=1, sets_bytes=256, line=32):
+    return CacheSimulator(
+        CacheLevelConfig(size_bytes=sets_bytes, line_bytes=line, associativity=assoc)
+    )
+
+
+class TestAddressing:
+    def test_line_of(self):
+        sim = tiny_cache()
+        assert sim.line_of(0) == 0
+        assert sim.line_of(31) == 0
+        assert sim.line_of(32) == 1
+
+    def test_lines_of_vectorized(self):
+        sim = tiny_cache()
+        out = sim.lines_of(np.array([0, 31, 32, 95]))
+        assert list(out) == [0, 0, 1, 2]
+
+    def test_rejects_non_power_of_two_lines(self):
+        with pytest.raises(ValueError, match="power of two"):
+            CacheSimulator(CacheLevelConfig(size_bytes=96, line_bytes=48))
+
+
+class TestAccessSemantics:
+    def test_first_access_misses_second_hits(self):
+        sim = tiny_cache()
+        assert sim.access_line(5) is False
+        assert sim.access_line(5) is True
+
+    def test_direct_mapped_conflict_eviction(self):
+        sim = tiny_cache()  # 8 lines, 8 sets direct-mapped
+        n = sim.config.n_sets
+        assert sim.access_line(0) is False
+        assert sim.access_line(n) is False   # same set, evicts 0
+        assert sim.access_line(0) is False   # 0 was evicted
+
+    def test_two_way_lru(self):
+        sim = tiny_cache(assoc=2)  # 8 lines, 4 sets x 2 ways
+        s = sim.config.n_sets
+        sim.access_line(0)
+        sim.access_line(s)       # same set, both resident
+        assert sim.access_line(0) is True   # still there; 0 is now MRU
+        sim.access_line(2 * s)   # evicts LRU = line s
+        assert sim.access_line(0) is True
+        assert sim.access_line(s) is False  # was evicted
+
+    def test_access_trace_stats(self):
+        sim = tiny_cache()
+        trace = np.array([0, 0, 32, 0, 32])
+        stats = sim.access_trace(trace)
+        assert stats.accesses == 5
+        assert stats.misses == 2
+        assert stats.hits == 3
+        assert stats.hit_ratio == pytest.approx(0.6)
+        assert stats.miss_ratio == pytest.approx(0.4)
+
+    def test_stats_addition(self):
+        a = AccessStats(accesses=2, hits=1, misses=1)
+        b = AccessStats(accesses=3, hits=3, misses=0)
+        c = a + b
+        assert (c.accesses, c.hits, c.misses) == (5, 4, 1)
+
+    def test_empty_stats_ratios(self):
+        s = AccessStats()
+        assert s.hit_ratio == 0.0 and s.miss_ratio == 0.0
+
+
+class TestFootprintOps:
+    def test_warm_and_resident(self):
+        sim = tiny_cache()
+        sim.warm_with_lines([1, 2, 3])
+        assert sim.resident_lines() == {1, 2, 3}
+        assert sim.occupancy == 3
+
+    def test_flush(self):
+        sim = tiny_cache()
+        sim.warm_with_lines([1, 2])
+        sim.flush()
+        assert sim.occupancy == 0
+        assert sim.resident_lines() == set()
+
+    def test_resident_fraction(self):
+        sim = tiny_cache()
+        sim.warm_with_lines([0, 1])
+        assert sim.resident_fraction([0, 1]) == 1.0
+        sim.access_line(sim.config.n_sets)  # evicts line 0
+        assert sim.resident_fraction([0, 1]) == pytest.approx(0.5)
+
+    def test_resident_fraction_empty_footprint(self):
+        assert tiny_cache().resident_fraction([]) == 1.0
+
+    def test_unique_lines_in(self):
+        sim = tiny_cache()
+        trace = np.array([0, 1, 31, 32, 64, 64])
+        assert sim.unique_lines_in(trace) == 3
+
+    def test_occupancy_never_exceeds_capacity(self):
+        sim = tiny_cache()
+        rng = np.random.default_rng(1)
+        sim.access_trace(uniform_trace(2000, 64 * 1024, rng=rng))
+        assert sim.occupancy <= sim.config.n_lines
+
+
+class TestMeasureFlushedFraction:
+    def test_no_intervening_references(self):
+        cfg = CacheLevelConfig(size_bytes=1024, line_bytes=32)
+        footprint = sequential_trace(8, stride_bytes=32)
+        out = measure_flushed_fraction(cfg, footprint, np.array([], dtype=np.int64))
+        assert out == 0.0
+
+    def test_full_displacement(self):
+        cfg = CacheLevelConfig(size_bytes=1024, line_bytes=32)  # 32 lines
+        footprint = sequential_trace(8, stride_bytes=32)
+        # Sweep the whole cache twice with disjoint conflicting addresses.
+        intervening = sequential_trace(64, stride_bytes=32, base_address=1024)
+        out = measure_flushed_fraction(cfg, footprint, intervening)
+        assert out == 1.0
+
+    def test_partial_displacement_counts_lines(self):
+        cfg = CacheLevelConfig(size_bytes=1024, line_bytes=32)
+        footprint = sequential_trace(8, stride_bytes=32)  # lines 0..7
+        # Conflict with exactly lines 0..3 (same sets, different tags).
+        intervening = sequential_trace(4, stride_bytes=32, base_address=1024)
+        out = measure_flushed_fraction(cfg, footprint, intervening)
+        assert out == pytest.approx(0.5)
+
+    def test_footprint_larger_than_cache(self):
+        cfg = CacheLevelConfig(size_bytes=64, line_bytes=32)  # 2 lines
+        footprint = sequential_trace(8, stride_bytes=32)
+        out = measure_flushed_fraction(cfg, footprint, np.array([], dtype=np.int64))
+        # Only the lines resident after warming count; none were displaced.
+        assert out == 0.0
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_fraction_in_unit_interval(self, seed):
+        rng = np.random.default_rng(seed)
+        cfg = CacheLevelConfig(size_bytes=512, line_bytes=32, associativity=2)
+        footprint = uniform_trace(40, 2048, rng=rng)
+        intervening = uniform_trace(100, 8192, rng=rng)
+        out = measure_flushed_fraction(cfg, footprint, intervening)
+        assert 0.0 <= out <= 1.0

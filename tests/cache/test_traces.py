@@ -1,0 +1,126 @@
+"""Tests for synthetic reference-trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.cache.traces import (
+    interleave_traces,
+    markov_locality_trace,
+    sequential_trace,
+    uniform_trace,
+    zipf_trace,
+)
+
+
+class TestUniform:
+    def test_range_and_length(self, rng):
+        t = uniform_trace(1000, 4096, rng=rng)
+        assert len(t) == 1000
+        assert t.min() >= 0 and t.max() < 4096
+        assert t.dtype == np.int64
+
+    def test_base_address(self, rng):
+        t = uniform_trace(100, 64, rng=rng, base_address=10_000)
+        assert t.min() >= 10_000 and t.max() < 10_064
+
+    def test_deterministic_for_seed(self):
+        a = uniform_trace(50, 1024, rng=np.random.default_rng(3))
+        b = uniform_trace(50, 1024, rng=np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_requires_rng(self):
+        with pytest.raises(ValueError, match="rng"):
+            uniform_trace(10, 64, rng=None)
+
+    def test_rejects_wrong_rng_type(self):
+        with pytest.raises(TypeError):
+            uniform_trace(10, 64, rng=np.random.RandomState(0))
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            uniform_trace(-1, 64, rng=rng)
+        with pytest.raises(ValueError):
+            uniform_trace(10, 0, rng=rng)
+
+
+class TestSequential:
+    def test_stride(self):
+        t = sequential_trace(5, stride_bytes=8)
+        assert list(t) == [0, 8, 16, 24, 32]
+
+    def test_no_reuse(self):
+        t = sequential_trace(100, stride_bytes=4)
+        assert len(np.unique(t)) == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sequential_trace(-1)
+        with pytest.raises(ValueError):
+            sequential_trace(10, stride_bytes=0)
+
+
+class TestZipf:
+    def test_range(self, rng):
+        t = zipf_trace(2000, 64 * 1024, rng=rng)
+        assert t.min() >= 0 and t.max() < 64 * 1024
+
+    def test_locality_higher_skew_fewer_unique_granules(self, rng):
+        ws = 256 * 1024
+        low = zipf_trace(5000, ws, rng=np.random.default_rng(1), skew=1.1)
+        high = zipf_trace(5000, ws, rng=np.random.default_rng(1), skew=2.5)
+        g = 64
+        assert len(np.unique(high // g)) < len(np.unique(low // g))
+
+    def test_sublinear_unique_growth(self, rng):
+        # The power-law property the SST form captures.
+        t = zipf_trace(20_000, 256 * 1024, rng=rng, skew=1.3)
+        u_half = len(np.unique(t[:10_000] // 64))
+        u_full = len(np.unique(t // 64))
+        assert u_full < 2 * u_half
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="skew"):
+            zipf_trace(10, 1024, rng=rng, skew=1.0)
+        with pytest.raises(ValueError):
+            zipf_trace(10, 32, rng=rng, granule_bytes=64)
+
+
+class TestMarkov:
+    def test_range_and_length(self, rng):
+        t = markov_locality_trace(500, 16 * 1024, rng=rng)
+        assert len(t) == 500
+        assert t.min() >= 0 and t.max() < 16 * 1024
+
+    def test_sticky_regions(self, rng):
+        t = markov_locality_trace(
+            2000, 64 * 1024, rng=rng, stay_probability=0.99, region_bytes=1024
+        )
+        regions = t // 1024
+        switches = int((np.diff(regions) != 0).sum())
+        # With p_stay = 0.99, region switches are rare (expected ~20 jumps
+        # plus within-jump noise) compared to 2000 references.
+        assert switches < 200
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            markov_locality_trace(10, 1024, rng=rng, stay_probability=1.0)
+        with pytest.raises(ValueError):
+            markov_locality_trace(10, 512, rng=rng, region_bytes=1024)
+
+
+class TestInterleave:
+    def test_round_robin(self):
+        a = np.array([0, 2, 4], dtype=np.int64)
+        b = np.array([1, 3, 5], dtype=np.int64)
+        out = interleave_traces(a, b)
+        assert list(out) == [0, 1, 2, 3, 4, 5]
+
+    def test_truncates_to_shortest(self):
+        a = np.array([0, 2, 4, 6], dtype=np.int64)
+        b = np.array([1, 3], dtype=np.int64)
+        out = interleave_traces(a, b)
+        assert list(out) == [0, 1, 2, 3]
+
+    def test_requires_traces(self):
+        with pytest.raises(ValueError):
+            interleave_traces()

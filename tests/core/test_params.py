@@ -1,0 +1,95 @@
+"""Tests for platform/cost/composition parameter objects."""
+
+import pytest
+
+from repro.core.params import (
+    FDDI_MAX_PAYLOAD_BYTES,
+    PAPER_COMPOSITION,
+    PAPER_COSTS,
+    PAPER_PLATFORM,
+    FootprintComposition,
+    PlatformConfig,
+    ProtocolCosts,
+)
+
+
+class TestPlatformConfig:
+    def test_paper_platform_is_challenge(self):
+        assert PAPER_PLATFORM.n_processors == 8
+        assert PAPER_PLATFORM.references_per_us == pytest.approx(20.0)
+
+    def test_with_processors(self):
+        p = PAPER_PLATFORM.with_processors(4)
+        assert p.n_processors == 4
+        assert PAPER_PLATFORM.n_processors == 8  # original untouched
+
+    def test_rejects_zero_processors(self):
+        with pytest.raises(ValueError):
+            PlatformConfig(n_processors=0)
+
+
+class TestProtocolCosts:
+    def test_paper_t_cold_quoted(self):
+        assert PAPER_COSTS.t_cold_us == pytest.approx(284.3)
+
+    def test_bound_ordering_enforced(self):
+        with pytest.raises(ValueError, match="t_warm"):
+            ProtocolCosts(t_warm_us=250.0, t_l2_us=200.0, t_cold_us=284.3)
+
+    def test_reload_transients(self):
+        c = ProtocolCosts(t_warm_us=150.0, t_l2_us=205.0, t_cold_us=284.3)
+        assert c.l1_reload_us == pytest.approx(55.0)
+        assert c.l2_reload_us == pytest.approx(79.3)
+
+    def test_max_affinity_benefit_in_paper_band(self):
+        # The V=0 upper bound the paper reports as 40-50%.
+        assert 0.40 <= PAPER_COSTS.max_affinity_benefit <= 0.50
+
+    def test_data_touching_matches_paper_example(self):
+        # "checksumming ... 32 bytes/us ... 4432 bytes ... 139 us".
+        t = PAPER_COSTS.data_touching_us(FDDI_MAX_PAYLOAD_BYTES)
+        assert t == pytest.approx(138.5, abs=1.0)
+
+    def test_data_touching_zero_payload(self):
+        assert PAPER_COSTS.data_touching_us(0) == 0.0
+
+    def test_data_touching_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PAPER_COSTS.data_touching_us(-1)
+
+    def test_rejects_negative_overheads(self):
+        with pytest.raises(ValueError):
+            ProtocolCosts(lock_overhead_us=-1.0)
+
+    def test_rejects_cs_longer_than_warm_service(self):
+        with pytest.raises(ValueError, match="critical section"):
+            ProtocolCosts(lock_cs_us=200.0)
+
+    def test_rejects_bad_checksum_rate(self):
+        with pytest.raises(ValueError):
+            ProtocolCosts(checksum_bytes_per_us=0.0)
+
+
+class TestFootprintComposition:
+    def test_default_weights_sum_to_one(self):
+        c = PAPER_COMPOSITION
+        assert c.code_global + c.stream_state + c.thread_stack == pytest.approx(1.0)
+
+    def test_rejects_weights_not_summing_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            FootprintComposition(code_global=0.5, stream_state=0.5,
+                                 thread_stack=0.5)
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FootprintComposition(code_global=-0.1, stream_state=0.6,
+                                 thread_stack=0.5)
+
+    def test_rejects_bad_shared_writable(self):
+        with pytest.raises(ValueError, match="shared_writable"):
+            FootprintComposition(shared_writable_of_code=1.5)
+
+    def test_as_dict(self):
+        d = PAPER_COMPOSITION.as_dict()
+        assert set(d) == {"code_global", "stream_state", "thread_stack"}
+        assert sum(d.values()) == pytest.approx(1.0)

@@ -1,0 +1,268 @@
+"""Unit tests for scheduling policies against a scripted SchedulerView."""
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import pytest
+
+from repro.core.policies import (
+    IPS_POLICIES,
+    LOCKING_POLICIES,
+    FCFSPolicy,
+    HybridPolicy,
+    IPSMRUPolicy,
+    IPSWiredPolicy,
+    MRUPolicy,
+    PerProcessorPoolsPolicy,
+    SchedulerView,
+    StreamMRUPolicy,
+    WiredStreamsPolicy,
+    make_ips_policy,
+    make_locking_policy,
+)
+
+
+@dataclass
+class FakePacket:
+    stream_id: int
+    packet_id: int = 0
+
+
+class FakeView(SchedulerView):
+    """Deterministic, fully scriptable scheduler view."""
+
+    def __init__(self, n: int = 4):
+        self._n = n
+        self.idle: List[int] = list(range(n))
+        self.last_end: Dict[int, float] = {p: -math.inf for p in range(n)}
+        self.stream_last: Dict[int, int] = {}
+        self.choices: List[int] = []  # recorded random picks
+
+    @property
+    def n_processors(self) -> int:
+        return self._n
+
+    def idle_processors(self) -> List[int]:
+        return list(self.idle)
+
+    def last_protocol_end(self, proc_id: int) -> float:
+        return self.last_end[proc_id]
+
+    def stream_last_processor(self, stream_id: int) -> Optional[int]:
+        return self.stream_last.get(stream_id)
+
+    def random_choice(self, items: List[int]) -> int:
+        self.choices.append(items[0])
+        return items[0]  # deterministic: first item
+
+
+def attach(policy, view=None):
+    view = view or FakeView()
+    policy.attach(view)
+    return policy, view
+
+
+class TestFCFS:
+    def test_fifo_order(self):
+        pol, view = attach(FCFSPolicy())
+        pol.on_arrival(FakePacket(1, packet_id=1))
+        pol.on_arrival(FakePacket(2, packet_id=2))
+        _, p1 = pol.next_dispatch()
+        _, p2 = pol.next_dispatch()
+        assert (p1.packet_id, p2.packet_id) == (1, 2)
+
+    def test_uses_random_choice(self):
+        pol, view = attach(FCFSPolicy())
+        pol.on_arrival(FakePacket(0))
+        pol.next_dispatch()
+        assert view.choices  # consulted the RNG
+
+    def test_none_when_empty_or_no_idle(self):
+        pol, view = attach(FCFSPolicy())
+        assert pol.next_dispatch() is None
+        pol.on_arrival(FakePacket(0))
+        view.idle = []
+        assert pol.next_dispatch() is None
+        assert pol.queued() == 1
+
+
+class TestMRU:
+    def test_picks_most_recent_processor(self):
+        pol, view = attach(MRUPolicy())
+        view.last_end = {0: 5.0, 1: 100.0, 2: 50.0, 3: -math.inf}
+        pol.on_arrival(FakePacket(0))
+        proc, _ = pol.next_dispatch()
+        assert proc == 1
+
+    def test_only_considers_idle(self):
+        pol, view = attach(MRUPolicy())
+        view.last_end = {0: 5.0, 1: 100.0, 2: 50.0, 3: -math.inf}
+        view.idle = [0, 2]
+        pol.on_arrival(FakePacket(0))
+        proc, _ = pol.next_dispatch()
+        assert proc == 2
+
+    def test_ties_break_via_rng(self):
+        pol, view = attach(MRUPolicy())
+        pol.on_arrival(FakePacket(0))
+        pol.next_dispatch()  # all at -inf -> random among all
+        assert view.choices
+
+
+class TestStreamMRU:
+    def test_prefers_stream_last_processor(self):
+        pol, view = attach(StreamMRUPolicy())
+        view.stream_last[7] = 3
+        view.last_end = {0: 99.0, 1: 0.0, 2: 0.0, 3: -math.inf}
+        pol.on_arrival(FakePacket(7))
+        proc, _ = pol.next_dispatch()
+        assert proc == 3  # stream affinity wins over MRU
+
+    def test_falls_back_to_mru_when_stream_proc_busy(self):
+        pol, view = attach(StreamMRUPolicy())
+        view.stream_last[7] = 3
+        view.idle = [0, 1]
+        view.last_end = {0: 99.0, 1: 1.0, 2: 0.0, 3: 1000.0}
+        pol.on_arrival(FakePacket(7))
+        proc, _ = pol.next_dispatch()
+        assert proc == 0
+
+
+class TestPerProcessorPools:
+    def test_joins_stream_last_pool(self):
+        pol, view = attach(PerProcessorPoolsPolicy())
+        view.stream_last[5] = 2
+        pol.on_arrival(FakePacket(5))
+        proc, _ = pol.next_dispatch()
+        assert proc == 2
+
+    def test_unknown_stream_uses_wired_default(self):
+        pol, view = attach(PerProcessorPoolsPolicy())
+        pol.on_arrival(FakePacket(6))  # 6 % 4 == 2
+        proc, _ = pol.next_dispatch()
+        assert proc == 2
+
+    def test_spills_to_shortest_when_imbalanced(self):
+        pol, view = attach(PerProcessorPoolsPolicy(balance_threshold=1))
+        view.idle = []  # queue up without dispatching
+        view.stream_last[5] = 0
+        for _ in range(3):
+            pol.on_arrival(FakePacket(5))
+        # Pool 0 now exceeds shortest (0) by > threshold; next spills.
+        pol.on_arrival(FakePacket(5))
+        view.idle = [1, 2, 3]
+        proc, _ = pol.next_dispatch()
+        assert proc != 0  # spilled packet served elsewhere
+
+    def test_threads_are_processor_bound(self):
+        assert PerProcessorPoolsPolicy().per_processor_threads is True
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError):
+            PerProcessorPoolsPolicy(balance_threshold=-1)
+
+
+class TestWiredStreams:
+    def test_static_binding(self):
+        pol, view = attach(WiredStreamsPolicy())
+        pol.on_arrival(FakePacket(6))  # 6 % 4 == 2
+        proc, _ = pol.next_dispatch()
+        assert proc == 2
+
+    def test_waits_for_wired_processor(self):
+        pol, view = attach(WiredStreamsPolicy())
+        pol.on_arrival(FakePacket(6))
+        view.idle = [0, 1, 3]  # wired processor 2 busy
+        assert pol.next_dispatch() is None
+        assert pol.queued() == 1
+
+    def test_queued_counts_all_pools(self):
+        pol, view = attach(WiredStreamsPolicy())
+        view.idle = []
+        for sid in range(6):
+            pol.on_arrival(FakePacket(sid))
+        assert pol.queued() == 6
+
+
+class TestHybrid:
+    def test_behaves_wired_below_threshold(self):
+        pol, view = attach(HybridPolicy(overflow_threshold=2))
+        pol.on_arrival(FakePacket(6))
+        view.idle = [0, 1, 3]
+        assert pol.next_dispatch() is None  # no stealing below threshold
+
+    def test_steals_from_overloaded_queue(self):
+        pol, view = attach(HybridPolicy(overflow_threshold=2))
+        view.idle = []
+        for _ in range(4):
+            pol.on_arrival(FakePacket(6))  # all wired to proc 2
+        view.idle = [0, 1, 3]
+        view.last_end = {0: 10.0, 1: 99.0, 2: 0.0, 3: 0.0}
+        proc, _ = pol.next_dispatch()
+        assert proc == 1  # MRU idle thief
+
+    def test_own_queue_served_first(self):
+        pol, view = attach(HybridPolicy(overflow_threshold=1))
+        view.idle = []
+        for _ in range(3):
+            pol.on_arrival(FakePacket(6))
+        view.idle = [2, 0]
+        proc, _ = pol.next_dispatch()
+        assert proc == 2
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            HybridPolicy(overflow_threshold=0)
+
+
+class TestIPSPolicies:
+    def test_wired_binding(self):
+        view = FakeView()
+        pol = IPSWiredPolicy()
+        assert pol.select_processor(6, view, None) == 2  # 6 % 4
+
+    def test_wired_returns_none_when_busy(self):
+        view = FakeView()
+        view.idle = [0, 1, 3]
+        assert IPSWiredPolicy().select_processor(6, view, None) is None
+
+    def test_mru_prefers_stack_last(self):
+        view = FakeView()
+        view.last_end = {0: 100.0, 1: 0.0, 2: 0.0, 3: 0.0}
+        assert IPSMRUPolicy().select_processor(0, view, 3) == 3
+
+    def test_mru_falls_back_to_mru_idle(self):
+        view = FakeView()
+        view.idle = [0, 1]
+        view.last_end = {0: 5.0, 1: 80.0, 2: 0.0, 3: 0.0}
+        assert IPSMRUPolicy().select_processor(0, view, 3) == 1
+
+    def test_mru_none_when_no_idle(self):
+        view = FakeView()
+        view.idle = []
+        assert IPSMRUPolicy().select_processor(0, view, None) is None
+
+
+class TestRegistries:
+    def test_all_locking_policies_constructible(self):
+        for name in LOCKING_POLICIES:
+            pol = make_locking_policy(name)
+            assert pol.name == name
+
+    def test_all_ips_policies_constructible(self):
+        for name in IPS_POLICIES:
+            if name == "ips-random":  # registered dynamically by E11
+                continue
+            pol = make_ips_policy(name)
+            assert pol.name == name
+
+    def test_unknown_names_raise(self):
+        with pytest.raises(ValueError, match="unknown Locking"):
+            make_locking_policy("nope")
+        with pytest.raises(ValueError, match="unknown IPS"):
+            make_ips_policy("nope")
+
+    def test_kwargs_forwarded(self):
+        pol = make_locking_policy("hybrid", overflow_threshold=5)
+        assert pol.overflow_threshold == 5

@@ -1,0 +1,169 @@
+"""Tests for the experiment framework and selected experiment runs.
+
+Model-level experiments (E01-E05) run in full; simulation experiments are
+exercised through trimmed smoke runs plus the shared sweep helpers, to
+keep the unit suite fast.  The benchmark suite runs every experiment at
+its full fast-mode grid.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.base import (
+    EXPERIMENT_IDS,
+    ExperimentResult,
+    delay_vs_rate_sweep,
+    find_capacity,
+    load_experiment,
+    run_experiment,
+)
+from repro.sim.system import SystemConfig
+from repro.workloads.traffic import TrafficSpec
+
+from ..conftest import fast_config
+
+
+class TestRegistry:
+    def test_all_ids_load(self):
+        for eid in EXPERIMENT_IDS:
+            mod = load_experiment(eid)
+            assert hasattr(mod, "run")
+            assert mod.EXPERIMENT_ID == eid
+            assert isinstance(mod.TITLE, str) and mod.TITLE
+
+    def test_unknown_id(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            load_experiment("e99")
+
+    def test_case_insensitive(self):
+        assert load_experiment("E03").EXPERIMENT_ID == "e03"
+
+
+class TestModelExperiments:
+    def test_e01_reproduces_bounds(self):
+        r = run_experiment("e01")
+        assert isinstance(r, ExperimentResult)
+        cold_row = next(row for row in r.rows if "cold" in row["condition"])
+        assert cold_row["anchored_us"] == pytest.approx(284.3)
+        costs = r.meta["anchored_costs"]
+        assert 0.40 <= costs.max_affinity_benefit <= 0.50
+
+    def test_e02_footprint_table(self):
+        r = run_experiment("e02")
+        assert len(r.rows) >= 8
+        assert all(0 < v < 1 for v in r.meta["exponents"].values())
+
+    def test_e03_l2_much_slower(self):
+        r = run_experiment("e03")
+        assert r.meta["l2_over_l1_ratio"] > 10.0
+        for row in r.rows:
+            assert 0.0 <= row["F1"] <= 1.0
+            assert row["F2"] <= row["F1"] + 1e-9
+
+    def test_e04_model_validates(self):
+        r = run_experiment("e04", seed=2)
+        assert r.meta["comparison"].mean_abs_error < 0.1
+
+    def test_e05_monotone_t_of_x(self):
+        r = run_experiment("e05")
+        for key in ("t(x), V=0.25", "t(x), V=1.0"):
+            vals = [row[key] for row in r.rows]
+            assert vals == sorted(vals)
+            assert 150.0 <= vals[0] and vals[-1] <= 284.3 + 1e-6
+
+    def test_result_str_renders(self):
+        r = run_experiment("e02")
+        out = str(r)
+        assert "[e02]" in out and "u(R; L=32)" in out
+
+
+class TestSweepHelpers:
+    def test_delay_vs_rate_sweep_shapes(self):
+        base = fast_config(duration_us=80_000, warmup_us=10_000)
+        rows, series = delay_vs_rate_sweep(
+            base,
+            {"mru": ("locking", "mru"), "ips": ("ips", "ips-wired")},
+            rates_pps=(4_000, 12_000),
+            n_streams=4,
+        )
+        assert len(rows) == 2
+        assert set(series) == {"mru", "ips"}
+        assert all(len(v) == 2 for v in series.values())
+        assert all(v > 0 for v in series["mru"])
+
+    def test_saturated_runs_marked_inf(self):
+        base = fast_config(duration_us=80_000, warmup_us=10_000)
+        rows, series = delay_vs_rate_sweep(
+            base, {"mru": ("locking", "mru")},
+            rates_pps=(200_000,),  # far beyond capacity
+            n_streams=4,
+        )
+        assert math.isinf(series["mru"][0])
+
+    def test_find_capacity_brackets(self):
+        def make(rate: float) -> SystemConfig:
+            return fast_config(
+                traffic=TrafficSpec.homogeneous_poisson(8, rate),
+                duration_us=150_000, warmup_us=20_000,
+            )
+        cap = find_capacity(make, low_pps=5_000, high_pps=100_000, iterations=5)
+        # 8 CPUs at ~200 us/packet -> capacity near 40k pps.
+        assert 25_000 < cap < 60_000
+
+    def test_find_capacity_validates(self):
+        with pytest.raises(ValueError):
+            find_capacity(lambda r: None, low_pps=10.0, high_pps=5.0)
+
+
+class TestSimulationExperimentSmoke:
+    """Trimmed versions of the simulation experiments."""
+
+    def test_e06_style_ordering_holds(self):
+        # At moderate load, MRU < FCFS in mean delay.
+        base = fast_config(duration_us=150_000, warmup_us=25_000,
+                           traffic=TrafficSpec.homogeneous_poisson(8, 8_000))
+        rows, series = delay_vs_rate_sweep(
+            base,
+            {"fcfs": ("locking", "fcfs"), "mru": ("locking", "mru")},
+            rates_pps=(8_000,),
+            n_streams=8,
+        )
+        assert series["mru"][0] < series["fcfs"][0]
+
+    def test_e09_capacity_ordering(self):
+        r = run_experiment("e09", fast=True)
+        caps = r.meta["capacities"]
+        assert caps["ips-wired"] > caps["locking-fcfs(baseline)"]
+        assert caps["locking-wired-streams"] > caps["locking-fcfs(baseline)"]
+
+    def test_e14_reduction_dilutes(self):
+        r = run_experiment("e14", fast=True)
+        reductions = [row["reduction_pct"] for row in r.rows]
+        assert reductions[0] > reductions[-1]
+        checksums = [row["checksum_us"] for row in r.rows]
+        assert checksums[-1] == pytest.approx(138.5, abs=1.0)
+
+
+class TestCsvExport:
+    def test_round_trips_rows(self, tmp_path):
+        import csv
+        r = run_experiment("e02")
+        path = tmp_path / "e02.csv"
+        r.to_csv(path)
+        rows = list(csv.DictReader(open(path)))
+        assert len(rows) == len(r.rows)
+        assert set(rows[0]) == set(r.rows[0])
+
+    def test_ragged_rows_padded(self, tmp_path):
+        from repro.experiments.base import ExperimentResult
+        result = ExperimentResult(
+            experiment_id="t", title="t",
+            rows=[{"a": 1}, {"a": 2, "b": 3}], text="",
+        )
+        path = tmp_path / "ragged.csv"
+        result.to_csv(path)
+        import csv
+        rows = list(csv.DictReader(open(path)))
+        assert rows[0]["b"] == ""
+        assert rows[1]["b"] == "3"

@@ -1,0 +1,69 @@
+"""Tests for the extension experiments (x01 hybrid, x02 packet trains)."""
+
+import pytest
+
+from repro.experiments.base import EXTENSION_IDS, load_experiment, run_experiment
+
+
+class TestRegistry:
+    def test_ids_resolve(self):
+        for xid in EXTENSION_IDS:
+            mod = load_experiment(xid)
+            assert hasattr(mod, f"run_{xid}")
+
+
+class TestX01Hybrid:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("x01", fast=True)
+
+    def test_hybrid_capacity_near_wired(self, result):
+        by = result.meta["by_policy"]
+        assert by["hybrid[17]"]["capacity_pps"] >= 0.9 * by[
+            "locking-wired"]["capacity_pps"]
+
+    def test_hybrid_scales_single_stream(self, result):
+        by = result.meta["by_policy"]
+        # Hybrid steals overflow -> single stream uses many CPUs, unlike
+        # strict wiring.
+        assert by["hybrid[17]"]["single_stream_pps"] > 3 * by[
+            "locking-wired"]["single_stream_pps"]
+
+    def test_hybrid_burst_robust(self, result):
+        by = result.meta["by_policy"]
+        assert by["hybrid[17]"]["burst16_delay_us"] < 0.5 * by[
+            "locking-wired"]["burst16_delay_us"]
+        assert by["hybrid[17]"]["burst16_delay_us"] < 0.5 * by[
+            "ips-wired"]["burst16_delay_us"]
+
+
+class TestX02PacketTrains:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("x02", fast=True)
+
+    def test_serial_stacks_degrade_with_train_length(self, result):
+        ips = [row["ips-wired"] for row in result.rows]
+        assert ips[-1] > 3 * ips[0]
+
+    def test_mru_stays_flat(self, result):
+        mru = [row["locking-mru"] for row in result.rows]
+        assert max(mru) < 1.5 * min(mru)
+
+    def test_train_one_is_poisson_baseline(self, result):
+        assert result.rows[0]["mean_train_len"] == 1.0
+
+
+class TestX03SessionChurn:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("x03", fast=True)
+
+    def test_affinity_supports_more_sessions(self, result):
+        supported = result.meta["supported"]
+        assert supported["ips-wired"] >= supported["fcfs(baseline)"]
+
+    def test_delay_grows_with_population(self, result):
+        data_rows = [r for r in result.rows if "mean_sessions" in r]
+        fcfs = [r["fcfs(baseline)"] for r in data_rows]
+        assert fcfs[-1] > fcfs[0]

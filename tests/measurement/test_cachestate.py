@@ -1,0 +1,115 @@
+"""Tests for the conditioned cache-state measurement harness."""
+
+import numpy as np
+import pytest
+
+from repro.measurement.cachestate import (
+    CacheStateExperiment,
+    FootprintLayout,
+    TwoLevelTimedCache,
+)
+
+
+class TestFootprintLayout:
+    def test_regions_disjoint(self):
+        layout = FootprintLayout()
+        regions = list(layout.component_regions().values())
+        for (b1, s1), (b2, s2) in zip(regions, regions[1:]):
+            assert b1 + s1 < b2  # gap between regions
+
+    def test_packet_trace_length(self):
+        layout = FootprintLayout(references_per_packet=1234)
+        assert len(layout.packet_trace()) == 1234
+
+    def test_packet_trace_covers_all_components(self):
+        layout = FootprintLayout()
+        trace = layout.packet_trace()
+        for name in layout.component_regions():
+            region = layout.region_trace(name)
+            assert np.intersect1d(trace, region).size > 0
+
+    def test_trace_deterministic(self):
+        a = FootprintLayout().packet_trace()
+        b = FootprintLayout().packet_trace()
+        assert np.array_equal(a, b)
+
+    def test_total_bytes(self):
+        layout = FootprintLayout(code_global_bytes=1024,
+                                 stream_state_bytes=512,
+                                 thread_stack_bytes=256)
+        assert layout.total_bytes == 1792
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FootprintLayout(code_global_bytes=0)
+        with pytest.raises(ValueError):
+            FootprintLayout(references_per_packet=0)
+        with pytest.raises(ValueError):
+            FootprintLayout(stride_bytes=0)
+
+
+class TestTwoLevelTimedCache:
+    def test_warm_run_is_fastest(self):
+        cache = TwoLevelTimedCache()
+        trace = FootprintLayout().packet_trace()
+        cache.warm(trace)
+        warm = cache.run(trace)
+        cold_cache = TwoLevelTimedCache()
+        cold = cold_cache.run(trace)
+        assert warm.time_us < cold.time_us
+        assert warm.l2_misses == 0
+
+    def test_flush_l1_preserves_l2(self):
+        cache = TwoLevelTimedCache()
+        trace = FootprintLayout().packet_trace()
+        cache.warm(trace)
+        cache.flush_l1()
+        m = cache.run(trace)
+        assert m.l1_misses > 0
+        assert m.l2_misses == 0
+
+    def test_base_time_matches_reference_count(self):
+        cache = TwoLevelTimedCache(l2_hit_cycles=0.0, memory_cycles=0.0)
+        trace = FootprintLayout(references_per_packet=2000).packet_trace()
+        m = cache.run(trace)
+        # 2000 refs * 5 cycles / 100 MHz = 100 us.
+        assert m.time_us == pytest.approx(100.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TwoLevelTimedCache(clock_hz=0.0)
+        with pytest.raises(ValueError):
+            TwoLevelTimedCache(memory_cycles=-1.0)
+
+
+class TestCacheStateExperiment:
+    @pytest.fixture(scope="class")
+    def experiment(self):
+        return CacheStateExperiment()
+
+    def test_condition_ordering(self, experiment):
+        times = experiment.measure_all()
+        assert (times["warm"].time_us
+                < times["l2_warm"].time_us
+                < times["cold"].time_us)
+
+    def test_warm_cold_ratio_near_paper(self, experiment):
+        times = experiment.measure_all()
+        ratio = times["warm"].time_us / times["cold"].time_us
+        # Paper band: 1 - ratio in 40-50%.
+        assert 0.4 <= 1.0 - ratio <= 0.55
+
+    def test_unknown_condition(self, experiment):
+        with pytest.raises(ValueError, match="condition"):
+            experiment.measure("lukewarm")
+
+    def test_component_breakdown_positive(self, experiment):
+        breakdown = experiment.component_breakdown()
+        assert set(breakdown) == {"code_global", "stream_state", "thread_stack"}
+        assert all(v > 0 for v in breakdown.values())
+
+    def test_breakdown_scales_with_region_size(self):
+        small = CacheStateExperiment(FootprintLayout(stream_state_bytes=1024))
+        large = CacheStateExperiment(FootprintLayout(stream_state_bytes=4096))
+        assert (large.component_breakdown()["stream_state"]
+                > small.component_breakdown()["stream_state"])

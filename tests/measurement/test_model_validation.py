@@ -1,0 +1,59 @@
+"""Tests for the analytic-vs-measured execution-time validation."""
+
+import pytest
+
+from repro.measurement.model_validation import (
+    ModelValidationPoint,
+    validate_exec_model,
+)
+
+
+class TestPoints:
+    def test_relative_error(self):
+        p = ModelValidationPoint(intervening_refs=10, measured_us=200.0,
+                                 analytic_us=210.0)
+        assert p.relative_error == pytest.approx(0.05)
+
+    def test_zero_measured_infinite_error(self):
+        p = ModelValidationPoint(intervening_refs=10, measured_us=0.0,
+                                 analytic_us=1.0)
+        assert p.relative_error == float("inf")
+
+
+class TestValidation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return validate_exec_model(
+            intervening_refs=(0, 1_000, 10_000, 100_000),
+        )
+
+    def test_model_matches_measurement(self, result):
+        # The paper's methodological core: the cheap analytic form tracks
+        # the exact platform within a few percent.
+        assert result.mean_relative_error < 0.05
+        assert result.max_relative_error < 0.10
+
+    def test_zero_displacement_exact(self, result):
+        p0 = result.points[0]
+        assert p0.intervening_refs == 0
+        assert p0.analytic_us == pytest.approx(p0.measured_us)
+        assert p0.analytic_us == pytest.approx(result.t_warm_us)
+
+    def test_measured_curve_monotone(self, result):
+        measured = [p.measured_us for p in result.points]
+        assert measured == sorted(measured)
+
+    def test_curve_bounded_by_cold(self, result):
+        for p in result.points:
+            assert p.measured_us <= result.t_cold_us + 1e-6
+            assert p.analytic_us <= result.t_cold_us + 1e-6
+
+    def test_small_displacing_region_breaks_assumption(self):
+        # Documented caveat: a displacing working set smaller than L2 maps
+        # to a contiguous subset of sets and the analytic model
+        # under-predicts the displacement.
+        r = validate_exec_model(
+            displacing_working_set=256 * 1024,
+            intervening_refs=(0, 30_000, 500_000),
+        )
+        assert r.max_relative_error > 0.10

@@ -1,0 +1,50 @@
+"""Tests for the wall-clock timing harness."""
+
+import numpy as np
+import pytest
+
+from repro.measurement.timing import TimingResult, time_callable, time_fast_path
+
+
+class TestTimingResult:
+    def test_from_samples(self):
+        r = TimingResult.from_samples(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert r.n_iterations == 4
+        assert r.mean_us == pytest.approx(2.5)
+        assert r.min_us == 1.0 and r.max_us == 4.0
+        assert r.p50_us <= r.p95_us
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TimingResult.from_samples(np.array([]))
+
+
+class TestTimeCallable:
+    def test_counts_iterations(self):
+        calls = []
+        r = time_callable(lambda: calls.append(1), n_iterations=50, warmup=5)
+        assert r.n_iterations == 50
+        assert len(calls) == 55  # warmup included in calls, not in samples
+
+    def test_positive_times(self):
+        r = time_callable(lambda: sum(range(100)), n_iterations=20, warmup=2)
+        assert r.mean_us > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, n_iterations=0)
+
+
+class TestTimeFastPath:
+    def test_runs_and_reports(self):
+        r = time_fast_path(n_streams=2, n_iterations=40, payload_bytes=64)
+        assert r.n_iterations == 40
+        assert 0.0 < r.mean_us < 100_000.0
+
+    def test_checksum_verification_costs_more(self):
+        base = time_fast_path(n_streams=2, n_iterations=60,
+                              payload_bytes=4096)
+        checked = time_fast_path(n_streams=2, n_iterations=60,
+                                 payload_bytes=4096,
+                                 verify_udp_checksum=True)
+        assert checked.p50_us > base.p50_us

@@ -1,0 +1,141 @@
+"""Tests for the discrete-event engine."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(30.0, lambda: fired.append("c"))
+        sim.schedule(10.0, lambda: fired.append("a"))
+        sim.schedule(20.0, lambda: fired.append("b"))
+        sim.run_until(100.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(10.0, lambda i=i: fired.append(i))
+        sim.run_until(100.0)
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(42.0, lambda: seen.append(sim.now))
+        sim.run_until(100.0)
+        assert seen == [42.0]
+
+    def test_clock_ends_at_horizon(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run_until(55.0)
+        assert sim.now == 55.0
+
+    def test_events_beyond_horizon_stay_pending(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(200.0, lambda: fired.append(1))
+        sim.run_until(100.0)
+        assert fired == []
+        assert sim.pending == 1
+        sim.run_until(300.0)
+        assert fired == [1]
+
+    def test_callbacks_can_schedule(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule(1.0, lambda: chain(n + 1))
+
+        sim.schedule(0.0, lambda: chain(0))
+        sim.run_until(100.0)
+        assert fired == [0, 1, 2, 3]
+        assert sim.events_processed == 4
+
+    def test_absolute_scheduling(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run_until(10.0)
+        seen = []
+        sim.at(15.0, lambda: seen.append(sim.now))
+        sim.run_until(20.0)
+        assert seen == [15.0]
+
+
+class TestErrors:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_past_absolute_time_rejected(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run_until(10.0)
+        with pytest.raises(SimulationError):
+            sim.at(5.0, lambda: None)
+
+    def test_nan_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(float("nan"), lambda: None)
+
+    def test_run_until_backwards_rejected(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(5.0)
+
+    def test_run_to_completion_runaway_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError, match="runaway"):
+            sim.run_to_completion(max_events=100)
+
+
+class TestControl:
+    def test_stop_halts_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: (fired.append(2), sim.stop()))
+        sim.schedule(3.0, lambda: fired.append(3))
+        sim.run_until(100.0)
+        assert fired == [1, 2]
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_run_to_completion_drains(self):
+        sim = Simulator()
+        fired = []
+        for t in (5.0, 1.0, 3.0):
+            sim.schedule(t, lambda t=t: fired.append(t))
+        sim.run_to_completion()
+        assert fired == [1.0, 3.0, 5.0]
+        assert sim.pending == 0
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1,
+                       max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_property_fires_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    times = []
+    for d in delays:
+        sim.schedule(d, lambda: times.append(sim.now))
+    sim.run_until(2e6)
+    assert times == sorted(times)
+    assert len(times) == len(delays)

@@ -1,0 +1,80 @@
+"""Tests for per-layer lock granularity (ref [3] dimension)."""
+
+import pytest
+
+from repro.sim.locks import LayeredLocks
+from repro.sim.system import run_simulation
+from repro.workloads.traffic import TrafficSpec
+
+from ..conftest import fast_config
+
+
+class TestLayeredLocks:
+    def test_single_lock_equals_serial_lock(self):
+        layered = LayeredLocks(1)
+        assert layered.reserve(0.0, 15.0) == 0.0
+        assert layered.reserve(0.0, 15.0) == pytest.approx(15.0)
+
+    def test_pipelining_reduces_wait(self):
+        # Two packets arriving together: with one lock the second waits
+        # the full CS; with 3 stage locks it waits only one stage.
+        coarse = LayeredLocks(1)
+        fine = LayeredLocks(3)
+        coarse.reserve(0.0, 15.0)
+        fine.reserve(0.0, 15.0)
+        assert coarse.reserve(0.0, 15.0) == pytest.approx(15.0)
+        assert fine.reserve(0.0, 15.0) == pytest.approx(5.0)
+
+    def test_throughput_ceiling_scales(self):
+        # Sustained back-to-back packets: per-packet serialization cost is
+        # cs/n, so total wait over k packets shrinks ~n-fold.
+        def total_wait(n_locks: int, k: int = 20) -> float:
+            locks = LayeredLocks(n_locks)
+            return sum(locks.reserve(0.0, 12.0) for _ in range(k))
+
+        assert total_wait(3) < total_wait(1) / 2.0
+
+    def test_stage_ordering_respected(self):
+        locks = LayeredLocks(2)
+        locks.reserve(0.0, 10.0)     # stage 0 busy [0,5), stage 1 [5,10)
+        wait = locks.reserve(2.0, 10.0)  # arrives mid stage-0 hold
+        assert wait == pytest.approx(3.0)  # waits for stage 0 only
+
+    def test_statistics(self):
+        locks = LayeredLocks(2)
+        locks.reserve(0.0, 10.0)
+        locks.reserve(0.0, 10.0)
+        assert locks.acquisitions == 2
+        assert locks.total_wait_us > 0.0
+        assert 0.0 < locks.contention_ratio <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LayeredLocks(0)
+        with pytest.raises(ValueError):
+            LayeredLocks(2).reserve(0.0, -1.0)
+
+    def test_empty_stats(self):
+        assert LayeredLocks(2).contention_ratio == 0.0
+
+
+class TestGranularityInSimulation:
+    def test_finer_locks_reduce_lock_waits(self):
+        base = fast_config(
+            traffic=TrafficSpec.homogeneous_poisson(8, 40_000),
+            policy="wired-streams", duration_us=150_000, warmup_us=20_000,
+        )
+        coarse = run_simulation(base.with_(lock_granularity=1))
+        fine = run_simulation(base.with_(lock_granularity=3))
+        assert fine.mean_lock_wait_us < coarse.mean_lock_wait_us
+
+    def test_granularity_validated(self):
+        with pytest.raises(ValueError, match="lock_granularity"):
+            fast_config(lock_granularity=0)
+
+    def test_ips_ignores_granularity(self):
+        base = fast_config(paradigm="ips", policy="ips-wired",
+                           duration_us=60_000, warmup_us=10_000)
+        a = run_simulation(base.with_(lock_granularity=1))
+        b = run_simulation(base.with_(lock_granularity=4))
+        assert a.mean_delay_us == b.mean_delay_us

@@ -1,0 +1,63 @@
+"""Tests for the serialized-lock model."""
+
+import pytest
+
+from repro.sim.locks import SerialLock
+
+
+class TestSerialLock:
+    def test_uncontended_no_wait(self):
+        lock = SerialLock()
+        assert lock.reserve(0.0, 15.0) == 0.0
+
+    def test_back_to_back_contends(self):
+        lock = SerialLock()
+        lock.reserve(0.0, 15.0)
+        assert lock.reserve(0.0, 15.0) == pytest.approx(15.0)
+        assert lock.reserve(0.0, 15.0) == pytest.approx(30.0)
+
+    def test_gap_larger_than_hold_no_wait(self):
+        lock = SerialLock()
+        lock.reserve(0.0, 10.0)
+        assert lock.reserve(50.0, 10.0) == 0.0
+
+    def test_partial_overlap(self):
+        lock = SerialLock()
+        lock.reserve(0.0, 10.0)
+        assert lock.reserve(4.0, 10.0) == pytest.approx(6.0)
+
+    def test_statistics(self):
+        lock = SerialLock()
+        lock.reserve(0.0, 10.0)
+        lock.reserve(0.0, 10.0)
+        lock.reserve(100.0, 10.0)
+        assert lock.acquisitions == 3
+        assert lock.contended == 1
+        assert lock.contention_ratio == pytest.approx(1 / 3)
+        assert lock.total_hold_us == pytest.approx(30.0)
+        assert lock.mean_wait_us == pytest.approx(10.0 / 3)
+
+    def test_utilization(self):
+        lock = SerialLock()
+        lock.reserve(0.0, 25.0)
+        assert lock.utilization(100.0) == pytest.approx(0.25)
+        assert lock.utilization(0.0) == 0.0
+
+    def test_empty_stats(self):
+        lock = SerialLock()
+        assert lock.mean_wait_us == 0.0
+        assert lock.contention_ratio == 0.0
+
+    def test_zero_hold_allowed(self):
+        lock = SerialLock()
+        assert lock.reserve(0.0, 0.0) == 0.0
+
+    def test_negative_hold_rejected(self):
+        with pytest.raises(ValueError):
+            SerialLock().reserve(0.0, -1.0)
+
+    def test_fifo_throughput_bound(self):
+        # N back-to-back reservations of h us serialize to N*h total.
+        lock = SerialLock()
+        total_wait = sum(lock.reserve(0.0, 5.0) for _ in range(10))
+        assert total_wait == pytest.approx(sum(5.0 * k for k in range(10)))

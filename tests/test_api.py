@@ -1,0 +1,53 @@
+"""Public-API surface tests: imports, __all__, version."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = (
+    "repro.cache",
+    "repro.core",
+    "repro.sim",
+    "repro.workloads",
+    "repro.xkernel",
+    "repro.measurement",
+    "repro.analysis",
+    "repro.experiments",
+    "repro.cli",
+)
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_subpackage_imports(name):
+    importlib.import_module(name)
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES[:-1])
+def test_all_names_resolve(name):
+    mod = importlib.import_module(name)
+    for symbol in getattr(mod, "__all__", []):
+        assert hasattr(mod, symbol), f"{name}.{symbol} missing"
+
+
+def test_top_level_all_resolves():
+    for symbol in repro.__all__:
+        assert hasattr(repro, symbol)
+
+
+def test_quickstart_surface():
+    """The five-line quickstart from the README works."""
+    cfg = repro.SystemConfig(
+        traffic=repro.TrafficSpec.homogeneous_poisson(4, 6_000.0),
+        paradigm="ips",
+        policy="ips-wired",
+        duration_us=60_000,
+        warmup_us=10_000,
+    )
+    summary = repro.run_simulation(cfg)
+    assert summary.mean_delay_us > 0

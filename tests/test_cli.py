@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "e99"])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.paradigm == "locking"
+        assert args.rate == 12_000.0
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "e01" in out and "e14" in out
+
+    def test_run_model_experiment(self, capsys):
+        assert main(["run", "e02"]) == 0
+        out = capsys.readouterr().out
+        assert "u(R; L=32)" in out
+
+    def test_simulate(self, capsys):
+        assert main([
+            "simulate", "--rate", "6000", "--streams", "4",
+            "--duration-ms", "80", "--policy", "mru",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mean delay (us)" in out
+        assert "locking/mru" in out
+
+    def test_simulate_ips(self, capsys):
+        assert main([
+            "simulate", "--paradigm", "ips", "--policy", "ips-wired",
+            "--rate", "6000", "--duration-ms", "60",
+        ]) == 0
+        assert "ips/ips-wired" in capsys.readouterr().out
+
+
+def test_module_entry_point():
+    import repro.__main__  # noqa: F401 -- import would sys.exit; just check
+
+
+class TestCsvCommand:
+    def test_writes_model_experiment_csvs(self, tmp_path, monkeypatch, capsys):
+        # Restrict to the cheap model-level experiments for the unit test.
+        import repro.cli as cli
+        monkeypatch.setattr(cli, "EXPERIMENT_IDS", ("e02", "e03"))
+        assert main(["csv", str(tmp_path)]) == 0
+        assert (tmp_path / "e02.csv").exists()
+        assert (tmp_path / "e03.csv").exists()
+
+
+class TestSimulateKnobs:
+    def test_burst_and_overhead_flags(self, capsys):
+        assert main([
+            "simulate", "--rate", "6000", "--streams", "4",
+            "--duration-ms", "60", "--burst", "8",
+            "--fixed-overhead-us", "50", "--lock-granularity", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mean delay (us)" in out
+
+    def test_stacks_flag_for_ips(self, capsys):
+        assert main([
+            "simulate", "--paradigm", "ips", "--policy", "ips-wired",
+            "--stacks", "4", "--rate", "6000", "--duration-ms", "60",
+        ]) == 0

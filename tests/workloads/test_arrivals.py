@@ -1,0 +1,118 @@
+"""Tests for arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.arrivals import (
+    BatchPoissonSpec,
+    DeterministicSpec,
+    OnOffSpec,
+    PoissonSpec,
+)
+
+
+def mean_rate(process, horizon_us=5e6):
+    """Empirical packet rate (pps) over a horizon."""
+    n = sum(size for _, size in process.iter_batches(horizon_us))
+    return n / horizon_us * 1e6
+
+
+class TestPoisson:
+    def test_long_run_rate(self, rng):
+        p = PoissonSpec(2_000.0).build(rng)
+        assert mean_rate(p) == pytest.approx(2_000.0, rel=0.05)
+
+    def test_single_packets(self, rng):
+        p = PoissonSpec(1_000.0).build(rng)
+        for _ in range(100):
+            _, size = p.next_batch()
+            assert size == 1
+
+    def test_exponential_gaps(self, rng):
+        p = PoissonSpec(1_000.0).build(rng)
+        gaps = np.array([p.next_batch()[0] for _ in range(4000)])
+        mean = gaps.mean()
+        # Exponential: std ~ mean, CV ~ 1.
+        assert gaps.std() / mean == pytest.approx(1.0, abs=0.08)
+
+    def test_spec_rate_property(self):
+        assert PoissonSpec(123.0).mean_rate_pps == 123.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonSpec(0.0)
+
+
+class TestDeterministic:
+    def test_even_spacing(self, rng):
+        p = DeterministicSpec(1_000.0).build(rng)  # gap 1000 us
+        gaps = [p.next_batch()[0] for _ in range(4)]
+        assert gaps == [1000.0, 1000.0, 1000.0, 1000.0]
+
+    def test_phase_offset(self, rng):
+        p = DeterministicSpec(1_000.0, phase_us=250.0).build(rng)
+        assert p.next_batch()[0] == 1250.0
+        assert p.next_batch()[0] == 1000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeterministicSpec(-1.0)
+        with pytest.raises(ValueError):
+            DeterministicSpec(10.0, phase_us=-1.0)
+
+
+class TestBatchPoisson:
+    def test_long_run_rate_preserved(self, rng):
+        p = BatchPoissonSpec(2_000.0, mean_batch=8.0).build(rng)
+        assert mean_rate(p) == pytest.approx(2_000.0, rel=0.08)
+
+    def test_geometric_batch_sizes(self, rng):
+        p = BatchPoissonSpec(1_000.0, mean_batch=4.0).build(rng)
+        sizes = np.array([p.next_batch()[1] for _ in range(4000)])
+        assert sizes.min() >= 1
+        assert sizes.mean() == pytest.approx(4.0, rel=0.08)
+
+    def test_mean_batch_one_is_poisson(self, rng):
+        p = BatchPoissonSpec(1_000.0, mean_batch=1.0).build(rng)
+        sizes = {p.next_batch()[1] for _ in range(200)}
+        assert sizes == {1}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchPoissonSpec(1_000.0, mean_batch=0.5)
+        with pytest.raises(ValueError):
+            BatchPoissonSpec(0.0, mean_batch=2.0)
+
+
+class TestOnOff:
+    def test_mean_rate_formula(self):
+        spec = OnOffSpec(peak_rate_pps=10_000.0, mean_on_us=1_000.0,
+                         mean_off_us=3_000.0)
+        assert spec.mean_rate_pps == pytest.approx(2_500.0)
+
+    def test_empirical_rate_matches(self, rng):
+        spec = OnOffSpec(peak_rate_pps=8_000.0, mean_on_us=2_000.0,
+                         mean_off_us=2_000.0)
+        p = spec.build(rng)
+        assert mean_rate(p, horizon_us=2e7) == pytest.approx(
+            spec.mean_rate_pps, rel=0.1
+        )
+
+    def test_zero_off_is_pure_poisson_rate(self, rng):
+        spec = OnOffSpec(peak_rate_pps=5_000.0, mean_on_us=1_000.0,
+                         mean_off_us=0.0)
+        assert spec.mean_rate_pps == pytest.approx(5_000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnOffSpec(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            OnOffSpec(10.0, 0.0, 1.0)
+
+
+class TestIterBatches:
+    def test_times_absolute_and_bounded(self, rng):
+        p = PoissonSpec(5_000.0).build(rng)
+        times = [t for t, _ in p.iter_batches(100_000.0)]
+        assert all(0 < t <= 100_000.0 for t in times)
+        assert times == sorted(times)

@@ -1,0 +1,74 @@
+"""Tests for the Jain-Routhier packet-train model."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.packet_train import PacketTrainSpec
+
+
+class TestRateFormula:
+    def test_mean_rate(self):
+        spec = PacketTrainSpec(mean_train_len=5.0, inter_car_us=50.0,
+                               inter_train_us=800.0)
+        expected = 5.0 / (800.0 + 4.0 * 50.0) * 1e6
+        assert spec.mean_rate_pps == pytest.approx(expected)
+
+    def test_single_car_trains(self):
+        spec = PacketTrainSpec(mean_train_len=1.0, inter_car_us=50.0,
+                               inter_train_us=500.0)
+        assert spec.mean_rate_pps == pytest.approx(1e6 / 500.0)
+
+    def test_for_rate_solves(self):
+        spec = PacketTrainSpec.for_rate(2_000.0, mean_train_len=6.0,
+                                        inter_car_us=40.0)
+        assert spec.mean_rate_pps == pytest.approx(2_000.0)
+
+    def test_for_rate_infeasible(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            PacketTrainSpec.for_rate(100_000.0, mean_train_len=4.0,
+                                     inter_car_us=1_000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PacketTrainSpec(0.5, 10.0, 100.0)
+        with pytest.raises(ValueError):
+            PacketTrainSpec(2.0, -1.0, 100.0)
+        with pytest.raises(ValueError):
+            PacketTrainSpec(2.0, 10.0, 0.0)
+        with pytest.raises(ValueError):
+            PacketTrainSpec.for_rate(0.0, 2.0, 10.0)
+
+
+class TestSampling:
+    def test_empirical_rate(self, rng):
+        spec = PacketTrainSpec.for_rate(3_000.0, mean_train_len=5.0,
+                                        inter_car_us=30.0)
+        p = spec.build(rng)
+        n = sum(size for _, size in p.iter_batches(5e6))
+        assert n / 5e6 * 1e6 == pytest.approx(3_000.0, rel=0.1)
+
+    def test_train_structure_visible_in_gaps(self, rng):
+        spec = PacketTrainSpec(mean_train_len=8.0, inter_car_us=20.0,
+                               inter_train_us=5_000.0)
+        p = spec.build(rng)
+        gaps = np.array([p.next_batch()[0] for _ in range(3000)])
+        short = (gaps == 20.0).sum()
+        long = (gaps > 100.0).sum()
+        # ~7/8 of gaps are the fixed inter-car gap.
+        assert short / len(gaps) == pytest.approx(7 / 8, abs=0.05)
+        assert long > 0
+
+    def test_exponential_car_gaps_option(self, rng):
+        spec = PacketTrainSpec(mean_train_len=8.0, inter_car_us=20.0,
+                               inter_train_us=5_000.0,
+                               exponential_car_gaps=True)
+        p = spec.build(rng)
+        gaps = np.array([p.next_batch()[0] for _ in range(2000)])
+        short = gaps[gaps < 100.0]
+        assert short.mean() == pytest.approx(20.0, rel=0.15)
+        assert short.std() > 5.0  # not deterministic
+
+    def test_each_batch_is_one_packet(self, rng):
+        spec = PacketTrainSpec(4.0, 25.0, 1_000.0)
+        p = spec.build(rng)
+        assert all(p.next_batch()[1] == 1 for _ in range(100))

@@ -1,0 +1,86 @@
+"""Tests for the dynamic stream population (session churn)."""
+
+import pytest
+
+from repro.sim.system import NetworkProcessingSystem
+from repro.workloads.sessions import SessionChurnSpec
+from repro.workloads.traffic import TrafficSpec
+
+from ..conftest import fast_config
+
+
+class TestSpec:
+    def test_littles_law(self):
+        spec = SessionChurnSpec(sessions_per_second=200.0,
+                                mean_lifetime_us=100_000.0,
+                                per_stream_rate_pps=300.0)
+        assert spec.mean_concurrent_sessions == pytest.approx(20.0)
+        assert spec.offered_rate_pps == pytest.approx(6_000.0)
+
+    def test_for_population_inverts(self):
+        spec = SessionChurnSpec.for_population(
+            mean_sessions=50.0, mean_lifetime_us=80_000.0,
+            per_stream_rate_pps=100.0,
+        )
+        assert spec.mean_concurrent_sessions == pytest.approx(50.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SessionChurnSpec(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            SessionChurnSpec(1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            SessionChurnSpec.for_population(0.0, 1.0, 1.0)
+
+
+class TestChurnInSimulation:
+    def make(self, population=20, **overrides):
+        churn = SessionChurnSpec.for_population(
+            mean_sessions=float(population),
+            mean_lifetime_us=50_000.0,
+            per_stream_rate_pps=400.0,
+        )
+        return NetworkProcessingSystem(fast_config(
+            traffic=TrafficSpec.homogeneous_poisson(2, 500.0),
+            churn=churn, duration_us=300_000, warmup_us=40_000,
+            **overrides,
+        ))
+
+    def test_dynamic_streams_created(self):
+        system = self.make()
+        system.run()
+        # Many sessions were born beyond the 2 base streams.
+        assert system._stream_counter > 50
+
+    def test_throughput_tracks_offered_load(self):
+        system = self.make()
+        s = system.run()
+        assert s.throughput_pps == pytest.approx(s.offered_rate_pps, rel=0.15)
+
+    def test_peak_sessions_near_littles_law(self):
+        system = self.make(population=20)
+        system.run()
+        # Peak of a Poisson(20) population is above the mean but sane.
+        assert 15 <= system.peak_concurrent_sessions <= 50
+
+    def test_offered_rate_includes_churn(self):
+        system = self.make(population=20)
+        s = system.run()
+        assert s.offered_rate_pps == pytest.approx(500.0 + 20 * 400.0)
+
+    def test_deterministic_for_seed(self):
+        a = self.make(seed=11).run()
+        b = self.make(seed=11).run()
+        assert a.n_packets == b.n_packets
+        assert a.mean_delay_us == b.mean_delay_us
+
+    def test_works_under_ips(self):
+        system = self.make(paradigm="ips", policy="ips-wired")
+        s = system.run()
+        assert s.n_packets > 100
+
+    def test_wired_binding_applies_to_dynamic_streams(self):
+        system = self.make(policy="wired-streams", trace=True)
+        system.run()
+        for rec in system.tracer.records:
+            assert rec.processor_id == rec.stream_id % 8

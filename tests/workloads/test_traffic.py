@@ -1,0 +1,89 @@
+"""Tests for traffic specs and packet-size models."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.arrivals import BatchPoissonSpec, PoissonSpec
+from repro.workloads.traffic import (
+    GUSELLA_LAN_MIX,
+    EmpiricalMix,
+    FixedSize,
+    TrafficSpec,
+)
+
+
+class TestSizeModels:
+    def test_fixed_size(self, rng):
+        m = FixedSize(512)
+        assert m.sample(rng) == 512
+        assert m.mean_bytes == 512.0
+
+    def test_fixed_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FixedSize(-1)
+
+    def test_empirical_mix_mean(self):
+        m = EmpiricalMix(sizes=(64, 1024), probabilities=(0.75, 0.25))
+        assert m.mean_bytes == pytest.approx(304.0)
+
+    def test_empirical_mix_samples_from_support(self, rng):
+        m = EmpiricalMix(sizes=(64, 1024), probabilities=(0.5, 0.5))
+        for _ in range(50):
+            assert m.sample(rng) in (64, 1024)
+
+    def test_empirical_validation(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            EmpiricalMix(sizes=(64,), probabilities=(0.5,))
+        with pytest.raises(ValueError, match="align"):
+            EmpiricalMix(sizes=(64, 128), probabilities=(1.0,))
+        with pytest.raises(ValueError):
+            EmpiricalMix(sizes=(-1,), probabilities=(1.0,))
+
+    def test_gusella_mix_is_small_packet_dominated(self):
+        assert GUSELLA_LAN_MIX.mean_bytes < 1000
+        assert GUSELLA_LAN_MIX.sizes[0] == 64
+
+
+class TestTrafficSpec:
+    def test_homogeneous_poisson(self):
+        t = TrafficSpec.homogeneous_poisson(8, 16_000.0)
+        assert t.n_streams == 8
+        assert t.total_rate_pps == pytest.approx(16_000.0)
+        assert all(isinstance(s, PoissonSpec) for s in t.stream_specs)
+        assert all(s.rate_pps == pytest.approx(2_000.0) for s in t.stream_specs)
+
+    def test_one_bursty_among_smooth(self):
+        t = TrafficSpec.one_bursty_among_smooth(4, 8_000.0, mean_batch=8.0)
+        assert isinstance(t.stream_specs[0], BatchPoissonSpec)
+        assert t.stream_specs[0].mean_batch == 8.0
+        assert all(isinstance(s, PoissonSpec) for s in t.stream_specs[1:])
+        assert t.total_rate_pps == pytest.approx(8_000.0)
+
+    def test_single_stream(self):
+        t = TrafficSpec.single_stream(5_000.0)
+        assert t.n_streams == 1
+        assert t.total_rate_pps == pytest.approx(5_000.0)
+
+    def test_needs_streams(self):
+        with pytest.raises(ValueError):
+            TrafficSpec(())
+        with pytest.raises(ValueError):
+            TrafficSpec.homogeneous_poisson(0, 100.0)
+
+    def test_custom_mix(self):
+        t = TrafficSpec(
+            (PoissonSpec(100.0), BatchPoissonSpec(300.0, 4.0)),
+        )
+        assert t.total_rate_pps == pytest.approx(400.0)
+
+
+class TestHeterogeneous:
+    def test_rates_respected(self):
+        t = TrafficSpec.heterogeneous([100.0, 5_000.0, 400.0])
+        assert t.n_streams == 3
+        assert t.total_rate_pps == pytest.approx(5_500.0)
+        assert t.stream_specs[1].rate_pps == pytest.approx(5_000.0)
+
+    def test_needs_rates(self):
+        with pytest.raises(ValueError):
+            TrafficSpec.heterogeneous([])

@@ -1,0 +1,105 @@
+"""Tests for x-kernel message buffers."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.xkernel.message import Message, MessageError
+
+
+class TestBasics:
+    def test_length_and_bytes(self):
+        m = Message(b"hello")
+        assert len(m) == 5
+        assert bytes(m) == b"hello"
+
+    def test_data_view_zero_copy(self):
+        m = Message(b"abcdef")
+        view = m.data
+        assert bytes(view) == b"abcdef"
+        assert isinstance(view, memoryview)
+
+    def test_empty_message(self):
+        m = Message()
+        assert len(m) == 0
+        assert bytes(m) == b""
+
+
+class TestPushPop:
+    def test_pop_strips_front(self):
+        m = Message(b"HDRpayload")
+        assert m.pop(3) == b"HDR"
+        assert bytes(m) == b"payload"
+
+    def test_push_prepends(self):
+        m = Message(b"payload")
+        m.push(b"HDR")
+        assert bytes(m) == b"HDRpayload"
+
+    def test_push_pop_round_trip(self):
+        m = Message(b"data")
+        m.push(b"ip")
+        m.push(b"mac")
+        assert m.pop(3) == b"mac"
+        assert m.pop(2) == b"ip"
+        assert bytes(m) == b"data"
+
+    def test_push_beyond_headroom_grows(self):
+        m = Message(b"x", headroom=2)
+        m.push(b"0123456789")
+        assert bytes(m) == b"0123456789x"
+
+    def test_pop_too_much_raises(self):
+        with pytest.raises(MessageError):
+            Message(b"ab").pop(3)
+
+    def test_pop_negative_raises(self):
+        with pytest.raises(MessageError):
+            Message(b"ab").pop(-1)
+
+
+class TestPeekTruncateClone:
+    def test_peek_does_not_consume(self):
+        m = Message(b"abcdef")
+        assert m.peek(3) == b"abc"
+        assert len(m) == 6
+
+    def test_peek_bounds(self):
+        with pytest.raises(MessageError):
+            Message(b"ab").peek(5)
+
+    def test_truncate(self):
+        m = Message(b"abcdef")
+        m.truncate(4)
+        assert bytes(m) == b"abcd"
+
+    def test_truncate_bounds(self):
+        with pytest.raises(MessageError):
+            Message(b"ab").truncate(3)
+        with pytest.raises(MessageError):
+            Message(b"ab").truncate(-1)
+
+    def test_clone_is_independent(self):
+        m = Message(b"abcdef")
+        c = m.clone()
+        m.pop(2)
+        assert bytes(c) == b"abcdef"
+        assert bytes(m) == b"cdef"
+
+    def test_negative_headroom_rejected(self):
+        with pytest.raises(MessageError):
+            Message(b"x", headroom=-1)
+
+
+@given(
+    payload=st.binary(max_size=200),
+    headers=st.lists(st.binary(min_size=1, max_size=40), max_size=6),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_push_pop_inverse(payload, headers):
+    m = Message(payload, headroom=8)
+    for h in headers:
+        m.push(h)
+    for h in reversed(headers):
+        assert m.pop(len(h)) == h
+    assert bytes(m) == payload

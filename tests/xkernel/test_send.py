@@ -1,0 +1,145 @@
+"""Tests for the send-side fast path (extension (i)) and loopback."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.xkernel.driver import StreamEndpoint
+from repro.xkernel.fddi import FDDI_HEADER_LEN
+from repro.xkernel.ip import IP_HEADER_LEN
+from repro.xkernel.protocol import ProtocolError
+from repro.xkernel.send import (
+    MAX_SEND_PAYLOAD,
+    SendPath,
+    TransmitQueue,
+    loopback,
+)
+from repro.xkernel.stack import ReceiveFastPath
+from repro.xkernel.udp import UDP_HEADER_LEN
+
+TX_MAC = bytes([2, 0, 0, 0, 0, 9])
+
+
+def make_pair(verify=True, n_streams=1):
+    streams = [
+        StreamEndpoint(f"10.0.0.{i + 5}", 5000 + i, 7000 + i)
+        for i in range(n_streams)
+    ]
+    rx = ReceiveFastPath.build(streams, verify_udp_checksum=verify)
+    paths = []
+    for i, ep in enumerate(streams):
+        tx = SendPath(local_mac=TX_MAC, local_ip=ep.src_ip,
+                      remote_mac=rx.driver.local_mac,
+                      compute_udp_checksum=verify)
+        sess = tx.open_session(ep.src_port, rx.driver.local_ip, ep.dst_port)
+        paths.append((tx, sess))
+    return rx, paths
+
+
+class TestTransmitQueue:
+    def test_enqueue_drain(self):
+        q = TransmitQueue()
+        q.enqueue(b"frame1")
+        q.enqueue(b"frame2")
+        assert len(q) == 2
+        assert q.drain() == [b"frame1", b"frame2"]
+        assert len(q) == 0
+        assert q.bytes_queued == 12
+
+    def test_capacity_enforced(self):
+        q = TransmitQueue(capacity=1)
+        q.enqueue(b"x")
+        with pytest.raises(ProtocolError, match="full"):
+            q.enqueue(b"y")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransmitQueue(capacity=-1)
+
+
+class TestSendPath:
+    def test_frame_layout_lengths(self):
+        _, [(tx, sess)] = make_pair()
+        frame = tx.send(sess, b"data", stamp_sequence=False)
+        assert len(frame) == (FDDI_HEADER_LEN + IP_HEADER_LEN
+                              + UDP_HEADER_LEN + 4)
+
+    def test_session_bookkeeping(self):
+        _, [(tx, sess)] = make_pair()
+        tx.send(sess, b"abc")
+        tx.send(sess, b"defg")
+        assert sess.packets_sent == 2
+        assert sess.bytes_sent == len(b"abc") + len(b"defg") + 8  # + seq
+
+    def test_session_reuse_by_tuple(self):
+        _, [(tx, sess)] = make_pair()
+        again = tx.open_session(sess.local_port, sess.remote_ip,
+                                sess.remote_port)
+        assert again is sess
+        assert tx.n_sessions == 1
+
+    def test_mtu_enforced(self):
+        _, [(tx, sess)] = make_pair()
+        with pytest.raises(ProtocolError, match="MTU"):
+            tx.send(sess, b"x" * (MAX_SEND_PAYLOAD + 1), stamp_sequence=False)
+
+    def test_max_payload_fits(self):
+        _, [(tx, sess)] = make_pair(verify=False)
+        frame = tx.send(sess, b"x" * MAX_SEND_PAYLOAD, stamp_sequence=False)
+        assert len(frame) > MAX_SEND_PAYLOAD
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SendPath(b"\x00", "10.0.0.1", TX_MAC)
+        rx, [(tx, _)] = make_pair()
+        with pytest.raises(ValueError):
+            tx.open_session(-1, "10.0.0.1", 5)
+        with pytest.raises(ValueError):
+            tx.open_session(1, "bad-ip", 5)
+
+
+class TestLoopback:
+    def test_round_trip_delivers(self):
+        rx, [(tx, sess)] = make_pair()
+        for i in range(10):
+            tx.send(sess, f"payload-{i}".encode())
+        assert loopback(tx, rx) == 10
+        session = rx.session_for_stream(0)
+        assert session.packets_received == 10
+        assert session.out_of_order == 0
+
+    def test_checksums_verify_end_to_end(self):
+        rx, [(tx, sess)] = make_pair(verify=True)
+        tx.send(sess, b"checksummed payload")
+        assert loopback(tx, rx) == 1
+
+    def test_multiple_streams_demux_correctly(self):
+        rx, paths = make_pair(n_streams=3)
+        for k, (tx, sess) in enumerate(paths):
+            for _ in range(k + 1):
+                tx.send(sess, b"data")
+            loopback(tx, rx)
+        for k in range(3):
+            assert rx.session_for_stream(k).packets_received == k + 1
+
+    def test_sequence_continuity_across_batches(self):
+        rx, [(tx, sess)] = make_pair()
+        tx.send(sess, b"one")
+        loopback(tx, rx)
+        tx.send(sess, b"two")
+        loopback(tx, rx)
+        assert rx.session_for_stream(0).out_of_order == 0
+
+    @given(payloads=st.lists(st.binary(max_size=512), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_property_lossless_ordered_roundtrip(self, payloads):
+        rx, [(tx, sess)] = make_pair()
+        received = []
+        # Tap the UDP session callback to capture payloads in order.
+        rx.udp.session(7000).callback = received.append
+        for p in payloads:
+            tx.send(sess, p)
+        loopback(tx, rx)
+        assert len(received) == len(payloads)
+        for got, sent in zip(received, payloads):
+            assert got[4:] == sent  # strip the sequence stamp
