@@ -102,3 +102,45 @@ def test_simulation_packets_per_second(benchmark):
         return run_simulation(SystemConfig(**cfg_kwargs)).n_packets
 
     assert benchmark.pedantic(run, rounds=3, iterations=1) > 1000
+
+
+def _recurring_states():
+    """The handful of states the simulator's hot loop keeps revisiting."""
+    inf = float("inf")
+    return [
+        ComponentState(code_refs=0.0, stream_refs=0.0, thread_refs=0.0),
+        ComponentState(code_refs=inf, stream_refs=inf, thread_refs=inf),
+        ComponentState(code_refs=0.0, stream_refs=inf, thread_refs=0.0),
+        ComponentState(code_refs=5_000.0, stream_refs=20_000.0,
+                       thread_refs=inf, shared_invalidated=True),
+    ]
+
+
+def test_component_penalty_memoized(benchmark):
+    """Per-state penalty lookup with the memo table (the default)."""
+    model = ExecutionTimeModel(PAPER_COSTS, PAPER_COMPOSITION,
+                               sgi_challenge_hierarchy())
+    states = _recurring_states() * 250
+
+    def run():
+        total = 0.0
+        for s in states:
+            total += model.component_penalty_us(s)
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_component_penalty_unmemoized(benchmark):
+    """Same lookup with ``memoize=False`` — the before/after comparison."""
+    model = ExecutionTimeModel(PAPER_COSTS, PAPER_COMPOSITION,
+                               sgi_challenge_hierarchy(), memoize=False)
+    states = _recurring_states() * 250
+
+    def run():
+        total = 0.0
+        for s in states:
+            total += model.component_penalty_us(s)
+        return total
+
+    assert benchmark(run) > 0

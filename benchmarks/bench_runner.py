@@ -1,0 +1,134 @@
+"""Benchmark of the parallel sweep runner (the acceptance gate for the
+``repro.runner`` subsystem).
+
+Times a rate-grid sweep shaped like E10's fast grid — independent
+simulations at several arrival rates — serially (``jobs=0``) and fanned
+out over 4 worker processes, and reports the speedup.  On a >= 4-core
+machine the parallel sweep must be at least 2x faster; on smaller
+machines (e.g. a 1-CPU CI container, where a process pool cannot beat
+serial) the speedup is reported but not asserted.
+
+Also exercises the warm-cache path: a second pass over the same grid must
+execute zero simulations.
+
+Runnable two ways::
+
+    pytest benchmarks/bench_runner.py -s --benchmark-only
+    PYTHONPATH=src python benchmarks/bench_runner.py
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.runner import ResultCache, SweepRunner
+from repro.sim.system import SystemConfig
+from repro.workloads.traffic import TrafficSpec
+
+#: E10's fast-mode rate grid (packets/s), one Locking/MRU run per point.
+RATE_GRID = (2_000, 8_000, 16_000, 28_000, 38_000)
+
+#: Assert the >=2x speedup only where the hardware can deliver it.
+MIN_CORES_FOR_ASSERT = 4
+REQUIRED_SPEEDUP = 2.0
+
+
+def sweep_configs(duration_us: float = 400_000.0) -> list:
+    """One independent simulation per rate point (E10 fast shape)."""
+    return [
+        SystemConfig(
+            traffic=TrafficSpec.homogeneous_poisson(8, float(rate)),
+            paradigm="locking", policy="mru",
+            duration_us=duration_us, warmup_us=duration_us * 0.15,
+            seed=1,
+        )
+        for rate in RATE_GRID
+    ]
+
+
+def time_sweep(jobs: int, configs, cache=None):
+    """Run the sweep once; returns (elapsed_s, results)."""
+    runner = SweepRunner(jobs=jobs, cache=cache)
+    t0 = time.perf_counter()
+    results = runner.run_many(configs)
+    return time.perf_counter() - t0, results, runner.stats
+
+
+def compare(duration_us: float = 400_000.0):
+    """Serial vs jobs=4 vs warm cache; returns a report dict."""
+    configs = sweep_configs(duration_us)
+    t_serial, serial, _ = time_sweep(0, configs)
+    t_par, par, _ = time_sweep(4, configs)
+    assert par == serial, "parallel sweep diverged from serial reference"
+
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        time_sweep(0, configs, cache=cache)
+        t_warm, warm, warm_stats = time_sweep(0, configs, cache=cache)
+        assert warm == serial, "cached sweep diverged from serial reference"
+        assert warm_stats.executed == 0, "warm cache re-executed simulations"
+
+    return {
+        "points": len(configs),
+        "serial_s": t_serial,
+        "parallel_s": t_par,
+        "speedup": t_serial / t_par if t_par > 0 else float("inf"),
+        "warm_cache_s": t_warm,
+        "cpus": os.cpu_count() or 1,
+    }
+
+
+def test_parallel_sweep_speedup(benchmark):
+    """jobs=4 over E10's rate grid: >=2x on >=4 cores, identical always."""
+    configs = sweep_configs()
+    t_serial, serial, _ = time_sweep(0, configs)
+
+    def parallel():
+        elapsed, results, _ = time_sweep(4, configs)
+        assert results == serial
+        return elapsed
+
+    t_par = benchmark.pedantic(parallel, rounds=1, iterations=1)
+    speedup = t_serial / t_par if t_par > 0 else float("inf")
+    print(f"\nserial {t_serial:.2f}s, jobs=4 {t_par:.2f}s, "
+          f"speedup {speedup:.2f}x on {os.cpu_count()} CPUs")
+    if (os.cpu_count() or 1) >= MIN_CORES_FOR_ASSERT:
+        assert speedup >= REQUIRED_SPEEDUP
+
+
+def test_warm_cache_executes_nothing(benchmark):
+    """Second pass over a cached grid is pure lookup."""
+    import tempfile
+
+    configs = sweep_configs(duration_us=100_000.0)
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        _, cold, _ = time_sweep(0, configs, cache=cache)
+
+        def warm():
+            elapsed, results, stats = time_sweep(0, configs, cache=cache)
+            assert results == cold
+            assert stats.executed == 0
+            assert stats.cache_hits == len(configs)
+            return elapsed
+
+        t_warm = benchmark.pedantic(warm, rounds=1, iterations=1)
+        print(f"\nwarm-cache sweep: {t_warm*1000:.1f} ms "
+              f"for {len(configs)} points")
+
+
+if __name__ == "__main__":
+    report = compare()
+    print(f"{report['points']}-point sweep on {report['cpus']} CPUs")
+    print(f"  serial (jobs=0): {report['serial_s']:.2f}s")
+    print(f"  jobs=4:          {report['parallel_s']:.2f}s "
+          f"({report['speedup']:.2f}x)")
+    print(f"  warm cache:      {report['warm_cache_s']*1000:.1f} ms")
+    if report["cpus"] >= MIN_CORES_FOR_ASSERT:
+        ok = report["speedup"] >= REQUIRED_SPEEDUP
+        print(f"  speedup gate (>= {REQUIRED_SPEEDUP}x): "
+              f"{'PASS' if ok else 'FAIL'}")
+        raise SystemExit(0 if ok else 1)
+    print(f"  speedup gate skipped (< {MIN_CORES_FOR_ASSERT} CPUs)")

@@ -12,6 +12,9 @@ Public API highlights
 - :mod:`repro.cache` — footprint function, flush model, trace-driven cache
   simulator.
 - :mod:`repro.experiments` — one module per paper table/figure.
+- :class:`repro.SweepRunner` / :class:`repro.ResultCache` — parallel sweep
+  execution with a persistent content-addressed result cache
+  (:mod:`repro.runner`).
 """
 
 from .cache import (
@@ -35,6 +38,13 @@ from .core import (
     ProtocolCosts,
     make_ips_policy,
     make_locking_policy,
+)
+from .runner import (
+    ResultCache,
+    SweepRunner,
+    config_key,
+    get_runner,
+    use_runner,
 )
 from .sim import (
     NetworkProcessingSystem,
@@ -75,14 +85,19 @@ __all__ = [
     "PlatformConfig",
     "PoissonSpec",
     "ProtocolCosts",
+    "ResultCache",
     "SimulationSummary",
     "Simulator",
+    "SweepRunner",
     "SystemConfig",
     "TrafficSpec",
     "__version__",
+    "config_key",
     "flushed_fraction",
+    "get_runner",
     "make_ips_policy",
     "make_locking_policy",
     "run_simulation",
     "sgi_challenge_hierarchy",
+    "use_runner",
 ]

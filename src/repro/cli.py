@@ -4,31 +4,60 @@ Commands
 --------
 ``repro list``
     Show the experiment index (id, title).
-``repro run e06 [--full] [--seed N]``
+``repro run e06 [--full] [--seed N] [--jobs N] [--no-cache] [--cache-dir P]``
     Run one experiment and print its table/series.
-``repro all [--full] [--seed N] [--with-extras]``
+``repro all [--full] [--seed N] [--with-extras] [--jobs N] [...]``
     Run the whole suite in order (the content of EXPERIMENTS.md);
     ``--with-extras`` appends the ablations (a01..a05) and extensions
     (x01..x03).
-``repro csv OUTDIR [--full] [--seed N]``
+``repro csv OUTDIR [--full] [--seed N] [--with-extras] [--jobs N] [...]``
     Run every experiment and write its structured rows as
     ``OUTDIR/<id>.csv`` (for plotting outside the terminal).
+``repro cache [--clear] [--cache-dir P]``
+    Inspect (or clear) the persistent result cache.
 ``repro simulate --paradigm locking --policy mru --rate 12000 ...``
     One ad-hoc simulation with a summary printout.
+
+Parallelism and caching
+-----------------------
+``run``/``all``/``csv`` execute their sweeps through the
+:mod:`repro.runner` subsystem: ``--jobs N`` fans the independent
+simulations of each sweep out over N worker processes (``--jobs 0``, the
+default, is the serial fallback; ``--jobs -1`` uses every CPU), with
+output guaranteed identical to serial.  Results are cached on disk keyed
+by config content + simulator code version (``docs/RUNNER.md``), so
+re-runs skip already-computed points; ``--no-cache`` bypasses the cache
+and ``--cache-dir`` relocates it.  Each invocation ends with a summary
+line reporting simulations run, cache hits, and elapsed wall-clock.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from .analysis.tables import format_kv
 from .experiments.base import ALL_IDS, EXPERIMENT_IDS, load_experiment, run_experiment
+from .runner import ResultCache, SweepRunner, default_cache_dir, use_runner
 from .sim.system import SystemConfig, run_simulation
 from .workloads.traffic import TrafficSpec
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="worker processes for sweep fan-out (0 = serial, the default; "
+             "-1 = one per CPU)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent result cache")
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help=f"result cache location (default: {default_cache_dir()})")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,17 +77,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--full", action="store_true",
                        help="publication-length horizons (slower)")
     p_run.add_argument("--seed", type=int, default=1)
+    _add_runner_flags(p_run)
 
     p_all = sub.add_parser("all", help="run the whole suite")
     p_all.add_argument("--full", action="store_true")
     p_all.add_argument("--seed", type=int, default=1)
     p_all.add_argument("--with-extras", action="store_true",
                        help="also run ablations a01..a05 and extensions x01..x03")
+    _add_runner_flags(p_all)
 
     p_csv = sub.add_parser("csv", help="write every experiment's rows as CSV")
     p_csv.add_argument("outdir")
     p_csv.add_argument("--full", action="store_true")
     p_csv.add_argument("--seed", type=int, default=1)
+    p_csv.add_argument("--with-extras", action="store_true",
+                       help="also write ablations a01..a05 and extensions "
+                            "x01..x03 (matching `repro all --with-extras`)")
+    _add_runner_flags(p_csv)
+
+    p_cache = sub.add_parser("cache", help="inspect the persistent result cache")
+    p_cache.add_argument("--clear", action="store_true",
+                         help="delete every cached result")
+    p_cache.add_argument("--cache-dir", default=None, metavar="PATH")
 
     p_sim = sub.add_parser("simulate", help="one ad-hoc simulation")
     p_sim.add_argument("--paradigm", choices=("locking", "ips"), default="locking")
@@ -82,6 +122,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _make_runner(args: argparse.Namespace) -> SweepRunner:
+    """Build the sweep runner requested by --jobs/--no-cache/--cache-dir."""
+    jobs = None if args.jobs is not None and args.jobs < 0 else args.jobs
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return SweepRunner(jobs=jobs, cache=cache)
+
+
+def _print_runner_summary(runner: SweepRunner) -> None:
+    print(f"[runner] {runner.stats.summary_line(runner.jobs_label())}")
+
+
 def _cmd_list() -> int:
     for eid in EXPERIMENT_IDS:
         module = load_experiment(eid)
@@ -96,29 +147,58 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(experiment: str, full: bool, seed: int) -> int:
-    result = run_experiment(experiment, fast=not full, seed=seed)
+def _cmd_run(args: argparse.Namespace) -> int:
+    runner = _make_runner(args)
+    with use_runner(runner):
+        result = run_experiment(args.experiment, fast=not args.full,
+                                seed=args.seed)
     print(result)
+    _print_runner_summary(runner)
     return 0
 
 
-def _cmd_all(full: bool, seed: int, with_extras: bool = False) -> int:
-    ids = ALL_IDS if with_extras else EXPERIMENT_IDS
-    for eid in ids:
-        print(run_experiment(eid, fast=not full, seed=seed))
-        print()
+def _cmd_all(args: argparse.Namespace) -> int:
+    ids = ALL_IDS if args.with_extras else EXPERIMENT_IDS
+    runner = _make_runner(args)
+    with use_runner(runner):
+        for eid in ids:
+            t0 = time.perf_counter()
+            before = runner.stats.snapshot()
+            result = run_experiment(eid, fast=not args.full, seed=args.seed)
+            delta = runner.stats.since(before)
+            print(result)
+            print(f"[{eid}] {delta.simulations} simulations "
+                  f"({delta.cache_hits} cached) in "
+                  f"{time.perf_counter() - t0:.1f}s")
+            print()
+    _print_runner_summary(runner)
     return 0
 
 
-def _cmd_csv(outdir: str, full: bool, seed: int) -> int:
+def _cmd_csv(args: argparse.Namespace) -> int:
     import os
 
-    os.makedirs(outdir, exist_ok=True)
-    for eid in EXPERIMENT_IDS:
-        result = run_experiment(eid, fast=not full, seed=seed)
-        path = os.path.join(outdir, f"{eid}.csv")
-        result.to_csv(path)
-        print(f"wrote {path} ({len(result.rows)} rows)")
+    os.makedirs(args.outdir, exist_ok=True)
+    ids = ALL_IDS if args.with_extras else EXPERIMENT_IDS
+    runner = _make_runner(args)
+    with use_runner(runner):
+        for eid in ids:
+            result = run_experiment(eid, fast=not args.full, seed=args.seed)
+            path = os.path.join(args.outdir, f"{eid}.csv")
+            result.to_csv(path)
+            print(f"wrote {path} ({len(result.rows)} rows)")
+    _print_runner_summary(runner)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.clear:
+        removed = cache.prune()
+        print(f"cleared {removed} cached results from {cache.root}")
+        return 0
+    print(f"cache dir: {cache.root}")
+    print(f"entries:   {len(cache)}")
     return 0
 
 
@@ -167,11 +247,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiment, args.full, args.seed)
+        return _cmd_run(args)
     if args.command == "all":
-        return _cmd_all(args.full, args.seed, args.with_extras)
+        return _cmd_all(args)
     if args.command == "csv":
-        return _cmd_csv(args.outdir, args.full, args.seed)
+        return _cmd_csv(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -29,6 +29,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Dict, Optional
+
 import numpy as np
 
 from ..cache.hierarchy import CacheHierarchy
@@ -78,13 +80,28 @@ class ExecutionTimeModel:
         Two-level (or deeper) cache hierarchy; only the first two levels
         participate in the interpolation (matching the paper's platform) —
         deeper levels would require additional measured bounds.
+    memoize:
+        Cache :meth:`component_penalty_us` results per
+        :class:`ComponentState`.  The simulator's hot path re-evaluates a
+        small set of recurring states millions of times — fully-warm
+        (back-to-back service under affinity policies), fully-cold (idle
+        or migrated components), and their mixtures — so an LRU-ish table
+        short-circuits the transcendental flush math for them.  The cache
+        is bounded (cleared wholesale when full) and keyed on exact state,
+        so results are bit-identical with or without it.
     """
+
+    #: Memoization table bound; states are 4-field tuples, so even the
+    #: worst case costs a few MB.
+    _PENALTY_CACHE_MAX = 65_536
 
     def __init__(
         self,
         costs: ProtocolCosts,
         composition: FootprintComposition,
         hierarchy: CacheHierarchy,
+        *,
+        memoize: bool = True,
     ) -> None:
         if hierarchy.n_levels < 2:
             raise ValueError(
@@ -96,6 +113,9 @@ class ExecutionTimeModel:
         self.hierarchy = hierarchy
         self._delta1 = costs.l1_reload_us
         self._delta2 = costs.l2_reload_us
+        self._penalty_cache: Optional[Dict[ComponentState, float]] = (
+            {} if memoize else None
+        )
         # Precomputed per-level constants for the scalar fast path used by
         # the simulator (millions of per-packet evaluations; the generic
         # NumPy path costs ~50x more on scalars).  Only direct-mapped
@@ -175,7 +195,24 @@ class ExecutionTimeModel:
     # Component-decomposed form used by the simulator
     # ------------------------------------------------------------------
     def component_penalty_us(self, state: ComponentState) -> float:
-        """Total reload transient (µs) given per-component cache state."""
+        """Total reload transient (µs) given per-component cache state.
+
+        Memoized per exact state when the model was built with
+        ``memoize=True`` (the default); see the class docstring.
+        """
+        cache = self._penalty_cache
+        if cache is None:
+            return self._component_penalty_uncached(state)
+        hit = cache.get(state)
+        if hit is not None:
+            return hit
+        value = self._component_penalty_uncached(state)
+        if len(cache) >= self._PENALTY_CACHE_MAX:
+            cache.clear()
+        cache[state] = value
+        return value
+
+    def _component_penalty_uncached(self, state: ComponentState) -> float:
         comp = self.composition
         pen_stream = self.reload_penalty(state.stream_refs)
         pen_thread = self.reload_penalty(state.thread_refs)

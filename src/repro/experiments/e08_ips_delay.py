@@ -21,7 +21,8 @@ from __future__ import annotations
 from typing import Dict, Sequence
 
 from ..analysis.tables import format_series, format_table
-from ..sim.system import SystemConfig, run_simulation
+from ..runner import get_runner
+from ..sim.system import SystemConfig
 from ..workloads.traffic import TrafficSpec
 from .base import ExperimentResult, PolicySpec, delay_vs_rate_sweep
 
@@ -55,13 +56,15 @@ def run(fast: bool = True, seed: int = 1,
 
     # Extension (iii): number of independent stacks at a mid-range load.
     mid_rate = 16_000
-    stack_rows = []
-    for k in stack_counts:
-        cfg = base.with_(
+    stack_summaries = get_runner().run_many([
+        base.with_(
             traffic=TrafficSpec.homogeneous_poisson(N_STREAMS, mid_rate),
             paradigm="ips", policy="ips-wired", n_stacks=k,
         )
-        s = run_simulation(cfg)
+        for k in stack_counts
+    ])
+    stack_rows = []
+    for k, s in zip(stack_counts, stack_summaries):
         stack_rows.append({
             "n_stacks": k,
             "mean_delay_us": round(s.mean_delay_us, 1),

@@ -18,7 +18,8 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 from ..analysis.tables import format_table
-from ..sim.system import SystemConfig, run_simulation
+from ..runner import get_runner
+from ..sim.system import SystemConfig
 from ..workloads.packet_train import PacketTrainSpec
 from ..workloads.arrivals import PoissonSpec
 from ..workloads.traffic import TrafficSpec
@@ -53,32 +54,43 @@ def run(fast: bool = True, seed: int = 1, **_) -> ExperimentResult:
     burst_sizes = (1, 4, 8, 16) if fast else (1, 2, 4, 8, 12, 16, 24, 32)
     per_stream = TOTAL_RATE / N_STREAMS
 
-    rows = []
+    train_lens = (4.0,) if fast else (4.0, 8.0, 16.0)
+
+    # Both grids (burst-size sweep + packet-train variant) are independent
+    # runs; submit everything to the sweep runner in one batch.
+    configs = []
     for b in burst_sizes:
         traffic = TrafficSpec.one_bursty_among_smooth(
             N_STREAMS, TOTAL_RATE, mean_batch=float(b)
         )
-        row: Dict[str, object] = {"mean_burst": b}
-        for label, (paradigm, policy) in CONTENDERS.items():
-            cfg = SystemConfig(
+        for paradigm, policy in CONTENDERS.values():
+            configs.append(SystemConfig(
                 traffic=traffic, paradigm=paradigm, policy=policy,
                 duration_us=duration, warmup_us=warmup, seed=seed,
-            )
-            s = run_simulation(cfg)
+            ))
+    for trains in train_lens:
+        traffic = _train_traffic(per_stream, trains)
+        for paradigm, policy in CONTENDERS.values():
+            configs.append(SystemConfig(
+                traffic=traffic, paradigm=paradigm, policy=policy,
+                duration_us=duration, warmup_us=warmup, seed=seed,
+            ))
+    summaries = iter(get_runner().run_many(configs))
+
+    rows = []
+    for b in burst_sizes:
+        row: Dict[str, object] = {"mean_burst": b}
+        for label in CONTENDERS:
+            s = next(summaries)
             row[label] = round(s.per_stream_mean_delay_us.get(0, float("nan")), 1)
         rows.append(row)
 
     # Packet-train variant at one burst level (extension (ii)).
     train_rows = []
-    for trains in ((4.0,) if fast else (4.0, 8.0, 16.0)):
-        traffic = _train_traffic(per_stream, trains)
+    for trains in train_lens:
         row = {"mean_train_len": trains}
-        for label, (paradigm, policy) in CONTENDERS.items():
-            cfg = SystemConfig(
-                traffic=traffic, paradigm=paradigm, policy=policy,
-                duration_us=duration, warmup_us=warmup, seed=seed,
-            )
-            s = run_simulation(cfg)
+        for label in CONTENDERS:
+            s = next(summaries)
             row[label] = round(s.per_stream_mean_delay_us.get(0, float("nan")), 1)
         train_rows.append(row)
 

@@ -22,7 +22,8 @@ from typing import Dict
 
 from ..analysis.tables import format_table
 from ..core.params import FDDI_MAX_PAYLOAD_BYTES, PAPER_COSTS
-from ..sim.system import SystemConfig, run_simulation
+from ..runner import get_runner
+from ..sim.system import SystemConfig
 from ..workloads.traffic import FixedSize, TrafficSpec
 from .base import ExperimentResult
 
@@ -40,7 +41,7 @@ def run(fast: bool = True, seed: int = 1, **_) -> ExperimentResult:
     warmup = 60_000 if fast else 300_000
     payloads = (0, 1024, 4432) if fast else (0, 256, 1024, 2048, 4432)
 
-    rows = []
+    configs = []
     for payload in payloads:
         overhead = PAPER_COSTS.data_touching_us(payload)
         # Keep offered utilization comparable as service time grows.
@@ -48,16 +49,21 @@ def run(fast: bool = True, seed: int = 1, **_) -> ExperimentResult:
         traffic = TrafficSpec.homogeneous_poisson(
             N_STREAMS, rate, size_model=FixedSize(payload)
         )
-        results: Dict[str, float] = {}
-        for label, (paradigm, policy) in (
-            ("baseline", BASELINE), ("affinity", AFFINITY),
-        ):
-            cfg = SystemConfig(
+        for paradigm, policy in (BASELINE, AFFINITY):
+            configs.append(SystemConfig(
                 traffic=traffic, paradigm=paradigm, policy=policy,
                 data_touching=True,
                 duration_us=duration, warmup_us=warmup, seed=seed,
-            )
-            results[label] = run_simulation(cfg).mean_delay_us
+            ))
+    summaries = iter(get_runner().run_many(configs))
+
+    rows = []
+    for payload in payloads:
+        overhead = PAPER_COSTS.data_touching_us(payload)
+        results: Dict[str, float] = {
+            "baseline": next(summaries).mean_delay_us,
+            "affinity": next(summaries).mean_delay_us,
+        }
         reduction = 1.0 - results["affinity"] / results["baseline"]
         rows.append({
             "payload_bytes": payload,

@@ -1,0 +1,39 @@
+"""Parallel sweep runner and persistent result cache.
+
+The experiment suite is embarrassingly parallel — dozens of independent
+:func:`~repro.sim.system.run_simulation` calls per artifact — and highly
+repetitive across invocations (tests, benchmarks, and ``repro all`` re-run
+identical grid points).  This package provides:
+
+- :class:`SweepRunner` — fans a batch of :class:`SystemConfig` runs out
+  over a process pool (``jobs=N``; ``jobs=0`` = serial fallback) with
+  deterministic, submission-ordered results that are bit-identical to
+  serial execution;
+- :class:`ResultCache` — a content-addressed on-disk cache of
+  :class:`~repro.sim.metrics.SimulationSummary` objects keyed by
+  :func:`config_key` (canonical config serialization + simulator code
+  version), so already-computed points are never simulated twice;
+- :func:`use_runner` / :func:`get_runner` — the default-runner hook the
+  CLI and tests use to rewire every sweep without touching experiment
+  signatures.
+
+See ``docs/RUNNER.md`` for the cache key scheme and invalidation rules.
+"""
+
+from .cache import ResultCache, default_cache_dir
+from .keys import UncacheableConfig, canonicalize, code_version, config_key
+from .runner import RunnerStats, SweepRunner, get_runner, set_runner, use_runner
+
+__all__ = [
+    "ResultCache",
+    "RunnerStats",
+    "SweepRunner",
+    "UncacheableConfig",
+    "canonicalize",
+    "code_version",
+    "config_key",
+    "default_cache_dir",
+    "get_runner",
+    "set_runner",
+    "use_runner",
+]

@@ -1,0 +1,129 @@
+"""Persistent on-disk result cache for simulation summaries.
+
+One JSON file per content key (see :mod:`repro.runner.keys`), sharded into
+256 two-hex-character subdirectories.  The default location is
+
+- ``$REPRO_CACHE_DIR`` if set, else
+- ``$XDG_CACHE_HOME/repro`` if set, else
+- ``~/.cache/repro``.
+
+Entries are written atomically (temp file + rename) so concurrent sweep
+workers and interrupted runs can never leave a torn file behind; a file
+that fails to parse is treated as a miss and removed.  Because the content
+key already encodes the simulator's code version, invalidation is
+automatic — stale entries are simply never looked up again (``prune`` can
+reclaim the space).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from ..sim.metrics import SimulationSummary
+
+__all__ = ["ResultCache", "default_cache_dir", "summary_to_dict", "summary_from_dict"]
+
+#: Bump when the on-disk entry layout changes.
+_FORMAT = 1
+
+
+def default_cache_dir() -> Path:
+    """Resolve the default cache root (see module docstring)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    if xdg:
+        return Path(xdg) / "repro"
+    return Path.home() / ".cache" / "repro"
+
+
+def summary_to_dict(summary: SimulationSummary) -> dict:
+    """JSON-able dict of a summary (tuples become lists)."""
+    out = {}
+    for f in dataclasses.fields(summary):
+        value = getattr(summary, f.name)
+        if isinstance(value, tuple):
+            value = list(value)
+        out[f.name] = value
+    return out
+
+
+def summary_from_dict(data: dict) -> SimulationSummary:
+    """Inverse of :func:`summary_to_dict` (restores tuples and int keys)."""
+    kwargs = dict(data)
+    kwargs["delay_ci_us"] = tuple(kwargs["delay_ci_us"])
+    kwargs["utilization_per_proc"] = tuple(kwargs["utilization_per_proc"])
+    kwargs["per_stream_mean_delay_us"] = {
+        int(k): v for k, v in kwargs["per_stream_mean_delay_us"].items()
+    }
+    return SimulationSummary(**kwargs)
+
+
+class ResultCache:
+    """Content-addressed store of :class:`SimulationSummary` objects."""
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[SimulationSummary]:
+        """Look up a summary; any read/parse failure is a miss."""
+        path = self.path_for(key)
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+            if data.get("format") != _FORMAT:
+                return None
+            return summary_from_dict(data["summary"])
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # Torn or stale entry: drop it so it cannot mask future writes.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(self, key: str, summary: SimulationSummary) -> None:
+        """Atomically persist a summary under ``key``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"format": _FORMAT, "key": key,
+                   "summary": summary_to_dict(summary)}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def prune(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*/*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

@@ -1,0 +1,97 @@
+"""Stable content keys for simulation configurations.
+
+The persistent result cache (:mod:`repro.runner.cache`) stores one
+:class:`~repro.sim.metrics.SimulationSummary` per *content key*: a SHA-256
+digest of
+
+1. a **canonical serialization** of the :class:`~repro.sim.system.SystemConfig`
+   — every knob that influences the simulation's output (traffic spec,
+   paradigm/policy, platform geometry, cost constants, footprint
+   composition, horizon, seed, ...), serialized structurally (type name +
+   field values, recursively) so that two configs compare equal iff they
+   would produce identical runs; and
+2. a **code version** — a digest of the source files of the packages that
+   determine simulation results (``sim``, ``core``, ``cache``,
+   ``workloads`` and the statistics used by the metrics summary), so any
+   change to the simulator automatically invalidates every cached result.
+
+Configs that cannot be canonicalized — e.g. a pre-built policy *instance*
+instead of a registry name — raise :class:`UncacheableConfig`; the sweep
+runner treats those runs as uncacheable and simply executes them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from functools import lru_cache
+from pathlib import Path
+from typing import Any
+
+__all__ = ["UncacheableConfig", "canonicalize", "code_version", "config_key"]
+
+
+class UncacheableConfig(ValueError):
+    """The config contains a value with no canonical serialization."""
+
+
+def canonicalize(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-able structure that identifies its value.
+
+    Handles primitives, tuples/lists, string-keyed dicts, and (recursively)
+    frozen dataclasses — which covers :class:`SystemConfig` and every spec
+    object it embeds.  Dataclasses are tagged with their qualified type
+    name so two spec types with identical fields do not collide.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (tuple, list)):
+        return [canonicalize(v) for v in obj]
+    if isinstance(obj, dict):
+        out = {}
+        for k, v in obj.items():
+            if not isinstance(k, str):
+                raise UncacheableConfig(f"non-string dict key {k!r}")
+            out[k] = canonicalize(v)
+        return out
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        tagged = {"__type__": f"{cls.__module__}.{cls.__qualname__}"}
+        for f in dataclasses.fields(obj):
+            tagged[f.name] = canonicalize(getattr(obj, f.name))
+        return tagged
+    raise UncacheableConfig(
+        f"cannot canonicalize {type(obj).__qualname__!r} value {obj!r}"
+    )
+
+
+#: Package-relative sources whose content defines simulation behaviour.
+#: Formatting/CLI/experiment-table code is deliberately excluded so cosmetic
+#: changes do not invalidate the cache.
+_SIM_SOURCES = ("sim", "core", "cache", "workloads", "analysis/stats.py")
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of the simulation-defining source files (16 hex chars)."""
+    root = Path(__file__).resolve().parent.parent  # the repro package
+    digest = hashlib.sha256()
+    for entry in _SIM_SOURCES:
+        path = root / entry
+        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for f in files:
+            digest.update(f.relative_to(root).as_posix().encode())
+            digest.update(f.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def config_key(config) -> str:
+    """Content key of one run: SHA-256 over config + code version.
+
+    Raises :class:`UncacheableConfig` for configs that embed
+    non-serializable values (e.g. policy instances).
+    """
+    payload = {"code": code_version(), "config": canonicalize(config)}
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()

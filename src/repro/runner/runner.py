@@ -1,0 +1,196 @@
+"""Parallel sweep execution with transparent result caching.
+
+Every paper artifact is a sweep of *independent* ``run_simulation`` calls
+(one per rate/policy/knob grid point).  :class:`SweepRunner` fans those
+runs out over a process pool while guaranteeing the output is
+**bit-identical** to serial execution:
+
+- each run carries its own seed inside its :class:`SystemConfig` (the
+  common-random-numbers semantics of the sweeps), so results do not depend
+  on which worker executes them or in what order;
+- results are returned in the exact order the configs were submitted.
+
+``jobs=0`` (or 1) is a strict serial fallback executing in-process;
+``jobs=None`` uses one worker per CPU.  A :class:`ResultCache` makes
+re-runs of ``repro all``, the tests, and the benchmarks skip
+already-computed points; identical configs *within* one batch are also
+deduplicated so e.g. a repeated baseline run is simulated once.
+
+Experiments reach the runner through a module-level default (serial, no
+cache — the historical behaviour) that the CLI or tests rebind with
+:func:`use_runner`, keeping every experiment's ``run(fast, seed)``
+signature unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from ..sim.metrics import SimulationSummary
+from ..sim.system import SystemConfig, run_simulation
+from .cache import ResultCache
+from .keys import UncacheableConfig, config_key
+
+__all__ = [
+    "RunnerStats",
+    "SweepRunner",
+    "get_runner",
+    "set_runner",
+    "use_runner",
+]
+
+
+@dataclass
+class RunnerStats:
+    """Cumulative accounting of one runner's activity."""
+
+    simulations: int = 0     # runs requested (incl. hits and dedups)
+    cache_hits: int = 0      # served from the persistent cache
+    deduplicated: int = 0    # identical to another config in the same batch
+    executed: int = 0        # actually simulated
+    batches: int = 0
+    elapsed_s: float = 0.0   # wall-clock spent inside run_many
+
+    def snapshot(self) -> "RunnerStats":
+        return RunnerStats(**vars(self))
+
+    def since(self, earlier: "RunnerStats") -> "RunnerStats":
+        """Delta between this snapshot and an earlier one."""
+        return RunnerStats(**{
+            k: getattr(self, k) - getattr(earlier, k) for k in vars(self)
+        })
+
+    def summary_line(self, jobs_label: str = "") -> str:
+        parts = [
+            f"{self.simulations} simulations:",
+            f"{self.cache_hits} cache hits,",
+            f"{self.executed} executed",
+        ]
+        if self.deduplicated:
+            parts.append(f"({self.deduplicated} deduplicated)")
+        parts.append(f"in {self.elapsed_s:.1f}s")
+        if jobs_label:
+            parts.append(f"[{jobs_label}]")
+        return " ".join(parts)
+
+
+class SweepRunner:
+    """Execute batches of independent simulation configs.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``0``/``1`` = serial in-process execution (the
+        deterministic reference path); ``None`` = one per CPU.
+    cache:
+        Optional :class:`ResultCache`.  ``None`` disables caching.
+    """
+
+    def __init__(self, jobs: Optional[int] = 0,
+                 cache: Optional[ResultCache] = None) -> None:
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 0:
+            raise ValueError("jobs must be >= 0 (0 = serial)")
+        self.jobs = jobs
+        self.cache = cache
+        self.stats = RunnerStats()
+
+    # ------------------------------------------------------------------
+    def _key(self, config: SystemConfig) -> Optional[str]:
+        if self.cache is None:
+            return None
+        try:
+            return config_key(config)
+        except UncacheableConfig:
+            return None
+
+    def run_many(self, configs: Sequence[SystemConfig]) -> List[SimulationSummary]:
+        """Run every config; results align index-for-index with input."""
+        t0 = time.perf_counter()
+        n = len(configs)
+        results: List[Optional[SimulationSummary]] = [None] * n
+        keys = [self._key(cfg) for cfg in configs]
+
+        # Serve cache hits; collect misses with within-batch dedup.
+        work: List[int] = []          # indices to actually simulate
+        followers: List[tuple] = []   # (index, leader_index) duplicates
+        leader_for_key = {}
+        hits = dedups = 0
+        for i, (cfg, key) in enumerate(zip(configs, keys)):
+            if key is not None:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    results[i] = cached
+                    hits += 1
+                    continue
+                leader = leader_for_key.get(key)
+                if leader is not None:
+                    followers.append((i, leader))
+                    dedups += 1
+                    continue
+                leader_for_key[key] = i
+            work.append(i)
+
+        if work:
+            pending = [configs[i] for i in work]
+            if self.jobs <= 1 or len(pending) == 1:
+                outs = [run_simulation(cfg) for cfg in pending]
+            else:
+                workers = min(self.jobs, len(pending))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    outs = list(pool.map(run_simulation, pending))
+            for i, summary in zip(work, outs):
+                results[i] = summary
+                key = keys[i]
+                if key is not None:
+                    self.cache.put(key, summary)
+        for i, leader in followers:
+            results[i] = results[leader]
+
+        self.stats.simulations += n
+        self.stats.cache_hits += hits
+        self.stats.deduplicated += dedups
+        self.stats.executed += len(work)
+        self.stats.batches += 1
+        self.stats.elapsed_s += time.perf_counter() - t0
+        return results  # type: ignore[return-value]
+
+    def run_one(self, config: SystemConfig) -> SimulationSummary:
+        return self.run_many([config])[0]
+
+    def jobs_label(self) -> str:
+        cache = "cache on" if self.cache is not None else "cache off"
+        return f"jobs={self.jobs}, {cache}"
+
+
+#: Default runner: serial, uncached — exactly the pre-runner behaviour.
+_default_runner = SweepRunner(jobs=0, cache=None)
+
+
+def get_runner() -> SweepRunner:
+    """The runner sweeps use when none is passed explicitly."""
+    return _default_runner
+
+
+def set_runner(runner: SweepRunner) -> SweepRunner:
+    """Replace the default runner; returns the previous one."""
+    global _default_runner
+    previous = _default_runner
+    _default_runner = runner
+    return previous
+
+
+@contextmanager
+def use_runner(runner: SweepRunner) -> Iterator[SweepRunner]:
+    """Temporarily install ``runner`` as the default (CLI/tests)."""
+    previous = set_runner(runner)
+    try:
+        yield runner
+    finally:
+        set_runner(previous)

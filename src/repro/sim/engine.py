@@ -58,15 +58,26 @@ class Simulator:
 
     def schedule(self, delay_us: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` to fire ``delay_us`` after the current time."""
-        if delay_us < 0 or math.isnan(delay_us):
+        if math.isnan(delay_us):
+            raise SimulationError(
+                "cannot schedule with NaN delay (a cost or interarrival "
+                "computation produced NaN)"
+            )
+        if delay_us < 0:
             raise SimulationError(f"cannot schedule with negative delay {delay_us!r}")
         self.at(self._now + delay_us, callback)
 
     def at(self, time_us: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` at an absolute simulation time."""
-        if time_us < self._now or math.isnan(time_us):
+        if math.isnan(time_us):
             raise SimulationError(
-                f"cannot schedule at {time_us!r} (now = {self._now!r})"
+                "cannot schedule at NaN time (a cost or interarrival "
+                "computation produced NaN)"
+            )
+        if time_us < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time_us!r} (now = {self._now!r}): "
+                "time is in the past"
             )
         heapq.heappush(self._heap, (time_us, self._seq, callback))
         self._seq += 1

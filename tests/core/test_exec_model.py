@@ -184,3 +184,41 @@ class TestAlternativeComposition:
         assert m.component_penalty_us(s) == pytest.approx(
             0.7 * (PAPER_COSTS.t_cold_us - PAPER_COSTS.t_warm_us)
         )
+
+
+class TestMemoization:
+    """The per-state penalty memo must be invisible except for speed."""
+
+    def _states(self):
+        return [
+            ComponentState(code_refs=0.0, stream_refs=0.0, thread_refs=0.0),
+            ComponentState(),  # fully cold
+            ComponentState(code_refs=0.0, stream_refs=COLD, thread_refs=1e4),
+            ComponentState(code_refs=123.0, stream_refs=456.0,
+                           thread_refs=789.0, shared_invalidated=True),
+        ]
+
+    def test_memoized_matches_uncached(self, hierarchy):
+        memo = ExecutionTimeModel(PAPER_COSTS, PAPER_COMPOSITION, hierarchy)
+        plain = ExecutionTimeModel(PAPER_COSTS, PAPER_COMPOSITION, hierarchy,
+                                   memoize=False)
+        for state in self._states():
+            for _ in range(3):  # repeated lookups hit the memo table
+                assert memo.component_penalty_us(state) == \
+                    plain.component_penalty_us(state)
+
+    def test_memo_table_populates_and_bounds(self, hierarchy):
+        model = ExecutionTimeModel(PAPER_COSTS, PAPER_COMPOSITION, hierarchy)
+        for state in self._states():
+            model.component_penalty_us(state)
+        assert len(model._penalty_cache) == len(self._states())
+        model._PENALTY_CACHE_MAX = len(model._penalty_cache)
+        extra = ComponentState(code_refs=42.0)
+        model.component_penalty_us(extra)  # triggers wholesale clear
+        assert len(model._penalty_cache) == 1
+
+    def test_memoize_off_keeps_no_table(self, hierarchy):
+        model = ExecutionTimeModel(PAPER_COSTS, PAPER_COMPOSITION, hierarchy,
+                                   memoize=False)
+        model.component_penalty_us(ComponentState())
+        assert model._penalty_cache is None

@@ -1,0 +1,83 @@
+"""Tests for the persistent on-disk result cache."""
+
+import json
+
+from repro.runner.cache import (
+    ResultCache,
+    default_cache_dir,
+    summary_from_dict,
+    summary_to_dict,
+)
+from repro.runner.keys import config_key
+from repro.sim.system import run_simulation
+
+from ..conftest import fast_config
+
+
+def _tiny_summary():
+    return run_simulation(fast_config(duration_us=40_000.0, warmup_us=10_000.0))
+
+
+class TestSummaryRoundTrip:
+    def test_round_trip_is_identity(self):
+        summary = _tiny_summary()
+        data = json.loads(json.dumps(summary_to_dict(summary)))
+        assert summary_from_dict(data) == summary
+
+    def test_tuples_and_int_keys_restored(self):
+        summary = _tiny_summary()
+        restored = summary_from_dict(json.loads(json.dumps(summary_to_dict(summary))))
+        assert isinstance(restored.delay_ci_us, tuple)
+        assert isinstance(restored.utilization_per_proc, tuple)
+        assert all(isinstance(k, int) for k in restored.per_stream_mean_delay_us)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        summary = _tiny_summary()
+        key = config_key(fast_config())
+        assert cache.get(key) is None
+        cache.put(key, summary)
+        assert cache.get(key) == summary
+        assert len(cache) == 1
+
+    def test_sharded_layout(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" + "0" * 62
+        assert cache.path_for(key) == tmp_path / "ab" / f"{key}.json"
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = config_key(fast_config())
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_unknown_format_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = config_key(fast_config())
+        cache.put(key, _tiny_summary())
+        path = cache.path_for(key)
+        data = json.loads(path.read_text())
+        data["format"] = 999
+        path.write_text(json.dumps(data))
+        assert cache.get(key) is None
+
+    def test_prune_removes_everything(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        summary = _tiny_summary()
+        for seed in (1, 2, 3):
+            cache.put(config_key(fast_config(seed=seed)), summary)
+        assert len(cache) == 3
+        assert cache.prune() == 3
+        assert len(cache) == 0
+
+    def test_default_dir_env_overrides(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "repro"

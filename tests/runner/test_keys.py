@@ -1,0 +1,79 @@
+"""Tests for the cache key scheme (canonical config serialization)."""
+
+import pytest
+
+from repro.core.params import PlatformConfig, ProtocolCosts
+from repro.core.policies import make_locking_policy
+from repro.runner.keys import (
+    UncacheableConfig,
+    canonicalize,
+    code_version,
+    config_key,
+)
+from repro.workloads.sessions import SessionChurnSpec
+from repro.workloads.traffic import FixedSize, TrafficSpec
+
+from ..conftest import fast_config
+
+
+class TestCanonicalize:
+    def test_primitives_pass_through(self):
+        for v in (None, True, 3, 2.5, "x"):
+            assert canonicalize(v) == v
+
+    def test_sequences_become_lists(self):
+        assert canonicalize((1, 2, (3,))) == [1, 2, [3]]
+
+    def test_dataclass_tagged_with_type(self):
+        out = canonicalize(FixedSize(64))
+        assert out["__type__"].endswith("FixedSize")
+        assert out["size_bytes"] == 64
+
+    def test_distinct_types_with_same_fields_do_not_collide(self):
+        from repro.workloads.arrivals import DeterministicSpec, PoissonSpec
+        a = canonicalize(PoissonSpec(100.0))
+        b = canonicalize(DeterministicSpec(100.0))
+        assert a != b
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(UncacheableConfig):
+            canonicalize(object())
+
+    def test_non_string_dict_keys_rejected(self):
+        with pytest.raises(UncacheableConfig):
+            canonicalize({1: "x"})
+
+
+class TestConfigKey:
+    def test_stable_for_equal_configs(self):
+        assert config_key(fast_config()) == config_key(fast_config())
+
+    def test_every_knob_changes_the_key(self):
+        base = fast_config()
+        variants = [
+            base.with_(seed=99),
+            base.with_(policy="fcfs"),
+            base.with_(paradigm="ips", policy="ips-wired"),
+            base.with_(duration_us=130_000.0),
+            base.with_(nonprotocol_intensity=0.5),
+            base.with_(traffic=TrafficSpec.homogeneous_poisson(4, 9_000.0)),
+            base.with_(platform=PlatformConfig(n_processors=4)),
+            base.with_(costs=ProtocolCosts(t_warm_us=151.0)),
+            base.with_(lock_granularity=2),
+            base.with_(churn=SessionChurnSpec(1.0, 1e5, 100.0)),
+        ]
+        keys = {config_key(v) for v in variants}
+        assert config_key(base) not in keys
+        assert len(keys) == len(variants)
+
+    def test_policy_instances_are_uncacheable(self):
+        cfg = fast_config(policy=make_locking_policy("mru"))
+        with pytest.raises(UncacheableConfig):
+            config_key(cfg)
+
+    def test_key_embeds_code_version(self):
+        # The key is a hex digest and changes with the code digest input.
+        key = config_key(fast_config())
+        assert len(key) == 64
+        int(key, 16)  # hex
+        assert len(code_version()) == 16

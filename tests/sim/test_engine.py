@@ -84,9 +84,17 @@ class TestErrors:
         with pytest.raises(SimulationError):
             sim.at(5.0, lambda: None)
 
-    def test_nan_rejected(self):
-        with pytest.raises(SimulationError):
+    def test_nan_delay_reported_as_nan_not_negative(self):
+        with pytest.raises(SimulationError, match="NaN delay"):
             Simulator().schedule(float("nan"), lambda: None)
+
+    def test_nan_absolute_time_reported_as_nan_not_past(self):
+        with pytest.raises(SimulationError, match="NaN time"):
+            Simulator().at(float("nan"), lambda: None)
+
+    def test_negative_delay_message_distinct_from_nan(self):
+        with pytest.raises(SimulationError, match="negative delay"):
+            Simulator().schedule(-1.0, lambda: None)
 
     def test_run_until_backwards_rejected(self):
         sim = Simulator()

@@ -19,6 +19,29 @@ class TestParser:
         assert args.paradigm == "locking"
         assert args.rate == 12_000.0
 
+    @pytest.mark.parametrize("argv", [
+        ["run", "e06"],
+        ["all"],
+        ["csv", "out"],
+    ])
+    def test_runner_flag_defaults(self, argv):
+        args = build_parser().parse_args(argv)
+        assert args.jobs == 0
+        assert args.no_cache is False
+        assert args.cache_dir is None
+
+    def test_runner_flags_parse(self):
+        args = build_parser().parse_args(
+            ["all", "--jobs", "4", "--no-cache", "--cache-dir", "/tmp/c"])
+        assert args.jobs == 4
+        assert args.no_cache is True
+        assert args.cache_dir == "/tmp/c"
+
+    def test_with_extras_flag(self):
+        assert build_parser().parse_args(["all", "--with-extras"]).with_extras
+        assert build_parser().parse_args(["csv", "o", "--with-extras"]).with_extras
+        assert not build_parser().parse_args(["all"]).with_extras
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -57,9 +80,55 @@ class TestCsvCommand:
         # Restrict to the cheap model-level experiments for the unit test.
         import repro.cli as cli
         monkeypatch.setattr(cli, "EXPERIMENT_IDS", ("e02", "e03"))
-        assert main(["csv", str(tmp_path)]) == 0
+        assert main(["csv", str(tmp_path), "--no-cache"]) == 0
         assert (tmp_path / "e02.csv").exists()
         assert (tmp_path / "e03.csv").exists()
+        assert "[runner]" in capsys.readouterr().out
+
+    def test_with_extras_uses_full_id_list(self, tmp_path, monkeypatch, capsys):
+        import repro.cli as cli
+        monkeypatch.setattr(cli, "EXPERIMENT_IDS", ("e02",))
+        monkeypatch.setattr(cli, "ALL_IDS", ("e02", "e03"))
+        outdir = tmp_path / "extras"
+        assert main(["csv", str(outdir), "--with-extras", "--no-cache"]) == 0
+        assert (outdir / "e02.csv").exists()
+        assert (outdir / "e03.csv").exists()
+
+
+class TestRunnerIntegration:
+    def test_run_prints_runner_summary(self, capsys):
+        assert main(["run", "e02", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "[runner]" in out
+        assert "cache off" in out
+
+    def test_all_prints_per_experiment_timing(self, tmp_path, monkeypatch, capsys):
+        import repro.cli as cli
+        monkeypatch.setattr(cli, "EXPERIMENT_IDS", ("e02",))
+        assert main(["all", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "[e02]" in out
+        assert "cache on" in out
+
+
+class TestCacheCommand:
+    def test_reports_empty_cache(self, tmp_path, capsys):
+        assert main(["cache", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert str(tmp_path) in out
+        assert "entries:   0" in out
+
+    def test_clear(self, tmp_path, capsys):
+        from repro.runner import ResultCache, SweepRunner
+
+        from .conftest import fast_config
+
+        cfg = fast_config(duration_us=40_000.0, warmup_us=10_000.0)
+        SweepRunner(jobs=0, cache=ResultCache(tmp_path)).run_many([cfg])
+        assert len(ResultCache(tmp_path)) == 1
+        assert main(["cache", "--cache-dir", str(tmp_path), "--clear"]) == 0
+        assert "cleared 1" in capsys.readouterr().out
+        assert len(ResultCache(tmp_path)) == 0
 
 
 class TestSimulateKnobs:
