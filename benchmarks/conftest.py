@@ -10,7 +10,42 @@ regenerations, not micro-benchmarks — while the micro-benchmarks in
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
+
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def _benchmarking_requested(config) -> bool:
+    """True when pytest-benchmark flags show this is a benchmark run."""
+    for opt in ("--benchmark-only", "--benchmark-enable"):
+        try:
+            if config.getoption(opt):
+                return True
+        except (ValueError, KeyError):  # pytest-benchmark not installed
+            return False
+    return False
+
+
+def pytest_collection_modifyitems(config, items):
+    """Mark everything under benchmarks/ as ``bench`` and keep it out of
+    plain test runs: the tier-1 suite (``pytest -x -q``) must never pay
+    for end-to-end artifact regenerations.  Benchmarks execute only when
+    a pytest-benchmark flag (``--benchmark-only``/``--benchmark-enable``)
+    asks for them.
+    """
+    skip = pytest.mark.skip(
+        reason="benchmark: run with --benchmark-only (or --benchmark-enable)"
+    )
+    benchmarking = _benchmarking_requested(config)
+    for item in items:
+        # The hook sees the whole session's items; touch only ours.
+        if _BENCH_DIR not in Path(str(item.path)).parents:
+            continue
+        item.add_marker(pytest.mark.bench)
+        if not benchmarking:
+            item.add_marker(skip)
 
 
 def run_and_print(benchmark, experiment_id: str, **kwargs):

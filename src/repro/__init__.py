@@ -15,6 +15,10 @@ Public API highlights
 - :class:`repro.SweepRunner` / :class:`repro.ResultCache` — parallel sweep
   execution with a persistent content-addressed result cache
   (:mod:`repro.runner`).
+- :mod:`repro.verify` — golden-result regression, online runtime
+  invariant checking (:class:`repro.InvariantChecker`, enabled with
+  ``SystemConfig(check_invariants=True)``), and statistical equivalence
+  of result sets across seeds.
 """
 
 from .cache import (
@@ -53,6 +57,7 @@ from .sim import (
     SystemConfig,
     run_simulation,
 )
+from .verify import InvariantChecker, InvariantViolation
 from .workloads import (
     BatchPoissonSpec,
     DeterministicSpec,
@@ -75,6 +80,8 @@ __all__ = [
     "ExecutionTimeModel",
     "FootprintComposition",
     "FootprintFunction",
+    "InvariantChecker",
+    "InvariantViolation",
     "MVS_WORKLOAD",
     "NetworkProcessingSystem",
     "OnOffSpec",

@@ -29,17 +29,21 @@ def batch_means(observations: np.ndarray, n_batches: int = 20) -> np.ndarray:
     """Means of ``n_batches`` equal, non-overlapping, consecutive batches.
 
     A trailing remainder (when the sample size is not divisible) is
-    dropped, per standard practice.  Requires at least one observation per
-    batch.
+    dropped, per standard practice.  When the series is shorter than
+    ``n_batches`` the batch count is clamped to the series length
+    (one-observation batches) so short tails of a sweep still produce a
+    usable — if weak — estimate; at least 2 observations are required to
+    form 2 batches.
     """
     obs = np.asarray(observations, dtype=np.float64)
     if n_batches < 2:
         raise ValueError("need at least 2 batches")
-    batch_size = len(obs) // n_batches
-    if batch_size < 1:
+    n_batches = min(n_batches, len(obs))
+    if n_batches < 2:
         raise ValueError(
-            f"too few observations ({len(obs)}) for {n_batches} batches"
+            f"too few observations ({len(obs)}) to form 2 batches"
         )
+    batch_size = len(obs) // n_batches
     usable = batch_size * n_batches
     return obs[:usable].reshape(n_batches, batch_size).mean(axis=1)
 
@@ -53,14 +57,23 @@ def batch_means_ci(
 
     Treats the batch means as approximately i.i.d. normal (valid once
     batches are long relative to the autocorrelation time) and applies the
-    Student-t interval.  Returns ``(lo, hi)``; degenerate inputs (fewer
-    than ``2 * n_batches`` observations) fall back to a plain t-interval
-    on the raw observations, and fewer than 2 observations yield a
-    zero-width interval at the sample mean.
+    Student-t interval.  Returns ``(lo, hi)``.
+
+    The result is always a *finite* interval — degenerate inputs degrade
+    gracefully instead of producing NaN (callers compare and plot CIs
+    without special-casing):
+
+    - fewer than ``2 * n_batches`` observations fall back to a plain
+      t-interval on the raw observations;
+    - a single observation yields the zero-width interval ``(v, v)``;
+    - non-finite observations (inf from saturated runs, NaN from empty
+      summaries) are dropped before estimation;
+    - no finite observations at all yields ``(0.0, 0.0)``.
     """
     obs = np.asarray(observations, dtype=np.float64)
+    obs = obs[np.isfinite(obs)]
     if len(obs) == 0:
-        return (math.nan, math.nan)
+        return (0.0, 0.0)
     if len(obs) == 1:
         return (float(obs[0]), float(obs[0]))
     if len(obs) < 2 * n_batches:
@@ -77,13 +90,18 @@ def batch_means_ci(
 
 def relative_half_width(observations: np.ndarray, n_batches: int = 20,
                         confidence: float = 0.95) -> float:
-    """CI half-width divided by the mean (the usual stopping criterion)."""
+    """CI half-width divided by the mean (the usual stopping criterion).
+
+    Returns ``inf`` — never NaN — for series where the criterion is
+    meaningless: empty input, zero or non-finite mean, or a non-finite
+    interval.
+    """
     obs = np.asarray(observations, dtype=np.float64)
     if len(obs) == 0:
         return math.inf
     lo, hi = batch_means_ci(obs, n_batches=n_batches, confidence=confidence)
     mean = float(obs.mean())
-    if mean == 0.0 or math.isnan(lo):
+    if mean == 0.0 or not math.isfinite(mean) or not math.isfinite(hi - lo):
         return math.inf
     return (hi - lo) / 2.0 / abs(mean)
 

@@ -15,8 +15,21 @@ Commands
     ``OUTDIR/<id>.csv`` (for plotting outside the terminal).
 ``repro cache [--clear] [--cache-dir P]``
     Inspect (or clear) the persistent result cache.
+``repro verify record [--ids e01 e02] [--seed N] [--goldens DIR] [...]``
+    Snapshot experiment outputs as golden JSON files (tests/goldens/).
+``repro verify check [--ids e01 e02] [--rtol X] [--goldens DIR] [...]``
+    Re-run the experiments and diff against the recorded goldens;
+    exits non-zero with a per-experiment report on any drift.
 ``repro simulate --paradigm locking --policy mru --rate 12000 ...``
     One ad-hoc simulation with a summary printout.
+
+Verification
+------------
+``--check-invariants`` (on ``run``/``all``/``csv``/``simulate`` and the
+``verify`` subcommands) runs every simulation under the online
+:class:`~repro.verify.invariants.InvariantChecker`; the first violated
+invariant aborts with a diagnostic.  Combine with ``--no-cache`` when the
+point is to *exercise* the checker — cache hits skip simulation entirely.
 
 Parallelism and caching
 -----------------------
@@ -58,6 +71,11 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir", default=None, metavar="PATH",
         help=f"result cache location (default: {default_cache_dir()})")
+    parser.add_argument(
+        "--check-invariants", action="store_true",
+        help="run every simulation under the online invariant checker "
+             "(conservation, busy-interval non-overlap, causality, lock "
+             "mutual exclusion); combine with --no-cache to force execution")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -100,6 +118,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="delete every cached result")
     p_cache.add_argument("--cache-dir", default=None, metavar="PATH")
 
+    p_verify = sub.add_parser(
+        "verify", help="golden-result regression (record / check)")
+    vsub = p_verify.add_subparsers(dest="verify_command", required=True)
+    p_rec = vsub.add_parser(
+        "record", help="snapshot experiment outputs as goldens")
+    p_rec.add_argument("--ids", nargs="+", default=None, metavar="ID",
+                       choices=list(ALL_IDS),
+                       help="experiments to record (default: e01..e14)")
+    p_rec.add_argument("--seed", type=int, default=1)
+    p_rec.add_argument("--full", action="store_true",
+                       help="record publication-length grids (slower)")
+    p_rec.add_argument("--goldens", default=None, metavar="DIR",
+                       help="golden directory (default: tests/goldens)")
+    _add_runner_flags(p_rec)
+    p_chk = vsub.add_parser(
+        "check", help="re-run experiments and diff against goldens")
+    p_chk.add_argument("--ids", nargs="+", default=None, metavar="ID",
+                       help="experiments to check (default: every golden)")
+    p_chk.add_argument("--rtol", type=float, default=None,
+                       help="relative tolerance for float fields "
+                            "(default: 1e-3)")
+    p_chk.add_argument("--goldens", default=None, metavar="DIR")
+    _add_runner_flags(p_chk)
+
     p_sim = sub.add_parser("simulate", help="one ad-hoc simulation")
     p_sim.add_argument("--paradigm", choices=("locking", "ips"), default="locking")
     p_sim.add_argument("--policy", default="mru")
@@ -119,6 +161,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="Locking paradigm: number of per-layer locks")
     p_sim.add_argument("--duration-ms", type=float, default=500.0)
     p_sim.add_argument("--seed", type=int, default=1)
+    p_sim.add_argument("--check-invariants", action="store_true",
+                       help="run under the online invariant checker")
     return parser
 
 
@@ -126,7 +170,8 @@ def _make_runner(args: argparse.Namespace) -> SweepRunner:
     """Build the sweep runner requested by --jobs/--no-cache/--cache-dir."""
     jobs = None if args.jobs is not None and args.jobs < 0 else args.jobs
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    return SweepRunner(jobs=jobs, cache=cache)
+    return SweepRunner(jobs=jobs, cache=cache,
+                       check_invariants=getattr(args, "check_invariants", False))
 
 
 def _print_runner_summary(runner: SweepRunner) -> None:
@@ -202,6 +247,27 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .verify import golden
+
+    runner = _make_runner(args)
+    directory = args.goldens
+    if args.verify_command == "record":
+        with use_runner(runner):
+            written = golden.record(ids=args.ids, seed=args.seed,
+                                    fast=not args.full, directory=directory)
+        for path in written:
+            print(f"recorded {path}")
+        _print_runner_summary(runner)
+        return 0
+    rtol = args.rtol if args.rtol is not None else golden.DEFAULT_RTOL
+    with use_runner(runner):
+        report = golden.check(ids=args.ids, directory=directory, rtol=rtol)
+    print(report.format())
+    _print_runner_summary(runner)
+    return 0 if report.ok else 1
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from .core.params import PlatformConfig
 
@@ -223,6 +289,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         duration_us=args.duration_ms * 1000.0,
         warmup_us=args.duration_ms * 150.0,  # 15% warm-up
         seed=args.seed,
+        check_invariants=args.check_invariants,
     )
     s = run_simulation(cfg)
     print(format_kv({
@@ -254,6 +321,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_csv(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -36,6 +36,16 @@ class UncacheableConfig(ValueError):
     """The config contains a value with no canonical serialization."""
 
 
+#: Pure-observability dataclass fields excluded from canonical form (keyed
+#: by qualified type name to avoid importing the types here).  These knobs
+#: can never change simulation *results* — ``trace`` records what happened,
+#: ``check_invariants`` asserts about it — so a traced/checked run must hit
+#: the same cache entry as a plain one.
+_OBSERVABILITY_FIELDS = {
+    "repro.sim.system.SystemConfig": frozenset({"trace", "check_invariants"}),
+}
+
+
 def canonicalize(obj: Any) -> Any:
     """Reduce ``obj`` to a JSON-able structure that identifies its value.
 
@@ -43,6 +53,8 @@ def canonicalize(obj: Any) -> Any:
     frozen dataclasses — which covers :class:`SystemConfig` and every spec
     object it embeds.  Dataclasses are tagged with their qualified type
     name so two spec types with identical fields do not collide.
+    Observability-only fields (see :data:`_OBSERVABILITY_FIELDS`) are
+    omitted so they cannot fragment the cache.
     """
     if obj is None or isinstance(obj, (bool, int, float, str)):
         return obj
@@ -57,8 +69,12 @@ def canonicalize(obj: Any) -> Any:
         return out
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         cls = type(obj)
-        tagged = {"__type__": f"{cls.__module__}.{cls.__qualname__}"}
+        qualname = f"{cls.__module__}.{cls.__qualname__}"
+        skip = _OBSERVABILITY_FIELDS.get(qualname, frozenset())
+        tagged = {"__type__": qualname}
         for f in dataclasses.fields(obj):
+            if f.name in skip:
+                continue
             tagged[f.name] = canonicalize(getattr(obj, f.name))
         return tagged
     raise UncacheableConfig(

@@ -89,16 +89,26 @@ class SweepRunner:
         deterministic reference path); ``None`` = one per CPU.
     cache:
         Optional :class:`ResultCache`.  ``None`` disables caching.
+    check_invariants:
+        Force ``SystemConfig.check_invariants`` on for every config run
+        through this runner, so a whole sweep/experiment suite executes
+        under the online :class:`~repro.verify.invariants.InvariantChecker`
+        (the CI invariant gate).  Because the flag is pure observability it
+        does not change content keys — but note that cache *hits* skip
+        execution entirely, so an invariant-checking gate should run with
+        the cache disabled.
     """
 
     def __init__(self, jobs: Optional[int] = 0,
-                 cache: Optional[ResultCache] = None) -> None:
+                 cache: Optional[ResultCache] = None,
+                 check_invariants: bool = False) -> None:
         if jobs is None:
             jobs = os.cpu_count() or 1
         if jobs < 0:
             raise ValueError("jobs must be >= 0 (0 = serial)")
         self.jobs = jobs
         self.cache = cache
+        self.check_invariants = check_invariants
         self.stats = RunnerStats()
 
     # ------------------------------------------------------------------
@@ -113,6 +123,11 @@ class SweepRunner:
     def run_many(self, configs: Sequence[SystemConfig]) -> List[SimulationSummary]:
         """Run every config; results align index-for-index with input."""
         t0 = time.perf_counter()
+        if self.check_invariants:
+            configs = [
+                cfg if cfg.check_invariants else cfg.with_(check_invariants=True)
+                for cfg in configs
+            ]
         n = len(configs)
         results: List[Optional[SimulationSummary]] = [None] * n
         keys = [self._key(cfg) for cfg in configs]
@@ -164,9 +179,18 @@ class SweepRunner:
     def run_one(self, config: SystemConfig) -> SimulationSummary:
         return self.run_many([config])[0]
 
+    def run_seeds(self, config: SystemConfig,
+                  seeds: Sequence[int]) -> List[SimulationSummary]:
+        """Run one config under several seeds (replication helper for the
+        statistical-equivalence harness; results align with ``seeds``)."""
+        return self.run_many([config.with_(seed=int(s)) for s in seeds])
+
     def jobs_label(self) -> str:
         cache = "cache on" if self.cache is not None else "cache off"
-        return f"jobs={self.jobs}, {cache}"
+        label = f"jobs={self.jobs}, {cache}"
+        if self.check_invariants:
+            label += ", invariants on"
+        return label
 
 
 #: Default runner: serial, uncached — exactly the pre-runner behaviour.

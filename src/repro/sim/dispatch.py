@@ -102,6 +102,10 @@ class BaseDispatcher(SchedulerView):
         proc.begin_service(packet, now)
         if self.system.tracer is not None:
             self.system.tracer.record(packet, state, lock_wait, exec_time, now)
+        if self.system.invariants is not None:
+            self.system.invariants.on_service_start(
+                proc.proc_id, packet, now, lock_wait, exec_time
+            )
         span = lock_wait + exec_time
         self.system.sim.schedule(span, lambda: self._complete(proc))
 
@@ -132,7 +136,11 @@ class LockingDispatcher(BaseDispatcher):
             n_threads=self.n_processors,
             per_processor=policy.per_processor_threads,
         )
-        self.lock = LayeredLocks(system.config.lock_granularity)
+        inv = system.invariants
+        self.lock = LayeredLocks(
+            system.config.lock_granularity,
+            on_reserve=inv.on_lock_reservation if inv is not None else None,
+        )
 
     def on_arrival(self, packet: Packet) -> None:
         self.policy.on_arrival(packet)
@@ -193,6 +201,8 @@ class LockingDispatcher(BaseDispatcher):
         )
         proc.end_service(now, packet.exec_time_us, touched, self.protocol_epoch)
         packet.completion_us = now
+        if system.invariants is not None:
+            system.invariants.on_completion(packet, proc.proc_id, now)
         self.threads.release(packet.thread_id)
         self._stream_last_proc[packet.stream_id] = proc.proc_id
         system.metrics.on_completion(packet)
@@ -306,6 +316,8 @@ class IPSDispatcher(BaseDispatcher):
         )
         proc.end_service(now, packet.exec_time_us, touched, self.protocol_epoch)
         packet.completion_us = now
+        if system.invariants is not None:
+            system.invariants.on_completion(packet, proc.proc_id, now)
         self._stack_busy[stack_id] = False
         self._stack_last_proc[stack_id] = proc.proc_id
         self._stream_last_proc[packet.stream_id] = proc.proc_id

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 __all__ = ["Simulator", "SimulationError"]
 
@@ -33,14 +33,22 @@ class Simulator:
 
     Callbacks receive no arguments; closures capture whatever context they
     need.  A callback may schedule further events freely.
+
+    ``on_event``, when given, is invoked with the event time immediately
+    before each callback fires — the observability hook the runtime
+    invariant checker (:mod:`repro.verify.invariants`) uses to assert
+    clock monotonicity.  The default ``None`` keeps the event loop free of
+    any per-event work beyond a single pointer comparison.
     """
 
-    def __init__(self) -> None:
+    def __init__(self,
+                 on_event: Optional[Callable[[float], None]] = None) -> None:
         self._now: float = 0.0
         self._heap: List[Tuple[float, int, Callable[[], None]]] = []
         self._seq: int = 0
         self._events_processed: int = 0
         self._stopped: bool = False
+        self._on_event = on_event
 
     @property
     def now(self) -> float:
@@ -93,6 +101,8 @@ class Simulator:
         time_us, _, callback = heapq.heappop(self._heap)
         self._now = time_us
         self._events_processed += 1
+        if self._on_event is not None:
+            self._on_event(time_us)
         callback()
         return True
 

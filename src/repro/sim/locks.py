@@ -21,7 +21,9 @@ means unaffected).
 
 from __future__ import annotations
 
-__all__ = ["SerialLock"]
+from typing import Callable, Optional
+
+__all__ = ["SerialLock", "LayeredLocks"]
 
 
 class SerialLock:
@@ -30,14 +32,22 @@ class SerialLock:
     ``reserve(now, hold_us)`` returns the waiting time until the lock can
     be granted, and books the hold.  Because the simulator dispatches
     packets in event order, booking at reserve time yields FIFO granting.
+
+    ``on_reserve``, when given, observes every granted critical section as
+    ``(start_us, hold_us)`` — the mutual-exclusion hook of the runtime
+    invariant checker.  ``None`` (the default) costs nothing.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        on_reserve: Optional[Callable[[float, float], None]] = None,
+    ) -> None:
         self._free_at: float = 0.0
         self.total_wait_us: float = 0.0
         self.total_hold_us: float = 0.0
         self.acquisitions: int = 0
         self.contended: int = 0
+        self._on_reserve = on_reserve
 
     def reserve(self, now_us: float, hold_us: float) -> float:
         """Book the lock for ``hold_us`` starting as soon as possible.
@@ -54,6 +64,8 @@ class SerialLock:
         self.acquisitions += 1
         if wait > 0.0:
             self.contended += 1
+        if self._on_reserve is not None:
+            self._on_reserve(start, hold_us)
         return wait
 
     @property
@@ -87,11 +99,25 @@ class LayeredLocks:
     start must absorb.
     """
 
-    def __init__(self, n_locks: int = 1) -> None:
+    def __init__(
+        self,
+        n_locks: int = 1,
+        on_reserve: Optional[Callable[[int, float, float], None]] = None,
+    ) -> None:
         if n_locks < 1:
             raise ValueError("n_locks must be >= 1")
         self.n_locks = n_locks
-        self.locks = [SerialLock() for _ in range(n_locks)]
+        if on_reserve is None:
+            self.locks = [SerialLock() for _ in range(n_locks)]
+        else:
+            # Tag each stage lock with its index so the observer can keep
+            # independent mutual-exclusion state per lock.
+            self.locks = [
+                SerialLock(on_reserve=(
+                    lambda start, hold, _i=i: on_reserve(_i, start, hold)
+                ))
+                for i in range(n_locks)
+            ]
 
     def reserve(self, now_us: float, total_cs_us: float) -> float:
         """Book all stage locks for one packet; returns the total wait."""

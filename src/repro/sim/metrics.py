@@ -136,6 +136,13 @@ class MetricsCollector:
         """Packets arrived but not yet completed."""
         return self._backlog
 
+    @property
+    def in_flight(self) -> int:
+        """Alias of :attr:`backlog`: the quantity conserved by the
+        ``arrivals == completions + in-flight`` invariant
+        (:mod:`repro.verify.invariants` cross-checks it at end of run)."""
+        return self._backlog
+
     # ------------------------------------------------------------------
     # Summary
     # ------------------------------------------------------------------

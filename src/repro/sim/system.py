@@ -40,6 +40,7 @@ from ..core.policies import (
     make_ips_policy,
     make_locking_policy,
 )
+from ..verify.invariants import InvariantChecker
 from ..workloads.arrivals import PoissonArrivals
 from ..workloads.sessions import SessionChurnSpec
 from ..workloads.traffic import TrafficSpec
@@ -82,6 +83,14 @@ class SystemConfig:
     traffic (streams open/close as a birth-death process; see
     :class:`repro.workloads.SessionChurnSpec`) — used to test the
     abstract's "greater number of concurrent streams" claim.
+
+    ``check_invariants`` wires an online
+    :class:`~repro.verify.invariants.InvariantChecker` through the engine,
+    dispatchers and locks; the run raises
+    :class:`~repro.verify.invariants.InvariantViolation` at the first
+    violated invariant.  Like ``trace``, it is pure observability: it can
+    never change simulation results (and is therefore excluded from the
+    result-cache content key).
     """
 
     traffic: TrafficSpec
@@ -97,6 +106,7 @@ class SystemConfig:
     fixed_overhead_us: float = 0.0
     lock_granularity: int = 1
     trace: bool = False
+    check_invariants: bool = False
     duration_us: float = 2_000_000.0
     warmup_us: float = 200_000.0
     seed: int = 1
@@ -135,7 +145,10 @@ class NetworkProcessingSystem:
         self.costs = config.costs
         self.data_touching = config.data_touching
         self.fixed_overhead_us = config.fixed_overhead_us
-        self.sim = Simulator()
+        self.invariants = InvariantChecker() if config.check_invariants else None
+        self.sim = Simulator(
+            on_event=self.invariants.on_event if self.invariants else None
+        )
         self.rngs = RandomStreams(config.seed)
         self.metrics = MetricsCollector(warmup_us=config.warmup_us)
         self.model = ExecutionTimeModel(
@@ -239,6 +252,8 @@ class NetworkProcessingSystem:
         )
         self._packet_counter += 1
         self.metrics.on_arrival(packet)
+        if self.invariants is not None:
+            self.invariants.on_arrival(packet, self.sim.now)
         self.dispatcher.on_arrival(packet)
 
     # ------------------------------------------------------------------
@@ -256,6 +271,10 @@ class NetworkProcessingSystem:
         self._ran = True
         self._start_arrivals()
         self.sim.run_until(self.config.duration_us)
+        if self.invariants is not None:
+            self.invariants.at_end(
+                self.metrics, self.dispatcher.queued(), self.processors
+            )
         duration = self.config.duration_us
         utilization = tuple(p.utilization(duration) for p in self.processors)
         offered = self.config.traffic.total_rate_pps

@@ -10,7 +10,10 @@ execution time, and its processor busy interval.  Downstream uses:
 - **affinity diagnostics** — migration rate per stream, cold-start
   fraction (``migration_rate``, ``cold_fraction``);
 - **invariant checking** — busy intervals on one processor must never
-  overlap (``check_no_overlap``; exercised by property tests);
+  overlap (``check_no_overlap``; exercised by property tests, and promoted
+  to an *online* per-event check by
+  :class:`repro.verify.invariants.InvariantChecker` via
+  ``SystemConfig(check_invariants=True)``);
 - **export** — flat dict rows for notebooks (``to_rows``).
 
 Tracing costs one dataclass per packet; leave it off for long capacity
@@ -153,7 +156,12 @@ class ExecutionTracer:
 
     def check_no_overlap(self, epsilon: float = 1e-9) -> None:
         """Raise ``AssertionError`` if any processor served two packets at
-        once — the simulator's fundamental resource invariant."""
+        once — the simulator's fundamental resource invariant.
+
+        This is the *offline* (post-run, trace-based) form; the online
+        equivalent that fails at the offending event is
+        :meth:`repro.verify.invariants.InvariantChecker.on_service_start`.
+        """
         procs = {r.processor_id for r in self.records}
         for p in procs:
             intervals = self.busy_intervals(p)

@@ -1,0 +1,59 @@
+"""Verification tier: goldens, runtime invariants, statistical equivalence.
+
+Three layers of correctness tooling on top of the simulator and runner:
+
+- :mod:`repro.verify.golden` — snapshot every experiment's fast-grid
+  structured output to content-addressed JSON goldens and diff fresh
+  re-runs against them (``repro verify record`` / ``repro verify check``);
+- :mod:`repro.verify.invariants` — :class:`InvariantChecker`, an online
+  runtime checker the simulator wires in under
+  ``SystemConfig(check_invariants=True)`` (conservation, busy-interval
+  non-overlap, causality, lock mutual exclusion, delay decomposition);
+- :mod:`repro.verify.equivalence` — batch-means-CI equivalence of two
+  result sets across seeds, the robust counterpart of the runner's
+  bit-identity guarantees.
+
+See ``docs/TESTING.md`` for how these compose into the test tiers.
+
+Only :mod:`~repro.verify.invariants` is imported eagerly: it has no
+dependencies inside the package, so :mod:`repro.sim.system` can import it
+without cycles.  The golden and equivalence layers (which pull in the
+experiment registry and metrics) load lazily on first attribute access.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from .invariants import InvariantChecker, InvariantViolation
+
+__all__ = [
+    "InvariantChecker",
+    "InvariantViolation",
+    "assert_equivalent",
+    "bit_identical",
+    "check_goldens",
+    "compare_result_sets",
+    "equivalence",
+    "golden",
+    "record_goldens",
+]
+
+#: name -> (submodule, attribute) for lazy re-exports.
+_LAZY = {
+    "assert_equivalent": ("equivalence", "assert_equivalent"),
+    "bit_identical": ("equivalence", "bit_identical"),
+    "compare_result_sets": ("equivalence", "compare_result_sets"),
+    "check_goldens": ("golden", "check"),
+    "record_goldens": ("golden", "record"),
+}
+
+
+def __getattr__(name: str):
+    if name in ("equivalence", "golden"):
+        return importlib.import_module(f".{name}", __name__)
+    if name in _LAZY:
+        module_name, attr = _LAZY[name]
+        module = importlib.import_module(f".{module_name}", __name__)
+        return getattr(module, attr)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,178 @@
+"""Statistical equivalence of two sets of simulation results.
+
+The runner's parallel and cached paths are *bit-identical* to serial
+execution and the tests spot-check that.  Bit identity is, however, a
+fragile property to lean on alone: a legitimate refactor (different
+summation order, a vectorized metric) may perturb low-order float bits
+while leaving the simulation statistically unchanged.  This module
+provides the complementary, robust notion: two result sets are
+**statistically equivalent** when, for every metric of interest, the
+confidence intervals of their replication means overlap.
+
+The CIs come from :func:`repro.analysis.stats.batch_means_ci` applied to
+the per-seed metric values — across independent seeds the replications
+are i.i.d., so batch means degenerate to the classical replication/
+deletion t-interval (Law & Kelton §9.4), which is exactly what the
+guarded ``batch_means_ci`` computes for short series.
+
+Typical uses (see ``tests/verify/test_equivalence.py``):
+
+- assert parallel sweep execution == serial across a seed set,
+- assert cache round-trips preserve results,
+- compare a refactored model against a reference result set.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.stats import batch_means_ci
+from ..sim.metrics import SimulationSummary
+
+__all__ = [
+    "DEFAULT_METRICS",
+    "EquivalenceReport",
+    "MetricEquivalence",
+    "assert_equivalent",
+    "bit_identical",
+    "ci_overlap",
+    "compare_result_sets",
+    "replication_ci",
+]
+
+#: Metrics compared by default: the paper's response variable and the
+#: quantities most likely to drift under a behavioural change.
+DEFAULT_METRICS: Tuple[str, ...] = (
+    "mean_delay_us",
+    "mean_queueing_us",
+    "mean_exec_us",
+    "throughput_pps",
+)
+
+
+def ci_overlap(ci_a: Tuple[float, float], ci_b: Tuple[float, float],
+               slack: float = 0.0) -> bool:
+    """Whether two (lo, hi) intervals intersect (within ``slack``).
+
+    Degenerate zero-width intervals (identical replications, e.g. under
+    common random numbers) overlap iff the point estimates agree.
+    """
+    return ci_a[0] <= ci_b[1] + slack and ci_b[0] <= ci_a[1] + slack
+
+
+def replication_ci(summaries: Sequence[SimulationSummary], metric: str,
+                   confidence: float = 0.95) -> Tuple[float, float]:
+    """CI for a summary metric across independent replications (seeds)."""
+    values = np.array([getattr(s, metric) for s in summaries], dtype=np.float64)
+    return batch_means_ci(values, n_batches=max(2, len(values)),
+                          confidence=confidence)
+
+
+@dataclass(frozen=True)
+class MetricEquivalence:
+    """Verdict for one metric: the two CIs and whether they overlap."""
+
+    metric: str
+    mean_a: float
+    mean_b: float
+    ci_a: Tuple[float, float]
+    ci_b: Tuple[float, float]
+    overlap: bool
+
+    def describe(self) -> str:
+        mark = "ok  " if self.overlap else "FAIL"
+        return (
+            f"{mark} {self.metric}: "
+            f"A mean {self.mean_a:.4g} CI [{self.ci_a[0]:.4g}, {self.ci_a[1]:.4g}]"
+            f" vs B mean {self.mean_b:.4g} CI [{self.ci_b[0]:.4g}, {self.ci_b[1]:.4g}]"
+        )
+
+
+@dataclass
+class EquivalenceReport:
+    """All per-metric verdicts for one A-vs-B comparison."""
+
+    label_a: str
+    label_b: str
+    n_a: int
+    n_b: int
+    comparisons: List[MetricEquivalence]
+
+    @property
+    def equivalent(self) -> bool:
+        return all(c.overlap for c in self.comparisons)
+
+    def format(self) -> str:
+        verdict = "EQUIVALENT" if self.equivalent else "NOT equivalent"
+        head = (
+            f"{self.label_a} (n={self.n_a}) vs {self.label_b} (n={self.n_b}): "
+            f"{verdict}"
+        )
+        return "\n".join([head] + ["  " + c.describe() for c in self.comparisons])
+
+
+def compare_result_sets(
+    set_a: Sequence[SimulationSummary],
+    set_b: Sequence[SimulationSummary],
+    metrics: Sequence[str] = DEFAULT_METRICS,
+    confidence: float = 0.95,
+    labels: Tuple[str, str] = ("A", "B"),
+) -> EquivalenceReport:
+    """Compare two replication sets metric-by-metric via CI overlap.
+
+    Each set is a list of summaries from independent seeds of the *same*
+    configuration family.  NaN means (e.g. both sets saturated) count as
+    equivalent only if both sides are NaN.
+    """
+    if not set_a or not set_b:
+        raise ValueError("both result sets must be non-empty")
+    comparisons = []
+    for metric in metrics:
+        mean_a = float(np.mean([getattr(s, metric) for s in set_a]))
+        mean_b = float(np.mean([getattr(s, metric) for s in set_b]))
+        ci_a = replication_ci(set_a, metric, confidence)
+        ci_b = replication_ci(set_b, metric, confidence)
+        if math.isnan(mean_a) or math.isnan(mean_b):
+            overlap = math.isnan(mean_a) and math.isnan(mean_b)
+        else:
+            overlap = ci_overlap(ci_a, ci_b)
+        comparisons.append(MetricEquivalence(
+            metric=metric, mean_a=mean_a, mean_b=mean_b,
+            ci_a=ci_a, ci_b=ci_b, overlap=overlap,
+        ))
+    return EquivalenceReport(
+        label_a=labels[0], label_b=labels[1],
+        n_a=len(set_a), n_b=len(set_b),
+        comparisons=comparisons,
+    )
+
+
+def assert_equivalent(
+    set_a: Sequence[SimulationSummary],
+    set_b: Sequence[SimulationSummary],
+    metrics: Sequence[str] = DEFAULT_METRICS,
+    confidence: float = 0.95,
+    labels: Tuple[str, str] = ("A", "B"),
+) -> EquivalenceReport:
+    """Raise ``AssertionError`` (with the report) unless CIs all overlap."""
+    report = compare_result_sets(set_a, set_b, metrics=metrics,
+                                 confidence=confidence, labels=labels)
+    if not report.equivalent:
+        raise AssertionError(report.format())
+    return report
+
+
+def bit_identical(set_a: Sequence[SimulationSummary],
+                  set_b: Sequence[SimulationSummary]) -> bool:
+    """Strict field-for-field equality (the runner's determinism contract).
+
+    Stronger than :func:`compare_result_sets`; use it where exact replay
+    is guaranteed (same seed, same code), e.g. cached == fresh.
+    """
+    if len(set_a) != len(set_b):
+        return False
+    return all(a == b for a, b in zip(set_a, set_b))

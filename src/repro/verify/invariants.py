@@ -1,0 +1,227 @@
+"""Online runtime invariant checking for the simulator.
+
+Enabled per run with ``SystemConfig(check_invariants=True)``: the
+:class:`~repro.sim.system.NetworkProcessingSystem` then builds an
+:class:`InvariantChecker` and threads its hooks through the engine, the
+dispatchers, the lock model and the metrics collector.  The checker raises
+:class:`InvariantViolation` at the *first* violated invariant — the point
+of an online check is that the failure fires with the offending event
+still on the stack, instead of surfacing later as a silently wrong mean.
+
+Invariants enforced
+-------------------
+clock monotonicity
+    the engine never fires an event earlier than the previous one
+    (hooked into :meth:`repro.sim.engine.Simulator.step`);
+conservation
+    every arrived packet is completed, queued, or in service — checked
+    incrementally through the per-packet hooks and cross-checked against
+    the :class:`~repro.sim.metrics.MetricsCollector` counters and the
+    dispatcher queue at end of run;
+busy-interval non-overlap
+    a processor never serves two packets at once — the online promotion
+    of :meth:`repro.sim.trace.ExecutionTracer.check_no_overlap`;
+causality
+    ``arrival <= service_start <= completion`` for every packet;
+lock mutual exclusion
+    granted critical sections of each (stage) lock never overlap
+    (hooked into :meth:`repro.sim.locks.SerialLock.reserve`);
+delay decomposition
+    ``delay >= exec_time`` and the busy span equals
+    ``lock_wait + exec_time`` exactly.
+
+When ``check_invariants`` is off (the default) none of these hooks exist:
+the wiring reduces to ``is None`` branches on paths that each run a
+handful of times per packet, so the disabled checker costs nothing
+measurable.
+
+This module deliberately imports nothing from the rest of the package so
+it can be wired into :mod:`repro.sim` without import cycles.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+__all__ = ["InvariantChecker", "InvariantViolation"]
+
+
+class InvariantViolation(RuntimeError):
+    """A runtime invariant of the simulation was violated."""
+
+
+class InvariantChecker:
+    """Accumulates per-event evidence and fails fast on contradiction.
+
+    ``epsilon_us`` absorbs float rounding in interval comparisons (the
+    engine schedules with exact float arithmetic, so the default can be
+    tiny).  ``checks`` counts individual assertions evaluated — useful to
+    prove the checker actually ran.
+    """
+
+    def __init__(self, epsilon_us: float = 1e-6) -> None:
+        if epsilon_us < 0:
+            raise ValueError("epsilon_us must be non-negative")
+        self.epsilon_us = epsilon_us
+        self.checks: int = 0
+        self.arrivals: int = 0
+        self.completions: int = 0
+        self.in_flight: int = 0
+        self._clock_us: float = 0.0
+        #: processor id -> end of its current/last booked busy interval.
+        self._busy_until: Dict[int, float] = {}
+        #: processor id -> packet id currently in service.
+        self._serving: Dict[int, int] = {}
+        #: lock id -> end of its last granted critical section.
+        self._lock_free_at: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    def _fail(self, message: str) -> None:
+        raise InvariantViolation(message)
+
+    # ------------------------------------------------------------------
+    # Engine hook
+    # ------------------------------------------------------------------
+    def on_event(self, time_us: float) -> None:
+        """Engine fired an event at ``time_us`` (clock monotonicity)."""
+        self.checks += 1
+        if time_us < self._clock_us - self.epsilon_us:
+            self._fail(
+                f"clock went backwards: event at {time_us} after event at "
+                f"{self._clock_us}"
+            )
+        if self._clock_us < time_us:
+            self._clock_us = time_us
+
+    # ------------------------------------------------------------------
+    # Packet lifecycle hooks
+    # ------------------------------------------------------------------
+    def on_arrival(self, packet, now_us: float) -> None:
+        self.checks += 1
+        self.arrivals += 1
+        self.in_flight += 1
+        if not (abs(packet.arrival_us - now_us) <= self.epsilon_us):
+            self._fail(
+                f"packet {packet.packet_id} stamped arrival "
+                f"{packet.arrival_us} at simulation time {now_us}"
+            )
+
+    def on_service_start(self, proc_id: int, packet, now_us: float,
+                         lock_wait_us: float, exec_time_us: float) -> None:
+        self.checks += 1
+        if packet.arrival_us > now_us + self.epsilon_us:
+            self._fail(
+                f"causality: packet {packet.packet_id} starts service at "
+                f"{now_us} before its arrival at {packet.arrival_us}"
+            )
+        if lock_wait_us < 0 or exec_time_us < 0 or math.isnan(lock_wait_us) \
+                or math.isnan(exec_time_us):
+            self._fail(
+                f"packet {packet.packet_id}: negative or NaN service parts "
+                f"(lock_wait={lock_wait_us}, exec={exec_time_us})"
+            )
+        if proc_id in self._serving:
+            self._fail(
+                f"processor {proc_id} began packet {packet.packet_id} while "
+                f"still serving packet {self._serving[proc_id]}"
+            )
+        busy_until = self._busy_until.get(proc_id, -math.inf)
+        if now_us < busy_until - self.epsilon_us:
+            self._fail(
+                f"processor {proc_id} double-booked: service starting at "
+                f"{now_us} overlaps busy interval ending at {busy_until}"
+            )
+        self._serving[proc_id] = packet.packet_id
+        self._busy_until[proc_id] = now_us + lock_wait_us + exec_time_us
+
+    def on_completion(self, packet, proc_id: int, now_us: float) -> None:
+        self.checks += 1
+        self.completions += 1
+        self.in_flight -= 1
+        if self.in_flight < 0:
+            self._fail(
+                f"conservation: completion of packet {packet.packet_id} "
+                "makes in-flight count negative"
+            )
+        serving = self._serving.pop(proc_id, None)
+        if serving != packet.packet_id:
+            self._fail(
+                f"processor {proc_id} completed packet {packet.packet_id} "
+                f"but was serving {serving}"
+            )
+        eps = self.epsilon_us
+        if not (packet.arrival_us <= packet.service_start_us + eps
+                and packet.service_start_us <= now_us + eps):
+            self._fail(
+                f"causality: packet {packet.packet_id} has arrival "
+                f"{packet.arrival_us}, service_start {packet.service_start_us}, "
+                f"completion {now_us}"
+            )
+        delay = now_us - packet.arrival_us
+        if delay < packet.exec_time_us - eps:
+            self._fail(
+                f"packet {packet.packet_id}: delay {delay} < exec_time "
+                f"{packet.exec_time_us}"
+            )
+        span = now_us - packet.service_start_us
+        expected = packet.lock_wait_us + packet.exec_time_us
+        if abs(span - expected) > eps:
+            self._fail(
+                f"packet {packet.packet_id}: busy span {span} != lock_wait "
+                f"+ exec_time = {expected}"
+            )
+
+    # ------------------------------------------------------------------
+    # Lock hook
+    # ------------------------------------------------------------------
+    def on_lock_reservation(self, lock_id: int, start_us: float,
+                            hold_us: float) -> None:
+        self.checks += 1
+        if hold_us < 0:
+            self._fail(f"lock {lock_id}: negative hold {hold_us}")
+        free_at = self._lock_free_at.get(lock_id, -math.inf)
+        if start_us < free_at - self.epsilon_us:
+            self._fail(
+                f"lock {lock_id} mutual exclusion violated: critical section "
+                f"at {start_us} overlaps one ending at {free_at}"
+            )
+        self._lock_free_at[lock_id] = start_us + hold_us
+
+    # ------------------------------------------------------------------
+    # End-of-run cross-checks
+    # ------------------------------------------------------------------
+    def at_end(self, metrics, dispatcher_queued: int, processors) -> None:
+        """Conservation against the independent metrics/dispatcher state."""
+        self.checks += 1
+        if self.arrivals != metrics.arrivals:
+            self._fail(
+                f"conservation: checker saw {self.arrivals} arrivals, "
+                f"metrics recorded {metrics.arrivals}"
+            )
+        if self.completions != metrics.completions:
+            self._fail(
+                f"conservation: checker saw {self.completions} completions, "
+                f"metrics recorded {metrics.completions}"
+            )
+        if metrics.arrivals != metrics.completions + metrics.in_flight:
+            self._fail(
+                f"conservation: arrivals ({metrics.arrivals}) != completed "
+                f"({metrics.completions}) + in-flight ({metrics.in_flight})"
+            )
+        n_busy = sum(1 for p in processors if p.busy)
+        if dispatcher_queued + n_busy != self.in_flight:
+            self._fail(
+                f"conservation: {self.in_flight} packets in flight but "
+                f"{dispatcher_queued} queued + {n_busy} in service"
+            )
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, int]:
+        """Counters for reports: checks run and packets accounted."""
+        return {
+            "checks": self.checks,
+            "arrivals": self.arrivals,
+            "completions": self.completions,
+            "in_flight": self.in_flight,
+        }

@@ -28,9 +28,18 @@ class TestBatchMeans:
         # Remainder (3 obs) ignored: last batch is obs[30:40].
         assert means[-1] == pytest.approx(np.mean(np.arange(30, 40)))
 
+    def test_short_series_clamps_batch_count(self):
+        # 3 observations, 4 batches requested: clamp to 3 one-obs batches.
+        means = batch_means(np.arange(3, dtype=float), n_batches=4)
+        assert list(means) == [0.0, 1.0, 2.0]
+
+    def test_two_observations_still_work(self):
+        means = batch_means(np.array([1.0, 3.0]), n_batches=20)
+        assert list(means) == [1.0, 3.0]
+
     def test_too_few_observations(self):
         with pytest.raises(ValueError, match="too few"):
-            batch_means(np.arange(3, dtype=float), n_batches=4)
+            batch_means(np.array([5.0]), n_batches=4)
 
     def test_needs_two_batches(self):
         with pytest.raises(ValueError):
@@ -55,7 +64,7 @@ class TestBatchMeansCI:
         assert hits / n_rep > 0.88
 
     def test_degenerate_inputs(self):
-        assert batch_means_ci(np.array([])) == (pytest.approx(math.nan, nan_ok=True),) * 2
+        assert batch_means_ci(np.array([])) == (0.0, 0.0)
         assert batch_means_ci(np.array([3.0])) == (3.0, 3.0)
         lo, hi = batch_means_ci(np.full(100, 7.0))
         assert lo == hi == 7.0
@@ -64,6 +73,23 @@ class TestBatchMeansCI:
         obs = np.array([1.0, 2.0, 3.0, 4.0])
         lo, hi = batch_means_ci(obs, n_batches=20)
         assert lo < 2.5 < hi
+
+    def test_never_nan_for_any_short_series(self):
+        # Regression: series shorter than n_batches used to be able to
+        # reach NaN through downstream consumers; the CI is now always a
+        # finite interval.
+        for n in range(0, 45):
+            lo, hi = batch_means_ci(np.arange(n, dtype=float), n_batches=20)
+            assert math.isfinite(lo) and math.isfinite(hi)
+            assert lo <= hi
+
+    def test_nonfinite_observations_dropped(self):
+        obs = np.array([1.0, math.nan, math.inf, 2.0, -math.inf, 3.0])
+        lo, hi = batch_means_ci(obs)
+        assert math.isfinite(lo) and math.isfinite(hi)
+        assert lo <= 2.0 <= hi  # estimated from the finite subset {1,2,3}
+        # all-non-finite input degrades to the zero interval, not NaN
+        assert batch_means_ci(np.array([math.nan, math.inf])) == (0.0, 0.0)
 
 
 class TestRelativeHalfWidth:
@@ -77,6 +103,16 @@ class TestRelativeHalfWidth:
 
     def test_zero_mean_is_inf(self):
         assert relative_half_width(np.zeros(100)) == math.inf
+
+    def test_nonfinite_series_is_inf_not_nan(self):
+        # Saturated sweep points report inf delays; the stopping criterion
+        # must degrade to "no precision" rather than NaN.
+        assert relative_half_width(np.array([math.inf, math.inf])) == math.inf
+        assert relative_half_width(np.full(10, math.nan)) == math.inf
+
+    def test_short_series_is_finite(self):
+        value = relative_half_width(np.array([9.0, 10.0, 11.0]), n_batches=20)
+        assert math.isfinite(value) and value > 0.0
 
 
 class TestWelch:

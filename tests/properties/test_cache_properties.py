@@ -1,0 +1,105 @@
+"""Property-based tests (Hypothesis) for the cache/execution-time models.
+
+These pin down the *shape* guarantees the analytic models must satisfy for
+every input, not just the grid points the experiments visit:
+
+- flush fractions are probabilities and displacement only grows with more
+  intervening work (survival ``1 - F`` only shrinks);
+- the footprint ``u(R; L)`` is monotone in ``R`` and grows sub-linearly
+  (never faster than the reference count itself);
+- packet execution times always land in ``[t_warm, t_cold]``.
+
+Note the paper's ``F(x)`` is the fraction *flushed*: it is non-decreasing
+in intervening time/references, equivalently the surviving fraction is
+non-increasing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.flush import flushed_fraction, survival_fraction
+from repro.cache.footprint import mvs_footprint
+from repro.cache.hierarchy import sgi_challenge_hierarchy
+from repro.core.exec_model import ExecutionTimeModel
+from repro.core.params import PAPER_COMPOSITION, PAPER_COSTS
+
+MODEL = ExecutionTimeModel(PAPER_COSTS, PAPER_COMPOSITION,
+                           sgi_challenge_hierarchy())
+FOOTPRINT = mvs_footprint()
+
+lines = st.floats(min_value=0.0, max_value=1e9,
+                  allow_nan=False, allow_infinity=False)
+refs = st.floats(min_value=0.0, max_value=1e10,
+                 allow_nan=False, allow_infinity=False)
+idle = st.floats(min_value=0.0, max_value=1e9,
+                 allow_nan=False, allow_infinity=False)
+geometry = st.tuples(st.sampled_from([64, 512, 4096, 16384]),  # sets
+                     st.sampled_from([1, 2, 4]))               # associativity
+
+
+@settings(max_examples=100, deadline=None)
+@given(lines, lines, geometry)
+def test_flushed_fraction_is_probability_and_monotone(n1, n2, geo):
+    n_sets, assoc = geo
+    lo, hi = sorted((n1, n2))
+    f_lo = float(flushed_fraction(lo, n_sets, assoc))
+    f_hi = float(flushed_fraction(hi, n_sets, assoc))
+    for f in (f_lo, f_hi):
+        assert 0.0 <= f <= 1.0
+    assert f_lo <= f_hi + 1e-12           # flushed fraction non-decreasing
+    s_lo = float(survival_fraction(lo, n_sets, assoc))
+    s_hi = float(survival_fraction(hi, n_sets, assoc))
+    assert s_hi <= s_lo + 1e-12           # survival non-increasing
+    assert abs((f_lo + s_lo) - 1.0) <= 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(refs, refs, st.sampled_from([16.0, 32.0, 64.0, 128.0]))
+def test_model_flush_fractions_monotone_in_intervening_refs(r1, r2, _L):
+    lo, hi = sorted((r1, r2))
+    f1_lo, f2_lo = MODEL.flush_fractions(float(lo))
+    f1_hi, f2_hi = MODEL.flush_fractions(float(hi))
+    for f in (f1_lo, f2_lo, f1_hi, f2_hi):
+        assert 0.0 <= f <= 1.0
+    assert f1_lo <= f1_hi + 1e-12
+    assert f2_lo <= f2_hi + 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(refs, refs, st.sampled_from([16.0, 32.0, 64.0, 128.0]))
+def test_footprint_monotone_with_sublinear_growth(r1, r2, L):
+    lo, hi = sorted((r1, r2))
+    u_lo = FOOTPRINT.unique_lines(lo, L)
+    u_hi = FOOTPRINT.unique_lines(hi, L)
+    assert 0.0 <= u_lo <= lo * (1 + 1e-12)   # a footprint never exceeds R
+    assert u_lo <= u_hi * (1 + 1e-12)        # monotone in R
+    if u_lo > 0.0:
+        # Sub-linear growth: u grows no faster than R itself (power law
+        # with exponent <= 1, linear below one reference).
+        assert u_hi / u_lo <= hi / lo * (1 + 1e-9)
+
+
+@settings(max_examples=100, deadline=None)
+@given(idle, idle, st.sampled_from([0.25, 1.0, 2.0]))
+def test_execution_time_bounded_and_monotone_in_idle(x1, x2, intensity):
+    lo, hi = sorted((x1, x2))
+    t_lo = float(MODEL.execution_time_after_idle(lo, intensity))
+    t_hi = float(MODEL.execution_time_after_idle(hi, intensity))
+    eps = 1e-9 * PAPER_COSTS.t_cold_us
+    for t in (t_lo, t_hi):
+        assert PAPER_COSTS.t_warm_us - eps <= t <= PAPER_COSTS.t_cold_us + eps
+    assert t_lo <= t_hi + eps               # more displacement, never faster
+    assert float(MODEL.execution_time_after_idle(0.0, intensity)) == \
+        PAPER_COSTS.t_warm_us               # t(0) = t_warm exactly
+
+
+def test_execution_time_limits_vectorized():
+    x = np.logspace(-1, 9, 200)
+    t = MODEL.execution_time_after_idle(x, 1.0)
+    assert np.all(np.diff(t) >= -1e-9)
+    assert np.all(t >= PAPER_COSTS.t_warm_us - 1e-9)
+    assert np.all(t <= PAPER_COSTS.t_cold_us + 1e-9)
+    # full displacement approaches t_cold
+    assert t[-1] > PAPER_COSTS.t_cold_us - 1.0

@@ -56,6 +56,22 @@ class TestResultCache:
         assert cache.get(key) is None
         assert not path.exists()
 
+    def test_truncated_entry_self_heals_as_miss(self, tmp_path):
+        """Crash-mid-write simulation: a torn (truncated) entry file must
+        read as a miss, be removed, and accept a clean re-write."""
+        cache = ResultCache(tmp_path)
+        key = config_key(fast_config())
+        summary = _tiny_summary()
+        cache.put(key, summary)
+        path = cache.path_for(key)
+        blob = path.read_bytes()
+        for cut in (0, 1, len(blob) // 2, len(blob) - 1):
+            path.write_bytes(blob[:cut])
+            assert cache.get(key) is None        # torn entry is a miss...
+            assert not path.exists()             # ...and is swept away
+            cache.put(key, summary)              # next write self-heals
+            assert cache.get(key) == summary
+
     def test_unknown_format_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
         key = config_key(fast_config())

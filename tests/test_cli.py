@@ -42,6 +42,29 @@ class TestParser:
         assert build_parser().parse_args(["csv", "o", "--with-extras"]).with_extras
         assert not build_parser().parse_args(["all"]).with_extras
 
+    def test_check_invariants_flag(self):
+        assert not build_parser().parse_args(["all"]).check_invariants
+        assert build_parser().parse_args(
+            ["all", "--check-invariants"]).check_invariants
+        assert build_parser().parse_args(
+            ["simulate", "--check-invariants"]).check_invariants
+
+    def test_verify_subcommands_parse(self):
+        args = build_parser().parse_args(["verify", "record"])
+        assert args.verify_command == "record"
+        assert args.ids is None and args.seed == 1 and not args.full
+        args = build_parser().parse_args(
+            ["verify", "check", "--ids", "e01", "e02", "--rtol", "0.01",
+             "--goldens", "/tmp/g", "--no-cache"])
+        assert args.verify_command == "check"
+        assert args.ids == ["e01", "e02"]
+        assert args.rtol == 0.01
+        assert args.goldens == "/tmp/g"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify"])  # subcommand required
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify", "record", "--ids", "e99"])
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -131,6 +154,37 @@ class TestCacheCommand:
         assert len(ResultCache(tmp_path)) == 0
 
 
+class TestVerifyCommand:
+    def test_record_then_check_round_trip(self, tmp_path, capsys):
+        goldens = tmp_path / "goldens"
+        assert main(["verify", "record", "--ids", "e01", "--no-cache",
+                     "--goldens", str(goldens)]) == 0
+        out = capsys.readouterr().out
+        assert "recorded" in out and "e01.json" in out
+        assert main(["verify", "check", "--no-cache",
+                     "--goldens", str(goldens)]) == 0
+        out = capsys.readouterr().out
+        assert "1/1 experiments ok" in out
+
+    def test_check_fails_on_drift_with_report(self, tmp_path, capsys):
+        import json
+
+        goldens = tmp_path / "goldens"
+        assert main(["verify", "record", "--ids", "e01", "--no-cache",
+                     "--goldens", str(goldens)]) == 0
+        capsys.readouterr()
+        # invalidate the golden (any corruption fails the integrity check)
+        path = goldens / "e01.json"
+        entry = json.loads(path.read_text())
+        entry["seed"] = 12345
+        path.write_text(json.dumps(entry))
+        assert main(["verify", "check", "--no-cache",
+                     "--goldens", str(goldens)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL e01" in out
+        assert "affected experiments: e01" in out
+
+
 class TestSimulateKnobs:
     def test_burst_and_overhead_flags(self, capsys):
         assert main([
@@ -146,3 +200,10 @@ class TestSimulateKnobs:
             "simulate", "--paradigm", "ips", "--policy", "ips-wired",
             "--stacks", "4", "--rate", "6000", "--duration-ms", "60",
         ]) == 0
+
+    def test_simulate_under_invariant_checker(self, capsys):
+        assert main([
+            "simulate", "--rate", "6000", "--streams", "4",
+            "--duration-ms", "60", "--check-invariants",
+        ]) == 0
+        assert "mean delay (us)" in capsys.readouterr().out

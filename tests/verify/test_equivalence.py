@@ -1,0 +1,119 @@
+"""Statistical equivalence of result sets across seeds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.runner import ResultCache, SweepRunner
+from repro.sim.metrics import MetricsCollector
+from repro.verify.equivalence import (
+    assert_equivalent,
+    bit_identical,
+    ci_overlap,
+    compare_result_sets,
+    replication_ci,
+)
+
+from ..conftest import fast_config
+
+SEEDS_A = (11, 12, 13, 14)
+SEEDS_B = (21, 22, 23, 24)
+
+
+@pytest.fixture(scope="module")
+def replications():
+    """Two independent seed sets of the same config (module-cached)."""
+    runner = SweepRunner(jobs=0, cache=None)
+    cfg = fast_config()
+    return (runner.run_seeds(cfg, SEEDS_A), runner.run_seeds(cfg, SEEDS_B))
+
+
+def _nan_summary():
+    return MetricsCollector(warmup_us=0.0).summarize(
+        duration_us=1_000.0, utilization_per_proc=(0.0,), offered_rate_pps=0.0
+    )
+
+
+def test_ci_overlap_basics():
+    assert ci_overlap((0.0, 2.0), (1.0, 3.0))
+    assert not ci_overlap((0.0, 1.0), (2.0, 3.0))
+    # zero-width intervals: overlap iff equal (the CRN case)
+    assert ci_overlap((5.0, 5.0), (5.0, 5.0))
+    assert not ci_overlap((5.0, 5.0), (6.0, 6.0))
+    assert ci_overlap((0.0, 1.0), (1.5, 3.0), slack=0.5)
+
+
+def test_replication_ci_is_finite_and_centered(replications):
+    set_a, _ = replications
+    lo, hi = replication_ci(set_a, "mean_delay_us")
+    mean = sum(s.mean_delay_us for s in set_a) / len(set_a)
+    assert math.isfinite(lo) and math.isfinite(hi)
+    assert lo <= mean <= hi
+
+
+def test_same_config_different_seeds_equivalent(replications):
+    set_a, set_b = replications
+    report = assert_equivalent(set_a, set_b, labels=("seeds-a", "seeds-b"))
+    assert report.equivalent
+    assert "EQUIVALENT" in report.format()
+
+
+def test_behavioural_change_not_equivalent(replications):
+    set_a, _ = replications
+    # V = 139 us of fixed overhead shifts delays far outside any CI.
+    runner = SweepRunner(jobs=0, cache=None)
+    perturbed = runner.run_seeds(
+        fast_config(fixed_overhead_us=139.0), SEEDS_B)
+    report = compare_result_sets(set_a, perturbed)
+    assert not report.equivalent
+    failed = [c.metric for c in report.comparisons if not c.overlap]
+    assert "mean_delay_us" in failed
+    with pytest.raises(AssertionError, match="NOT equivalent"):
+        assert_equivalent(set_a, perturbed)
+
+
+def test_nan_means_equivalent_only_when_both_nan(replications):
+    set_a, _ = replications
+    nan_set = [_nan_summary(), _nan_summary()]
+    assert compare_result_sets(nan_set, nan_set).equivalent
+    assert not compare_result_sets(set_a, nan_set).equivalent
+
+
+def test_empty_sets_rejected(replications):
+    set_a, _ = replications
+    with pytest.raises(ValueError, match="non-empty"):
+        compare_result_sets(set_a, [])
+
+
+def test_bit_identical(replications):
+    set_a, set_b = replications
+    runner = SweepRunner(jobs=0, cache=None)
+    replay = runner.run_seeds(fast_config(), SEEDS_A)
+    assert bit_identical(set_a, replay)
+    assert not bit_identical(set_a, set_b)
+    assert not bit_identical(set_a, set_a[:-1])
+
+
+def test_parallel_and_cached_paths_equivalent(tmp_path, replications):
+    """Parallel == serial and cached == fresh, both as bit-identity (the
+    runner's contract) and as statistical equivalence (the robust check
+    that would survive a benign float-order refactor)."""
+    set_serial, _ = replications
+    cache = ResultCache(tmp_path)
+    parallel = SweepRunner(jobs=2, cache=cache).run_seeds(fast_config(), SEEDS_A)
+    assert bit_identical(set_serial, parallel)
+    assert_equivalent(set_serial, parallel, labels=("serial", "parallel"))
+    cached = SweepRunner(jobs=0, cache=cache).run_seeds(fast_config(), SEEDS_A)
+    assert bit_identical(parallel, cached)
+    assert_equivalent(parallel, cached, labels=("fresh", "cached"))
+
+
+def test_lazy_exports():
+    import repro.verify as verify
+
+    assert verify.assert_equivalent is assert_equivalent
+    assert verify.compare_result_sets is compare_result_sets
+    with pytest.raises(AttributeError):
+        verify.no_such_attribute

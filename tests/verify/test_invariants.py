@@ -1,0 +1,178 @@
+"""Runtime invariant checker: unit-level violations + clean integration runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner.keys import config_key
+from repro.sim.entities import Packet
+from repro.sim.system import NetworkProcessingSystem, run_simulation
+from repro.verify import InvariantChecker, InvariantViolation
+
+from ..conftest import fast_config
+
+
+def _packet(pid=0, arrival=100.0, start=110.0, lock_wait=2.0, exec_time=50.0):
+    p = Packet(packet_id=pid, stream_id=0, arrival_us=arrival, size_bytes=512)
+    p.service_start_us = start
+    p.lock_wait_us = lock_wait
+    p.exec_time_us = exec_time
+    return p
+
+
+# ----------------------------------------------------------------------
+# Unit: each invariant fires on the exact contradiction it guards
+# ----------------------------------------------------------------------
+class TestUnitViolations:
+    def test_clock_monotonicity(self):
+        chk = InvariantChecker()
+        chk.on_event(10.0)
+        chk.on_event(10.0)  # equal times are fine (simultaneous events)
+        with pytest.raises(InvariantViolation, match="clock went backwards"):
+            chk.on_event(9.0)
+
+    def test_arrival_stamp_mismatch(self):
+        chk = InvariantChecker()
+        with pytest.raises(InvariantViolation, match="stamped arrival"):
+            chk.on_arrival(_packet(arrival=100.0), now_us=101.0)
+
+    def test_service_before_arrival(self):
+        chk = InvariantChecker()
+        with pytest.raises(InvariantViolation, match="causality"):
+            chk.on_service_start(0, _packet(arrival=100.0), now_us=99.0,
+                                 lock_wait_us=0.0, exec_time_us=50.0)
+
+    def test_negative_service_parts(self):
+        chk = InvariantChecker()
+        with pytest.raises(InvariantViolation, match="negative or NaN"):
+            chk.on_service_start(0, _packet(), now_us=110.0,
+                                 lock_wait_us=-1.0, exec_time_us=50.0)
+
+    def test_processor_double_booking(self):
+        chk = InvariantChecker()
+        chk.on_service_start(0, _packet(pid=1), now_us=110.0,
+                             lock_wait_us=0.0, exec_time_us=50.0)
+        with pytest.raises(InvariantViolation, match="still serving"):
+            chk.on_service_start(0, _packet(pid=2, arrival=100.0),
+                                 now_us=120.0, lock_wait_us=0.0,
+                                 exec_time_us=10.0)
+
+    def test_busy_interval_overlap(self):
+        chk = InvariantChecker()
+        p1 = _packet(pid=1, lock_wait=0.0)
+        chk.on_arrival(p1, 100.0)
+        chk.on_service_start(0, p1, now_us=110.0, lock_wait_us=0.0,
+                             exec_time_us=50.0)  # busy until 160
+        chk.on_completion(p1, 0, now_us=160.0)
+        with pytest.raises(InvariantViolation, match="double-booked"):
+            chk.on_service_start(0, _packet(pid=2), now_us=150.0,
+                                 lock_wait_us=0.0, exec_time_us=10.0)
+
+    def test_completion_of_wrong_packet(self):
+        chk = InvariantChecker()
+        other = _packet(pid=7)
+        chk.on_arrival(other, 100.0)
+        chk.on_service_start(0, _packet(pid=1), now_us=110.0,
+                             lock_wait_us=2.0, exec_time_us=50.0)
+        with pytest.raises(InvariantViolation, match="but was serving"):
+            chk.on_completion(other, 0, now_us=162.0)
+
+    def test_delay_less_than_exec_time(self):
+        chk = InvariantChecker()
+        p = _packet(arrival=100.0, start=100.0, lock_wait=0.0, exec_time=50.0)
+        chk.on_arrival(p, 100.0)
+        chk.on_service_start(0, p, now_us=100.0, lock_wait_us=0.0,
+                             exec_time_us=50.0)
+        # completion at 120 implies delay 20 < exec_time 50
+        with pytest.raises(InvariantViolation, match="delay"):
+            chk.on_completion(p, 0, now_us=120.0)
+
+    def test_busy_span_decomposition(self):
+        chk = InvariantChecker()
+        p = _packet(arrival=100.0, start=110.0, lock_wait=2.0, exec_time=50.0)
+        chk.on_arrival(p, 100.0)
+        chk.on_service_start(0, p, now_us=110.0, lock_wait_us=2.0,
+                             exec_time_us=50.0)
+        with pytest.raises(InvariantViolation, match="busy span"):
+            chk.on_completion(p, 0, now_us=170.0)  # span 60 != 52
+
+    def test_lock_mutual_exclusion(self):
+        chk = InvariantChecker()
+        chk.on_lock_reservation(0, start_us=100.0, hold_us=10.0)
+        chk.on_lock_reservation(0, start_us=110.0, hold_us=10.0)  # adjacent ok
+        chk.on_lock_reservation(1, start_us=105.0, hold_us=10.0)  # other lock
+        with pytest.raises(InvariantViolation, match="mutual exclusion"):
+            chk.on_lock_reservation(0, start_us=115.0, hold_us=1.0)
+
+    def test_conservation_negative_in_flight(self):
+        chk = InvariantChecker()
+        p = _packet(arrival=100.0, start=110.0, lock_wait=2.0, exec_time=50.0)
+        chk.on_service_start(0, p, now_us=110.0, lock_wait_us=2.0,
+                             exec_time_us=50.0)
+        with pytest.raises(InvariantViolation, match="negative"):
+            chk.on_completion(p, 0, now_us=162.0)  # never arrived
+
+    def test_at_end_cross_check_against_metrics(self):
+        class FakeMetrics:
+            arrivals = 5
+            completions = 3
+            in_flight = 2
+
+        class FakeProc:
+            busy = False
+
+        chk = InvariantChecker()
+        with pytest.raises(InvariantViolation, match="conservation"):
+            chk.at_end(FakeMetrics(), dispatcher_queued=0, processors=[FakeProc()])
+
+    def test_summary_counters(self):
+        chk = InvariantChecker()
+        p = _packet(arrival=0.0, start=0.0, lock_wait=0.0, exec_time=10.0)
+        chk.on_arrival(p, 0.0)
+        chk.on_service_start(0, p, 0.0, 0.0, 10.0)
+        chk.on_completion(p, 0, 10.0)
+        s = chk.summary()
+        assert s["arrivals"] == s["completions"] == 1
+        assert s["in_flight"] == 0
+        assert s["checks"] >= 3
+
+
+# ----------------------------------------------------------------------
+# Integration: full simulations run clean under the checker
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("overrides", [
+    dict(paradigm="locking", policy="mru"),
+    dict(paradigm="locking", policy="fcfs", lock_granularity=3),
+    dict(paradigm="ips", policy="ips-mru"),
+    dict(paradigm="ips", policy="ips-wired"),
+])
+def test_simulations_satisfy_all_invariants(overrides):
+    system = NetworkProcessingSystem(
+        fast_config(check_invariants=True, **overrides))
+    summary = system.run()
+    assert summary.n_packets > 0
+    # the checker demonstrably ran and accounted for every packet
+    assert system.invariants.checks > summary.n_packets
+    assert system.invariants.arrivals == system.metrics.arrivals
+    assert system.invariants.in_flight == system.metrics.in_flight
+
+
+def test_checker_absent_when_disabled():
+    system = NetworkProcessingSystem(fast_config())
+    assert system.invariants is None
+    assert system.sim._on_event is None
+
+
+def test_observability_flag_does_not_change_results_or_key():
+    plain = fast_config()
+    checked = plain.with_(check_invariants=True)
+    assert run_simulation(plain) == run_simulation(checked)
+    assert config_key(plain) == config_key(checked)
+
+
+def test_tampered_metrics_detected_at_end():
+    """Corrupt the metrics mid-run: the end-of-run cross-check must fire."""
+    system = NetworkProcessingSystem(fast_config(check_invariants=True))
+    system.metrics.arrivals += 1  # simulate a lost-update style bug
+    with pytest.raises(InvariantViolation, match="arrivals"):
+        system.run()
