@@ -152,8 +152,8 @@ class AnalyticPredictor:
         if rho >= 1.0:
             return DelayPrediction(service, math.inf, rho, False,
                                    "M/D/1 per processor")
-        delay = md1_mean_delay(rate_per_us, service)
-        return DelayPrediction(service, delay, rho, True,
+        delay_us = md1_mean_delay(rate_per_us, service)
+        return DelayPrediction(service, delay_us, rho, True,
                                "M/D/1 per processor")
 
     # ------------------------------------------------------------------
@@ -229,8 +229,8 @@ class AnalyticPredictor:
         # M/M/c with the deterministic-service half-wait correction
         # (M/D/c ~ M/M/c with half the queueing delay).
         mmc = mmc_mean_delay(rate_per_us, 1.0 / service, n)
-        delay = service + 0.5 * (mmc - 1.0 / (1.0 / service))
-        return DelayPrediction(service, delay, rho, True, "M/D/c shared")
+        delay_us = service + 0.5 * (mmc - 1.0 / (1.0 / service))
+        return DelayPrediction(service, delay_us, rho, True, "M/D/c shared")
 
     # ------------------------------------------------------------------
     def capacity_pps(self, policy: str, n_streams: int,

@@ -29,6 +29,8 @@ the sweeps produce); a Poisson limit is also provided for cross-checking.
 
 from __future__ import annotations
 
+from typing import Union
+
 import numpy as np
 from scipy import special
 
@@ -39,7 +41,8 @@ __all__ = [
 ]
 
 
-def _validate(n_unique_lines, n_sets: int, associativity: int):
+def _validate(n_unique_lines: Union[float, np.ndarray], n_sets: int,
+              associativity: int) -> np.ndarray:
     if n_sets < 1:
         raise ValueError(f"n_sets must be >= 1, got {n_sets}")
     if associativity < 1:
@@ -50,7 +53,8 @@ def _validate(n_unique_lines, n_sets: int, associativity: int):
     return n
 
 
-def flushed_fraction(n_unique_lines, n_sets: int, associativity: int = 1):
+def flushed_fraction(n_unique_lines: Union[float, np.ndarray], n_sets: int,
+                     associativity: int = 1) -> Union[float, np.ndarray]:
     """Fraction of a resident footprint displaced by intervening lines.
 
     Parameters
@@ -92,7 +96,8 @@ def flushed_fraction(n_unique_lines, n_sets: int, associativity: int = 1):
     return out
 
 
-def flushed_fraction_poisson(n_unique_lines, n_sets: int, associativity: int = 1):
+def flushed_fraction_poisson(n_unique_lines: Union[float, np.ndarray], n_sets: int,
+                             associativity: int = 1) -> Union[float, np.ndarray]:
     """Poisson-limit approximation of :func:`flushed_fraction`.
 
     With ``n`` large and ``p = 1/S`` small, ``X`` is approximately
@@ -109,7 +114,8 @@ def flushed_fraction_poisson(n_unique_lines, n_sets: int, associativity: int = 1
     return out
 
 
-def survival_fraction(n_unique_lines, n_sets: int, associativity: int = 1):
+def survival_fraction(n_unique_lines: Union[float, np.ndarray], n_sets: int,
+                      associativity: int = 1) -> Union[float, np.ndarray]:
     """Complement ``1 - F``: fraction of the footprint still resident."""
     f = flushed_fraction(n_unique_lines, n_sets, associativity)
     return 1.0 - f

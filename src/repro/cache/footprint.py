@@ -40,6 +40,7 @@ within milliseconds while L2 persists much longer).  See DESIGN.md §4.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Union
 
 import numpy as np
 
@@ -87,7 +88,8 @@ class FootprintFunction:
         if self.b <= 0.0:
             raise ValueError(f"b must be positive, got {self.b}")
 
-    def unique_lines(self, references, line_bytes):
+    def unique_lines(self, references: Union[float, np.ndarray],
+                     line_bytes: Union[float, np.ndarray]) -> Union[float, np.ndarray]:
         """Expected unique lines touched in ``references`` references.
 
         Parameters
@@ -134,7 +136,8 @@ class FootprintFunction:
             return float(u)
         return u
 
-    def references_for_lines(self, unique_lines, line_bytes) -> float:
+    def references_for_lines(self, unique_lines: float,
+                             line_bytes: float) -> float:
         """Invert ``u(R; L)`` for ``R`` at a fixed line size.
 
         Useful for answering "how many intervening references flush a
@@ -157,7 +160,7 @@ class FootprintFunction:
         log_R = (np.log10(n) - np.log10(self.W) - self.a * log_L) / slope
         return float(np.power(10.0, log_R))
 
-    def effective_exponent(self, line_bytes) -> float:
+    def effective_exponent(self, line_bytes: float) -> float:
         """Exponent of ``R`` at fixed ``L``: ``b + log10_d * log10(L)``.
 
         [26] showed ``u(R; L)`` is a power function of ``R`` for fixed

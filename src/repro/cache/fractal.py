@@ -26,7 +26,7 @@ is validated against the exact trace-driven simulator in the tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Sequence, Union
 
 import numpy as np
 
@@ -47,7 +47,7 @@ class FractalFit:
         """The growth exponent ``1/D``."""
         return 1.0 / self.dimension
 
-    def unique_lines(self, references) -> np.ndarray:
+    def unique_lines(self, references: Union[float, np.ndarray]) -> np.ndarray:
         """Evaluate the fitted footprint growth."""
         R = np.asarray(references, dtype=np.float64)
         return self.W * np.power(R, self.exponent)

@@ -26,7 +26,7 @@ The concrete Challenge/R4400 geometry (16 KB split L1 with 32 B lines,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Tuple, Union
 
 import numpy as np
 
@@ -179,7 +179,8 @@ class CacheHierarchy:
     # ------------------------------------------------------------------
     # Core model evaluation
     # ------------------------------------------------------------------
-    def references_for_time(self, x_us, intensity: float = 1.0):
+    def references_for_time(self, x_us: Union[float, np.ndarray],
+                            intensity: float = 1.0) -> Union[float, np.ndarray]:
         """References issued by intervening execution of duration ``x`` µs.
 
         ``intensity`` is the paper's ``V`` knob: the effective memory
@@ -198,7 +199,8 @@ class CacheHierarchy:
             return float(out)
         return out
 
-    def flush_fraction_for_references(self, references, level: int):
+    def flush_fraction_for_references(self, references: Union[float, np.ndarray],
+                                     level: int) -> Union[float, np.ndarray]:
         """``F_level`` for a given total intervening reference count.
 
         The level's ``split_fraction`` is applied (a split L1 sees half of
@@ -211,7 +213,8 @@ class CacheHierarchy:
         u = self.footprint_fn.unique_lines(refs_at_level, lv.line_bytes)
         return flushed_fraction(u, lv.n_sets, lv.associativity)
 
-    def flush_fractions(self, x_us, intensity: float = 1.0) -> np.ndarray:
+    def flush_fractions(self, x_us: Union[float, np.ndarray],
+                        intensity: float = 1.0) -> np.ndarray:
         """``(F1(x), F2(x), ...)`` for intervening execution of ``x`` µs.
 
         Returns an array of shape ``(n_levels,) + shape(x)``.  This is the

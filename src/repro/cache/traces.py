@@ -14,6 +14,8 @@ results are reproducible.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 __all__ = [
@@ -25,7 +27,7 @@ __all__ = [
 ]
 
 
-def _rng(rng) -> np.random.Generator:
+def _rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
     if rng is None:
         raise ValueError("an explicit numpy Generator is required (pass rng=)")
     if not isinstance(rng, np.random.Generator):
@@ -33,7 +35,8 @@ def _rng(rng) -> np.random.Generator:
     return rng
 
 
-def uniform_trace(n_refs: int, working_set_bytes: int, *, rng,
+def uniform_trace(n_refs: int, working_set_bytes: int, *,
+                  rng: np.random.Generator,
                   base_address: int = 0) -> np.ndarray:
     """References uniformly distributed over a working set.
 
@@ -63,7 +66,8 @@ def sequential_trace(n_refs: int, *, stride_bytes: int = 4,
     return base_address + stride_bytes * np.arange(n_refs, dtype=np.int64)
 
 
-def zipf_trace(n_refs: int, working_set_bytes: int, *, rng,
+def zipf_trace(n_refs: int, working_set_bytes: int, *,
+               rng: np.random.Generator,
                skew: float = 1.2, granule_bytes: int = 64,
                base_address: int = 0) -> np.ndarray:
     """Zipf-distributed references over working-set granules.
@@ -94,7 +98,8 @@ def zipf_trace(n_refs: int, working_set_bytes: int, *, rng,
     return base_address + granules * granule_bytes + offsets
 
 
-def markov_locality_trace(n_refs: int, working_set_bytes: int, *, rng,
+def markov_locality_trace(n_refs: int, working_set_bytes: int, *,
+                          rng: np.random.Generator,
                           stay_probability: float = 0.9,
                           region_bytes: int = 1024,
                           base_address: int = 0) -> np.ndarray:

@@ -20,6 +20,10 @@ Commands
 ``repro verify check [--ids e01 e02] [--rtol X] [--goldens DIR] [...]``
     Re-run the experiments and diff against the recorded goldens;
     exits non-zero with a per-experiment report on any drift.
+``repro lint [--select CODES] [--ignore CODES] [paths]``
+    Run the domain-specific static-analysis pass (determinism, ordering,
+    units, cache-key and registry conformance; rules RPR001..RPR005, see
+    ``docs/LINTING.md``); exits non-zero on findings.
 ``repro simulate --paradigm locking --policy mru --rate 12000 ...``
     One ad-hoc simulation with a summary printout.
 
@@ -141,6 +145,20 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: 1e-3)")
     p_chk.add_argument("--goldens", default=None, metavar="DIR")
     _add_runner_flags(p_chk)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the domain-specific static-analysis pass "
+                     "(RPR001..RPR005; see docs/LINTING.md)")
+    p_lint.add_argument("paths", nargs="*", metavar="PATH",
+                        help="files/directories to lint (default: the "
+                             "installed repro package)")
+    p_lint.add_argument("--select", default=None, metavar="CODES",
+                        help="comma-separated rule codes to run "
+                             "(e.g. RPR001,RPR003)")
+    p_lint.add_argument("--ignore", default=None, metavar="CODES",
+                        help="comma-separated rule codes to skip")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
 
     p_sim = sub.add_parser("simulate", help="one ad-hoc simulation")
     p_sim.add_argument("--paradigm", choices=("locking", "ips"), default="locking")
@@ -268,6 +286,27 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .lint import RULES, lint_paths, parse_code_list, render_report
+
+    if args.list_rules:
+        for code, summary in sorted(RULES.items()):
+            print(f"{code}  {summary}")
+        return 0
+    try:
+        select = parse_code_list(args.select)
+        ignore = parse_code_list(args.ignore)
+    except ValueError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    paths = [Path(p) for p in args.paths] if args.paths else None
+    findings = lint_paths(paths, select=select, ignore=ignore)
+    print(render_report(findings))
+    return 1 if findings else 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from .core.params import PlatformConfig
 
@@ -323,6 +362,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_cache(args)
     if args.command == "verify":
         return _cmd_verify(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
     raise AssertionError(f"unhandled command {args.command!r}")

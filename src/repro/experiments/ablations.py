@@ -232,7 +232,7 @@ def run_a05(fast: bool = True, seed: int = 1, **_) -> ExperimentResult:
             "mean_lock_wait_us": round(s.mean_lock_wait_us, 2),
             "mean_exec_us": round(s.mean_exec_us, 1),
         })
-    waits = [r["mean_lock_wait_us"] for r in rows]
+    waits_us = [r["mean_lock_wait_us"] for r in rows]
     return ExperimentResult(
         experiment_id="a05",
         title="Ablation: lock granularity under Locking (ref [3])",
@@ -243,5 +243,5 @@ def run_a05(fast: bool = True, seed: int = 1, **_) -> ExperimentResult:
             "sections (waits shrink) but add per-packet locking overhead; "
             "IPS sidesteps the trade-off entirely."
         ),
-        meta={"lock_waits": waits},
+        meta={"lock_waits": waits_us},
     )

@@ -117,9 +117,9 @@ def delay_vs_rate_sweep(
         row: Dict[str, object] = {"rate_pps": rate}
         for label in policies:
             summary = next(summaries)
-            delay = summary.mean_delay_us if summary.stable else float("inf")
-            series[label].append(delay)
-            row[label] = delay
+            delay_us = summary.mean_delay_us if summary.stable else float("inf")
+            series[label].append(delay_us)
+            row[label] = delay_us
         rows.append(row)
     return rows, series
 

@@ -35,6 +35,7 @@ TITLE = "Analytic flush model vs trace-driven cache simulation"
 
 
 def run(fast: bool = True, seed: int = 1, **_) -> ExperimentResult:
+    # repro-lint: ignore[RPR001] seeded from the experiment's explicit seed arg
     rng = np.random.default_rng(seed)
     n_refs = 60_000 if fast else 400_000
     working_set = 256 * 1024

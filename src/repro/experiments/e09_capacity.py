@@ -35,8 +35,8 @@ N_STREAMS = 16
 
 
 def run(fast: bool = True, seed: int = 1, **_) -> ExperimentResult:
-    duration = 300_000 if fast else 1_500_000
-    warmup = 50_000 if fast else 250_000
+    duration_us = 300_000 if fast else 1_500_000
+    warmup_us = 50_000 if fast else 250_000
     iterations = 6 if fast else 10
 
     rows = []
@@ -47,8 +47,8 @@ def run(fast: bool = True, seed: int = 1, **_) -> ExperimentResult:
                 traffic=TrafficSpec.homogeneous_poisson(N_STREAMS, rate),
                 paradigm=paradigm,
                 policy=policy,
-                duration_us=duration,
-                warmup_us=warmup,
+                duration_us=duration_us,
+                warmup_us=warmup_us,
                 seed=seed,
             )
         cap = find_capacity(make, low_pps=5_000, high_pps=80_000,

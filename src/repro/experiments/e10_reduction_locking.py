@@ -46,8 +46,8 @@ def reduction_sweep(
     is independent, so all of it is submitted to the sweep runner in one
     batch and the reductions are assembled afterwards in grid order.
     """
-    duration = 400_000 if fast else 2_000_000
-    warmup = 60_000 if fast else 300_000
+    duration_us = 400_000 if fast else 2_000_000
+    warmup_us = 60_000 if fast else 300_000
     configs: List[SystemConfig] = []
     for rate in rate_grid:
         traffic = TrafficSpec.homogeneous_poisson(n_streams, rate)
@@ -55,7 +55,7 @@ def reduction_sweep(
             base_cfg = SystemConfig(
                 traffic=traffic, paradigm=paradigm_baseline[0],
                 policy=paradigm_baseline[1], nonprotocol_intensity=v,
-                duration_us=duration, warmup_us=warmup, seed=seed,
+                duration_us=duration_us, warmup_us=warmup_us, seed=seed,
             )
             configs.append(base_cfg)
             configs.extend(

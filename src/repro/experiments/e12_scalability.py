@@ -25,8 +25,8 @@ TITLE = "Intra-stream scalability: single-stream capacity vs processors"
 
 
 def run(fast: bool = True, seed: int = 1, **_) -> ExperimentResult:
-    duration = 300_000 if fast else 1_200_000
-    warmup = 50_000 if fast else 200_000
+    duration_us = 300_000 if fast else 1_200_000
+    warmup_us = 50_000 if fast else 200_000
     iterations = 6 if fast else 10
     cpu_counts = (1, 2, 4, 8) if fast else (1, 2, 3, 4, 5, 6, 7, 8)
 
@@ -42,7 +42,7 @@ def run(fast: bool = True, seed: int = 1, **_) -> ExperimentResult:
                 return SystemConfig(
                     traffic=TrafficSpec.single_stream(rate),
                     paradigm=paradigm, policy=policy, platform=platform,
-                    duration_us=duration, warmup_us=warmup, seed=seed,
+                    duration_us=duration_us, warmup_us=warmup_us, seed=seed,
                 )
             caps[label] = find_capacity(
                 make, low_pps=1_000, high_pps=60_000, iterations=iterations

@@ -49,8 +49,8 @@ def _train_traffic(rate_per_stream: float, mean_train: float) -> TrafficSpec:
 
 
 def run(fast: bool = True, seed: int = 1, **_) -> ExperimentResult:
-    duration = 400_000 if fast else 2_000_000
-    warmup = 60_000 if fast else 300_000
+    duration_us = 400_000 if fast else 2_000_000
+    warmup_us = 60_000 if fast else 300_000
     burst_sizes = (1, 4, 8, 16) if fast else (1, 2, 4, 8, 12, 16, 24, 32)
     per_stream = TOTAL_RATE / N_STREAMS
 
@@ -66,14 +66,14 @@ def run(fast: bool = True, seed: int = 1, **_) -> ExperimentResult:
         for paradigm, policy in CONTENDERS.values():
             configs.append(SystemConfig(
                 traffic=traffic, paradigm=paradigm, policy=policy,
-                duration_us=duration, warmup_us=warmup, seed=seed,
+                duration_us=duration_us, warmup_us=warmup_us, seed=seed,
             ))
     for trains in train_lens:
         traffic = _train_traffic(per_stream, trains)
         for paradigm, policy in CONTENDERS.values():
             configs.append(SystemConfig(
                 traffic=traffic, paradigm=paradigm, policy=policy,
-                duration_us=duration, warmup_us=warmup, seed=seed,
+                duration_us=duration_us, warmup_us=warmup_us, seed=seed,
             ))
     summaries = iter(get_runner().run_many(configs))
 

@@ -37,8 +37,8 @@ AFFINITY = ("locking", "stream-mru")
 
 
 def run(fast: bool = True, seed: int = 1, **_) -> ExperimentResult:
-    duration = 400_000 if fast else 2_000_000
-    warmup = 60_000 if fast else 300_000
+    duration_us = 400_000 if fast else 2_000_000
+    warmup_us = 60_000 if fast else 300_000
     payloads = (0, 1024, 4432) if fast else (0, 256, 1024, 2048, 4432)
 
     configs = []
@@ -53,7 +53,7 @@ def run(fast: bool = True, seed: int = 1, **_) -> ExperimentResult:
             configs.append(SystemConfig(
                 traffic=traffic, paradigm=paradigm, policy=policy,
                 data_touching=True,
-                duration_us=duration, warmup_us=warmup, seed=seed,
+                duration_us=duration_us, warmup_us=warmup_us, seed=seed,
             ))
     summaries = iter(get_runner().run_many(configs))
 

@@ -49,8 +49,8 @@ CONTENDERS = {
 
 def run_x01(fast: bool = True, seed: int = 1, **_) -> ExperimentResult:
     """Hybrid scheduling scorecard: throughput, scalability, burst robustness."""
-    duration = 300_000 if fast else 1_500_000
-    warmup = 50_000 if fast else 250_000
+    duration_us = 300_000 if fast else 1_500_000
+    warmup_us = 50_000 if fast else 250_000
     iterations = 5 if fast else 9
 
     rows: List[Dict] = []
@@ -60,7 +60,7 @@ def run_x01(fast: bool = True, seed: int = 1, **_) -> ExperimentResult:
             lambda r, paradigm=paradigm, policy=policy: SystemConfig(
                 traffic=TrafficSpec.homogeneous_poisson(16, r),
                 paradigm=paradigm, policy=policy,
-                duration_us=duration, warmup_us=warmup, seed=seed,
+                duration_us=duration_us, warmup_us=warmup_us, seed=seed,
             ),
             low_pps=5_000, high_pps=80_000, iterations=iterations,
         )
@@ -69,7 +69,7 @@ def run_x01(fast: bool = True, seed: int = 1, **_) -> ExperimentResult:
             lambda r, paradigm=paradigm, policy=policy: SystemConfig(
                 traffic=TrafficSpec.single_stream(r),
                 paradigm=paradigm, policy=policy,
-                duration_us=duration, warmup_us=warmup, seed=seed,
+                duration_us=duration_us, warmup_us=warmup_us, seed=seed,
             ),
             low_pps=1_000, high_pps=60_000, iterations=iterations,
         )
@@ -77,24 +77,24 @@ def run_x01(fast: bool = True, seed: int = 1, **_) -> ExperimentResult:
         burst_cfg = SystemConfig(
             traffic=TrafficSpec.one_bursty_among_smooth(8, 16_000, 16.0),
             paradigm=paradigm, policy=policy,
-            duration_us=duration, warmup_us=warmup, seed=seed,
+            duration_us=duration_us, warmup_us=warmup_us, seed=seed,
         )
-        burst_delay = run_simulation(burst_cfg).per_stream_mean_delay_us.get(
+        burst_delay_us = run_simulation(burst_cfg).per_stream_mean_delay_us.get(
             0, float("nan")
         )
         # Axis 4: smooth-traffic latency at moderate load.
         smooth_cfg = SystemConfig(
             traffic=TrafficSpec.homogeneous_poisson(8, 16_000),
             paradigm=paradigm, policy=policy,
-            duration_us=duration, warmup_us=warmup, seed=seed,
+            duration_us=duration_us, warmup_us=warmup_us, seed=seed,
         )
-        smooth_delay = run_simulation(smooth_cfg).mean_delay_us
+        smooth_delay_us = run_simulation(smooth_cfg).mean_delay_us
         rows.append({
             "policy": label,
             "capacity_pps": round(cap),
             "single_stream_pps": round(single),
-            "burst16_delay_us": round(burst_delay, 1),
-            "smooth_delay_us": round(smooth_delay, 1),
+            "burst16_delay_us": round(burst_delay_us, 1),
+            "smooth_delay_us": round(smooth_delay_us, 1),
         })
 
     by_policy = {r["policy"]: r for r in rows}
@@ -114,8 +114,8 @@ def run_x01(fast: bool = True, seed: int = 1, **_) -> ExperimentResult:
 
 def run_x02(fast: bool = True, seed: int = 1, **_) -> ExperimentResult:
     """Packet-train burstiness sweep (extension (ii), model of [9])."""
-    duration = 300_000 if fast else 1_500_000
-    warmup = 50_000 if fast else 250_000
+    duration_us = 300_000 if fast else 1_500_000
+    warmup_us = 50_000 if fast else 250_000
     n_streams = 8
     total_rate = 16_000.0
     per_stream = total_rate / n_streams
@@ -138,7 +138,7 @@ def run_x02(fast: bool = True, seed: int = 1, **_) -> ExperimentResult:
         for label, (paradigm, policy) in CONTENDERS.items():
             cfg = SystemConfig(
                 traffic=traffic, paradigm=paradigm, policy=policy,
-                duration_us=duration, warmup_us=warmup, seed=seed,
+                duration_us=duration_us, warmup_us=warmup_us, seed=seed,
             )
             s = run_simulation(cfg)
             row[label] = round(s.per_stream_mean_delay_us.get(0, float("nan")), 1)
@@ -168,8 +168,8 @@ def run_x03(fast: bool = True, seed: int = 1, **_) -> ExperimentResult:
     """Concurrent-stream capacity under session churn."""
     from ..workloads.sessions import SessionChurnSpec
 
-    duration = 400_000 if fast else 2_000_000
-    warmup = 60_000 if fast else 300_000
+    duration_us = 400_000 if fast else 2_000_000
+    warmup_us = 60_000 if fast else 300_000
     per_stream = 300.0          # pps while a session is alive
     lifetime_us = 100_000.0     # 100 ms connections
     # The interesting range brackets the policies' capacities
@@ -199,12 +199,12 @@ def run_x03(fast: bool = True, seed: int = 1, **_) -> ExperimentResult:
             cfg = SystemConfig(
                 traffic=TrafficSpec.homogeneous_poisson(2, 500.0),  # light base
                 churn=churn, paradigm=paradigm, policy=policy,
-                duration_us=duration, warmup_us=warmup, seed=seed,
+                duration_us=duration_us, warmup_us=warmup_us, seed=seed,
             )
             s = run_simulation(cfg)
-            delay = s.mean_delay_us if s.stable else float("inf")
-            row[label] = round(delay, 1) if delay != float("inf") else delay
-            if delay <= delay_ceiling_us:
+            delay_us = s.mean_delay_us if s.stable else float("inf")
+            row[label] = round(delay_us, 1) if delay_us != float("inf") else delay_us
+            if delay_us <= delay_ceiling_us:
                 supported[label] = max(supported[label], population)
         rows.append(row)
 

@@ -1,0 +1,38 @@
+"""repro.lint — domain-specific static analysis for the reproduction.
+
+An AST-based pass enforcing the properties the result cache
+(:mod:`repro.runner.keys`) and golden regression (:mod:`repro.verify`)
+silently assume:
+
+======  ==============================================================
+RPR001  determinism — no ambient randomness; no wall clocks in
+        result-affecting code
+RPR002  ordering — no iteration over unordered sources feeding results
+RPR003  units — time-valued names carry unit suffixes; no mixed-unit
+        arithmetic
+RPR004  cache-key hygiene — every SystemConfig field acknowledged in
+        runner/keys.py (content key or observability exclusion)
+RPR005  registry/golden conformance — every experiment registered and
+        golden-covered
+======  ==============================================================
+
+Run via ``repro lint [--select CODES] [--ignore CODES] [paths]``; suppress
+individual findings with ``# repro-lint: ignore[RPRnnn] <reason>``.  The
+full catalogue lives in ``docs/LINTING.md``.
+"""
+
+from .findings import Finding, RULES, is_known_code
+from .engine import lint_file, lint_paths, parse_code_list, render_report
+from .project import check_cache_key_conformance, check_registry_conformance
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "is_known_code",
+    "lint_file",
+    "lint_paths",
+    "parse_code_list",
+    "render_report",
+    "check_cache_key_conformance",
+    "check_registry_conformance",
+]

@@ -1,0 +1,156 @@
+"""Scoping and vocabulary of the repro lint rules.
+
+The rules distinguish two scopes inside ``src/repro/``:
+
+**result-affecting** code — anything whose execution determines simulation
+output (and therefore golden snapshots and result-cache keys).  The base
+list is :data:`repro.runner.keys._SIM_SOURCES` — the exact set of packages
+hashed into the result cache's code version — extended with the experiment
+and verification layers, whose iteration order and randomness feed the
+golden files even though they are not part of the cache key.
+
+**orchestration/measurement** code — the CLI, the sweep runner and the
+host-timing harness, which legitimately read wall clocks (progress lines,
+benchmark timing) and whose iteration order never reaches a result.
+
+The determinism rule's RNG half applies *everywhere* (a stray
+``random.random()`` in the CLI would still be a latent hazard); the
+wall-clock half and the ordering/units rules apply only to
+result-affecting code.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Tuple
+
+__all__ = [
+    "FORBIDDEN_WALLCLOCK",
+    "NUMPY_RANDOM_PREFIX",
+    "RESULT_AFFECTING_PREFIXES",
+    "RNG_EXEMPT_RELPATHS",
+    "TIME_WORDS",
+    "UNIT_SUFFIXES",
+    "UNITLESS_SUFFIXES",
+    "default_package_root",
+    "default_repo_root",
+    "is_result_affecting",
+    "relpath_in_package",
+]
+
+#: Package-relative prefixes of result-affecting code.  Mirrors
+#: ``repro.runner.keys._SIM_SOURCES`` (sim, core, cache, workloads,
+#: analysis/stats.py — widened to all of analysis/, whose table rendering
+#: feeds goldens) plus the layers outside the cache key whose output is
+#: still regression-checked: experiments, verify, xkernel.
+RESULT_AFFECTING_PREFIXES: Tuple[str, ...] = (
+    "sim",
+    "core",
+    "cache",
+    "workloads",
+    "analysis",
+    "experiments",
+    "verify",
+    "xkernel",
+)
+
+#: Files allowed to construct RNGs: the one blessed seed-derivation point.
+RNG_EXEMPT_RELPATHS: Tuple[str, ...] = ("sim/rng.py",)
+
+#: Resolved dotted call targets that read ambient time/entropy.  These are
+#: forbidden in result-affecting code; ``time.perf_counter`` & friends are
+#: included because even *measuring* wall time inside the simulation layer
+#: indicates results may depend on the host.
+FORBIDDEN_WALLCLOCK: Tuple[str, ...] = (
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "os.urandom",
+    "os.getrandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.randbelow",
+)
+
+#: Calls resolving under this prefix construct/draw NumPy randomness.
+NUMPY_RANDOM_PREFIX = "numpy.random"
+
+#: Snake-case name components that denote a time-valued quantity.  A
+#: variable/argument/field whose name contains one of these must carry a
+#: unit suffix.  Deliberately conservative: generic words like ``start``/
+#: ``end``/``now`` are excluded (they routinely name indices and
+#: positions), so the rule stays high-precision.
+TIME_WORDS: Tuple[str, ...] = (
+    "delay",
+    "duration",
+    "latency",
+    "elapsed",
+    "warmup",
+    "lifetime",
+    "timeout",
+    "horizon",
+    "interarrival",
+    "queueing",
+    "wait",
+)
+
+#: Accepted explicit time-unit suffixes (also used for mixed-unit checks).
+UNIT_SUFFIXES: Tuple[str, ...] = ("_ns", "_us", "_ms", "_s", "_min")
+
+#: Suffixes that mark a name as *not* a raw time value (rates, ratios,
+#: counts, flags) even when it contains a time word — e.g.
+#: ``delay_ratio``, ``wait_count``.
+UNITLESS_SUFFIXES: Tuple[str, ...] = (
+    "_pps",
+    "_hz",
+    "_per_us",
+    "_per_s",
+    "_per_second",
+    "_ratio",
+    "_fraction",
+    "_count",
+    "_counts",
+    "_factor",
+    "_flag",
+    "_id",
+    "_ids",
+)
+
+
+def default_package_root() -> Path:
+    """The installed ``repro`` package directory (``src/repro`` in a checkout)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def default_repo_root() -> Path:
+    """Best-effort repository root: two levels above the package."""
+    return default_package_root().parent.parent
+
+
+def relpath_in_package(path: Path, package_root: Path) -> str:
+    """POSIX path of ``path`` relative to the package root, or "" if outside."""
+    try:
+        return Path(path).resolve().relative_to(Path(package_root).resolve()).as_posix()
+    except ValueError:
+        return ""
+
+
+def is_result_affecting(relpath: str) -> bool:
+    """Whether a package-relative path is result-affecting code.
+
+    Unknown locations (empty relpath — e.g. a fixture file outside the
+    package) are treated as result-affecting: the conservative default for
+    code the linter cannot place.
+    """
+    if not relpath:
+        return True
+    return relpath.split("/", 1)[0] in RESULT_AFFECTING_PREFIXES

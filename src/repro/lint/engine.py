@@ -1,0 +1,135 @@
+"""Discovery, filtering and reporting: the ``repro lint`` driver.
+
+:func:`lint_paths` walks the requested files/directories, runs the
+per-file rules (RPR001–003) on each ``.py`` file, applies inline
+suppression comments and ``--select``/``--ignore`` filters, and — when the
+lint targets include ``sim/system.py`` (i.e. the package itself is being
+linted, not an isolated fixture) — runs the project-level cross-checks
+(RPR004–005) as well.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import FrozenSet, Iterable, List, Optional, Sequence
+
+from .config import (
+    RNG_EXEMPT_RELPATHS,
+    default_package_root,
+    default_repo_root,
+    is_result_affecting,
+    relpath_in_package,
+)
+from .findings import Finding, RULES
+from .project import check_cache_key_conformance, check_registry_conformance
+from .rules import run_file_rules
+from .suppressions import is_suppressed, suppressed_codes
+
+__all__ = ["lint_paths", "lint_file", "render_report", "parse_code_list"]
+
+
+def parse_code_list(raw: Optional[str]) -> Optional[FrozenSet[str]]:
+    """Parse a ``--select``/``--ignore`` value like ``"RPR001,RPR003"``.
+
+    Raises :class:`ValueError` on unknown codes so typos fail loudly.
+    """
+    if raw is None:
+        return None
+    codes = frozenset(c.strip().upper() for c in raw.split(",") if c.strip())
+    unknown = sorted(codes - set(RULES))
+    if unknown:
+        raise ValueError(
+            f"unknown rule code(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(RULES))}"
+        )
+    return codes
+
+
+def _discover(paths: Sequence[Path]) -> List[Path]:
+    files: List[Path] = []
+    seen = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                files.append(candidate)
+    return files
+
+
+def lint_file(path: Path, *, package_root: Optional[Path] = None,
+              relpath: Optional[str] = None) -> List[Finding]:
+    """Run the per-file rules on one file, applying inline suppressions.
+
+    ``relpath`` overrides the package-relative location used for scoping —
+    fixture tests use it to lint a temp file *as if* it lived at, say,
+    ``sim/foo.py``.
+    """
+    root = package_root if package_root is not None else default_package_root()
+    if relpath is None:
+        relpath = relpath_in_package(path, root)
+    try:
+        source = path.read_text()
+    except (OSError, UnicodeDecodeError) as exc:
+        return [Finding(path=str(path), line=1, col=0, code="RPR000",
+                        message=f"cannot read file: {exc}")]
+    findings = run_file_rules(
+        str(path), source,
+        result_affecting=is_result_affecting(relpath),
+        rng_exempt=relpath in RNG_EXEMPT_RELPATHS,
+    )
+    suppressions = suppressed_codes(source)
+    return [f for f in findings
+            if not is_suppressed(suppressions, f.line, f.code)]
+
+
+def lint_paths(
+    paths: Optional[Sequence[Path]] = None,
+    *,
+    select: Optional[FrozenSet[str]] = None,
+    ignore: Optional[FrozenSet[str]] = None,
+    package_root: Optional[Path] = None,
+    repo_root: Optional[Path] = None,
+) -> List[Finding]:
+    """Lint files/directories and return sorted, filtered findings."""
+    root = package_root if package_root is not None else default_package_root()
+    repo = repo_root if repo_root is not None else default_repo_root()
+    targets = [Path(p) for p in paths] if paths else [root]
+    files = _discover(targets)
+
+    findings: List[Finding] = []
+    for path in files:
+        findings.extend(lint_file(path, package_root=root))
+
+    system_py = (root / "sim" / "system.py").resolve()
+    if any(f.resolve() == system_py for f in files):
+        findings.extend(check_cache_key_conformance(
+            root / "sim" / "system.py", root / "runner" / "keys.py"))
+        findings.extend(check_registry_conformance(
+            root / "experiments",
+            root / "experiments" / "base.py",
+            repo / "tests" / "goldens" / "MANIFEST.json"))
+
+    if select is not None:
+        findings = [f for f in findings if f.code in select]
+    if ignore is not None:
+        findings = [f for f in findings if f.code not in ignore]
+    return sorted(findings, key=Finding.sort_key)
+
+
+def render_report(findings: Sequence[Finding]) -> str:
+    """Human-readable report: one line per finding plus a summary line."""
+    lines = [f.render() for f in findings]
+    if findings:
+        by_code: dict = {}
+        for f in findings:
+            by_code[f.code] = by_code.get(f.code, 0) + 1
+        counts = ", ".join(f"{code} x{n}" for code, n in sorted(by_code.items()))
+        lines.append(f"found {len(findings)} problem(s): {counts}")
+    else:
+        lines.append("all clean")
+    return "\n".join(lines)

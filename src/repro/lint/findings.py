@@ -1,0 +1,49 @@
+"""Finding model shared by every lint rule.
+
+A :class:`Finding` is one rule violation anchored to a file position; the
+engine collects, filters (``--select``/``--ignore``/suppression comments)
+and renders them.  Codes are stable identifiers (``RPR001``...) documented
+in ``docs/LINTING.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["Finding", "RULES", "is_known_code"]
+
+#: code -> one-line rule summary (the catalogue; see docs/LINTING.md).
+RULES: Dict[str, str] = {
+    "RPR001": "determinism: unseeded/ambient randomness or wall-clock reads "
+              "in result-affecting code",
+    "RPR002": "ordering: iteration over an unordered source (set, directory "
+              "listing) feeding results",
+    "RPR003": "units: time-valued name lacks a unit suffix, or arithmetic "
+              "mixes unit suffixes",
+    "RPR004": "cache-key: SystemConfig field neither in the content key nor "
+              "on the observability exclusion list",
+    "RPR005": "registry: experiment module not registered or missing its "
+              "golden snapshot",
+}
+
+
+def is_known_code(code: str) -> bool:
+    return code in RULES
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a file position (1-based line, 0-based col)."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)

@@ -1,0 +1,255 @@
+"""Project-level rules: RPR004 (cache-key hygiene) and RPR005
+(registry/golden conformance).
+
+Unlike the per-file rules, these checks read *several* artifacts and
+cross-check them:
+
+RPR004
+    Every field of ``SystemConfig`` (statically parsed from
+    ``sim/system.py``) must appear either in the
+    ``_CONTENT_KEY_FIELDS`` acknowledgement set in ``runner/keys.py`` or
+    in the observability exclusion list (``_OBSERVABILITY_FIELDS``).
+    ``canonicalize`` hashes fields dynamically, so a new field silently
+    joins the cache key; this rule forces the author to *declare* whether
+    it is result-affecting or pure observability.  Stale names (in the
+    lists but no longer on the dataclass) and conflicts (in both lists)
+    are also flagged.
+
+RPR005
+    Every ``experiments/eNN_*.py`` module must be registered in the
+    ``_MODULES`` map of ``experiments/base.py`` and have a golden digest
+    in ``tests/goldens/MANIFEST.json`` — and vice versa, so the golden
+    check can never silently cover less than the experiment suite.
+
+Both functions take explicit paths so the fixture tests can point them at
+mutated copies.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from .findings import Finding
+
+__all__ = [
+    "check_cache_key_conformance",
+    "check_registry_conformance",
+    "system_config_fields",
+]
+
+_EXPERIMENT_MODULE = re.compile(r"^(e\d{2})_\w+\.py$")
+
+
+def _parse(path: Path) -> Optional[ast.Module]:
+    try:
+        return ast.parse(path.read_text(), filename=str(path))
+    except (OSError, SyntaxError):
+        return None
+
+
+def _finding(path: Path, node: Optional[ast.AST], message: str,
+             code: str) -> Finding:
+    return Finding(
+        path=str(path),
+        line=getattr(node, "lineno", 1) if node is not None else 1,
+        col=getattr(node, "col_offset", 0) if node is not None else 0,
+        code=code,
+        message=message,
+    )
+
+
+# ----------------------------------------------------------------------
+# RPR004 — cache-key hygiene
+# ----------------------------------------------------------------------
+def system_config_fields(system_py: Path) -> Dict[str, int]:
+    """Field name -> line number of the ``SystemConfig`` dataclass, parsed
+    statically (annotated assignments in the class body)."""
+    tree = _parse(system_py)
+    fields: Dict[str, int] = {}
+    if tree is None:
+        return fields
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == "SystemConfig":
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and \
+                        isinstance(stmt.target, ast.Name):
+                    fields[stmt.target.id] = stmt.lineno
+    return fields
+
+
+def _literal_string_set(node: ast.expr) -> Optional[FrozenSet[str]]:
+    """Evaluate a frozenset/set literal of strings, else None."""
+    try:
+        value = ast.literal_eval(node)
+    except ValueError:
+        # frozenset({...}) is a Call, not a literal — unwrap it.
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id in ("set", "frozenset") and len(node.args) == 1:
+            return _literal_string_set(node.args[0])
+        return None
+    if isinstance(value, (set, frozenset, list, tuple)) and \
+            all(isinstance(v, str) for v in value):
+        return frozenset(value)
+    return None
+
+
+def _keys_py_lists(keys_py: Path) -> Dict[str, FrozenSet[str]]:
+    """Extract ``_CONTENT_KEY_FIELDS`` and the SystemConfig entry of
+    ``_OBSERVABILITY_FIELDS`` from ``runner/keys.py``."""
+    out: Dict[str, FrozenSet[str]] = {}
+    tree = _parse(keys_py)
+    if tree is None:
+        return out
+    for node in tree.body:
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        if target.id == "_CONTENT_KEY_FIELDS":
+            parsed = _literal_string_set(node.value)
+            if parsed is not None:
+                out["content"] = parsed
+        elif target.id == "_OBSERVABILITY_FIELDS" and \
+                isinstance(node.value, ast.Dict):
+            for key, value in zip(node.value.keys, node.value.values):
+                if isinstance(key, ast.Constant) and \
+                        isinstance(key.value, str) and \
+                        key.value.endswith(".SystemConfig"):
+                    parsed = _literal_string_set(value)
+                    if parsed is not None:
+                        out["observability"] = parsed
+    return out
+
+
+def check_cache_key_conformance(system_py: Path, keys_py: Path) -> List[Finding]:
+    """RPR004: SystemConfig fields vs the key/exclusion lists in keys.py."""
+    findings: List[Finding] = []
+    fields = system_config_fields(system_py)
+    if not fields:
+        findings.append(_finding(
+            system_py, None,
+            "could not locate the SystemConfig dataclass to audit its "
+            "cache-key coverage", "RPR004"))
+        return findings
+    lists = _keys_py_lists(keys_py)
+    content = lists.get("content")
+    observability = lists.get("observability", frozenset())
+    if content is None:
+        findings.append(_finding(
+            keys_py, None,
+            "missing or non-literal _CONTENT_KEY_FIELDS acknowledgement "
+            "set; the cache-key audit needs it", "RPR004"))
+        return findings
+
+    for name in sorted(set(fields) - content - observability):
+        findings.append(Finding(
+            path=str(system_py), line=fields[name], col=0, code="RPR004",
+            message=f"SystemConfig field {name!r} is neither acknowledged in "
+                    f"_CONTENT_KEY_FIELDS nor excluded in "
+                    f"_OBSERVABILITY_FIELDS ({keys_py.name}); decide whether "
+                    f"it affects results and add it to exactly one list"))
+    for name in sorted((content | observability) - set(fields)):
+        which = "_CONTENT_KEY_FIELDS" if name in content \
+            else "_OBSERVABILITY_FIELDS"
+        findings.append(_finding(
+            keys_py, None,
+            f"{which} names {name!r}, which is not a SystemConfig field "
+            f"(stale entry)", "RPR004"))
+    for name in sorted(content & observability):
+        findings.append(_finding(
+            keys_py, None,
+            f"SystemConfig field {name!r} appears in both _CONTENT_KEY_FIELDS "
+            f"and _OBSERVABILITY_FIELDS; it must be in exactly one", "RPR004"))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# RPR005 — registry/golden conformance
+# ----------------------------------------------------------------------
+def _registered_modules(base_py: Path) -> Dict[str, str]:
+    """The ``_MODULES`` literal of experiments/base.py: id -> module name."""
+    tree = _parse(base_py)
+    if tree is None:
+        return {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+                isinstance(node.targets[0], ast.Name) and \
+                node.targets[0].id == "_MODULES" and \
+                isinstance(node.value, ast.Dict):
+            try:
+                value = ast.literal_eval(node.value)
+            except ValueError:
+                return {}
+            if isinstance(value, dict):
+                return {str(k): str(v) for k, v in value.items()}
+    return {}
+
+
+def _golden_ids(manifest_path: Path) -> Optional[Set[str]]:
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, ValueError):
+        return None
+    goldens = manifest.get("goldens")
+    if not isinstance(goldens, dict):
+        return None
+    return set(goldens)
+
+
+def check_registry_conformance(experiments_dir: Path, base_py: Path,
+                               manifest_path: Path) -> List[Finding]:
+    """RPR005: eNN_*.py modules vs the registry and the golden manifest."""
+    findings: List[Finding] = []
+    modules = _registered_modules(base_py)
+    if not modules:
+        findings.append(_finding(
+            base_py, None,
+            "could not parse the _MODULES experiment registry", "RPR005"))
+        return findings
+    golden_ids = _golden_ids(manifest_path)
+    if golden_ids is None:
+        findings.append(_finding(
+            manifest_path, None,
+            "missing or malformed golden manifest (expected a 'goldens' "
+            "object keyed by experiment id)", "RPR005"))
+        golden_ids = set()
+
+    on_disk: Dict[str, str] = {}
+    for entry in sorted(experiments_dir.glob("e[0-9][0-9]_*.py")):
+        match = _EXPERIMENT_MODULE.match(entry.name)
+        if match:
+            on_disk[match.group(1)] = entry.stem
+
+    for eid in sorted(set(on_disk) - set(modules)):
+        findings.append(_finding(
+            experiments_dir / f"{on_disk[eid]}.py", None,
+            f"experiment module {on_disk[eid]!r} is not registered in the "
+            f"_MODULES map of {base_py.name}", "RPR005"))
+    for eid in sorted(set(modules) - set(on_disk)):
+        findings.append(_finding(
+            base_py, None,
+            f"registry entry {eid!r} -> {modules[eid]!r} has no module file "
+            f"in {experiments_dir.name}/", "RPR005"))
+    for eid, module_name in sorted(modules.items()):
+        if module_name in on_disk.values() and eid != module_name.split("_")[0]:
+            findings.append(_finding(
+                base_py, None,
+                f"registry id {eid!r} does not match module prefix of "
+                f"{module_name!r}", "RPR005"))
+    for eid in sorted(set(on_disk) - golden_ids):
+        findings.append(_finding(
+            experiments_dir / f"{on_disk[eid]}.py", None,
+            f"experiment {eid!r} has no golden digest in "
+            f"{manifest_path.name}; record one with `repro verify --update`",
+            "RPR005"))
+    for eid in sorted(golden_ids - set(on_disk)):
+        findings.append(_finding(
+            manifest_path, None,
+            f"golden manifest entry {eid!r} has no experiment module",
+            "RPR005"))
+    return findings

@@ -1,0 +1,68 @@
+"""Inline suppression comments.
+
+A finding is silenced by a comment of the form::
+
+    x = np.random.default_rng(seed)  # repro-lint: ignore[RPR001] seeded per run
+
+either on the offending line itself or as a standalone comment on the line
+immediately above.  The bracket must name the code(s) being suppressed
+(comma-separated); a bare ``# repro-lint: ignore`` matches nothing, so
+suppressions stay auditable.  Everything after the bracket is the
+human-readable justification (required by convention; see
+``docs/LINTING.md`` for the suppression policy).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet
+
+__all__ = ["suppressed_codes", "is_suppressed"]
+
+_PATTERN = re.compile(r"#\s*repro-lint:\s*ignore\[([A-Z0-9,\s]+)\]")
+
+
+def suppressed_codes(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number -> codes suppressed on that line.
+
+    A standalone suppression comment (no code on its line) also covers the
+    next line, so multi-code or long-reason suppressions can sit above the
+    statement they annotate.
+    """
+    out: Dict[int, FrozenSet[str]] = {}
+    standalone: Dict[int, FrozenSet[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return out
+    code_lines = {
+        t.start[0]
+        for t in tokens
+        if t.type not in (tokenize.COMMENT, tokenize.NL, tokenize.NEWLINE,
+                          tokenize.INDENT, tokenize.DEDENT, tokenize.ENDMARKER)
+    }
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _PATTERN.search(tok.string)
+        if not match:
+            continue
+        codes = frozenset(
+            c.strip() for c in match.group(1).split(",") if c.strip()
+        )
+        if not codes:
+            continue
+        line = tok.start[0]
+        out[line] = out.get(line, frozenset()) | codes
+        if line not in code_lines:
+            standalone[line] = codes
+    for line, codes in standalone.items():
+        out[line + 1] = out.get(line + 1, frozenset()) | codes
+    return out
+
+
+def is_suppressed(suppressions: Dict[int, FrozenSet[str]],
+                  line: int, code: str) -> bool:
+    return code in suppressions.get(line, frozenset())

@@ -22,7 +22,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Optional
+from typing import Dict, Optional
 
 from ..sim.metrics import SimulationSummary
 
@@ -43,7 +43,7 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro"
 
 
-def summary_to_dict(summary: SimulationSummary) -> dict:
+def summary_to_dict(summary: SimulationSummary) -> Dict[str, object]:
     """JSON-able dict of a summary (tuples become lists)."""
     out = {}
     for f in dataclasses.fields(summary):
@@ -68,7 +68,7 @@ def summary_from_dict(data: dict) -> SimulationSummary:
 class ResultCache:
     """Content-addressed store of :class:`SimulationSummary` objects."""
 
-    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+    def __init__(self, root: Optional["os.PathLike[str]"] = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
 
     def path_for(self, key: str) -> Path:

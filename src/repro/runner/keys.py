@@ -45,6 +45,34 @@ _OBSERVABILITY_FIELDS = {
     "repro.sim.system.SystemConfig": frozenset({"trace", "check_invariants"}),
 }
 
+#: Explicit acknowledgement that each :class:`SystemConfig` field
+#: participates in the content key.  :func:`canonicalize` serializes
+#: dataclass fields *dynamically*, so a newly added field is hashed
+#: automatically — but silently, without anyone deciding whether it is
+#: result-affecting (belongs here) or pure observability (belongs in
+#: :data:`_OBSERVABILITY_FIELDS`).  The ``repro lint`` RPR004 rule
+#: cross-checks this list against the SystemConfig definition and fails
+#: on any field present in neither, forcing that decision to be made in
+#: this file.  Keep in sync with ``repro/sim/system.py``.
+_CONTENT_KEY_FIELDS = frozenset({
+    "traffic",
+    "paradigm",
+    "policy",
+    "platform",
+    "costs",
+    "composition",
+    "nonprotocol_intensity",
+    "n_stacks",
+    "churn",
+    "data_touching",
+    "fixed_overhead_us",
+    "lock_granularity",
+    "duration_us",
+    "warmup_us",
+    "seed",
+    "policy_kwargs",
+})
+
 
 def canonicalize(obj: Any) -> Any:
     """Reduce ``obj`` to a JSON-able structure that identifies its value.
@@ -102,7 +130,7 @@ def code_version() -> str:
     return digest.hexdigest()[:16]
 
 
-def config_key(config) -> str:
+def config_key(config: Any) -> str:
     """Content key of one run: SHA-256 over config + code version.
 
     Raises :class:`UncacheableConfig` for configs that embed

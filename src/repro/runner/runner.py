@@ -29,7 +29,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..sim.metrics import SimulationSummary
 from ..sim.system import SystemConfig, run_simulation
@@ -134,8 +134,8 @@ class SweepRunner:
 
         # Serve cache hits; collect misses with within-batch dedup.
         work: List[int] = []          # indices to actually simulate
-        followers: List[tuple] = []   # (index, leader_index) duplicates
-        leader_for_key = {}
+        followers: List[Tuple[int, int]] = []   # (index, leader_index) duplicates
+        leader_for_key: Dict[str, int] = {}
         hits = dedups = 0
         for i, (cfg, key) in enumerate(zip(configs, keys)):
             if key is not None:

@@ -26,12 +26,15 @@ references (tracked by the processor's displacing-reference clock).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
 from ..core.exec_model import COLD, ComponentState
 from ..core.policies import IPSPolicy, LockingPolicy, SchedulerView
 from .entities import Packet, ProcessorState, ThreadPool
 from .locks import LayeredLocks
+
+if TYPE_CHECKING:
+    from .system import NetworkProcessingSystem
 
 __all__ = ["BaseDispatcher", "LockingDispatcher", "IPSDispatcher"]
 
@@ -47,7 +50,7 @@ class BaseDispatcher(SchedulerView):
     #: paradigm pays per-packet lock costs?
     locking_paradigm: bool = False
 
-    def __init__(self, system) -> None:
+    def __init__(self, system: NetworkProcessingSystem) -> None:
         self.system = system
         #: stream id -> processor that last served it (migration tracking).
         self._stream_last_proc: Dict[int, int] = {}
@@ -92,21 +95,21 @@ class BaseDispatcher(SchedulerView):
     # Service lifecycle helpers
     # ------------------------------------------------------------------
     def _begin(self, proc: ProcessorState, packet: Packet, thread_id: int,
-               state: ComponentState, lock_wait: float, exec_time: float) -> None:
+               state: ComponentState, lock_wait_us: float, exec_time: float) -> None:
         now = self.system.sim.now
         packet.service_start_us = now
         packet.processor_id = proc.proc_id
         packet.thread_id = thread_id
-        packet.lock_wait_us = lock_wait
+        packet.lock_wait_us = lock_wait_us
         packet.exec_time_us = exec_time
         proc.begin_service(packet, now)
         if self.system.tracer is not None:
-            self.system.tracer.record(packet, state, lock_wait, exec_time, now)
+            self.system.tracer.record(packet, state, lock_wait_us, exec_time, now)
         if self.system.invariants is not None:
             self.system.invariants.on_service_start(
-                proc.proc_id, packet, now, lock_wait, exec_time
+                proc.proc_id, packet, now, lock_wait_us, exec_time
             )
-        span = lock_wait + exec_time
+        span = lock_wait_us + exec_time
         self.system.sim.schedule(span, lambda: self._complete(proc))
 
     def _complete(self, proc: ProcessorState) -> None:
@@ -128,7 +131,8 @@ class LockingDispatcher(BaseDispatcher):
 
     locking_paradigm = True
 
-    def __init__(self, system, policy: LockingPolicy) -> None:
+    def __init__(self, system: NetworkProcessingSystem,
+                 policy: LockingPolicy) -> None:
         super().__init__(system)
         self.policy = policy
         self.policy.attach(self)
@@ -186,8 +190,8 @@ class LockingDispatcher(BaseDispatcher):
             locking=True,
             extra_us=system.fixed_overhead_us,
         )
-        lock_wait = self.lock.reserve(now, system.costs.lock_cs_us)
-        self._begin(proc, packet, thread_id, state, lock_wait, exec_time)
+        lock_wait_us = self.lock.reserve(now, system.costs.lock_cs_us)
+        self._begin(proc, packet, thread_id, state, lock_wait_us, exec_time)
 
     def _complete(self, proc: ProcessorState) -> None:
         system = self.system
@@ -221,7 +225,8 @@ class IPSDispatcher(BaseDispatcher):
 
     locking_paradigm = False
 
-    def __init__(self, system, policy: IPSPolicy, n_stacks: int) -> None:
+    def __init__(self, system: NetworkProcessingSystem,
+                 policy: IPSPolicy, n_stacks: int) -> None:
         super().__init__(system)
         if n_stacks < 1:
             raise ValueError("need at least one stack")

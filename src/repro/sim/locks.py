@@ -56,17 +56,17 @@ class SerialLock:
         """
         if hold_us < 0:
             raise ValueError("hold_us must be non-negative")
-        wait = max(0.0, self._free_at - now_us)
-        start = now_us + wait
-        self._free_at = start + hold_us
-        self.total_wait_us += wait
+        wait_us = max(0.0, self._free_at - now_us)
+        start_us = now_us + wait_us
+        self._free_at = start_us + hold_us
+        self.total_wait_us += wait_us
         self.total_hold_us += hold_us
         self.acquisitions += 1
-        if wait > 0.0:
+        if wait_us > 0.0:
             self.contended += 1
         if self._on_reserve is not None:
-            self._on_reserve(start, hold_us)
-        return wait
+            self._on_reserve(start_us, hold_us)
+        return wait_us
 
     @property
     def mean_wait_us(self) -> float:
@@ -125,12 +125,12 @@ class LayeredLocks:
             raise ValueError("total_cs_us must be non-negative")
         stage_us = total_cs_us / self.n_locks
         t = now_us
-        total_wait = 0.0
+        total_wait_us = 0.0
         for lock in self.locks:
-            wait = lock.reserve(t, stage_us)
-            total_wait += wait
-            t += wait + stage_us
-        return total_wait
+            wait_us = lock.reserve(t, stage_us)
+            total_wait_us += wait_us
+            t += wait_us + stage_us
+        return total_wait_us
 
     @property
     def acquisitions(self) -> int:

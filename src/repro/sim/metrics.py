@@ -165,29 +165,29 @@ class MetricsCollector:
                 utilization_per_proc=utilization_per_proc,
                 max_backlog=self.max_backlog, final_backlog=self._backlog,
             )
-        delays = np.array([r.delay_us for r in self.records])
-        queueing = np.array([r.queueing_us for r in self.records])
+        delays_us = np.array([r.delay_us for r in self.records])
+        queueing_us = np.array([r.queueing_us for r in self.records])
         execs = np.array([r.exec_time_us for r in self.records])
-        lock_waits = np.array([r.lock_wait_us for r in self.records])
-        mean_delay = float(delays.mean())
-        ci = batch_means_ci(delays, n_batches=n_batches)
+        lock_waits_us = np.array([r.lock_wait_us for r in self.records])
+        mean_delay_us = float(delays_us.mean())
+        ci = batch_means_ci(delays_us, n_batches=n_batches)
         measured_span = duration_us - self.warmup_us
-        throughput_pps = len(delays) / measured_span * 1e6 if measured_span > 0 else 0.0
+        throughput_pps = len(delays_us) / measured_span * 1e6 if measured_span > 0 else 0.0
         per_stream: Dict[int, float] = {}
         stream_ids = np.array([r.stream_id for r in self.records])
         for sid in np.unique(stream_ids):
-            per_stream[int(sid)] = float(delays[stream_ids == sid].mean())
+            per_stream[int(sid)] = float(delays_us[stream_ids == sid].mean())
         return SimulationSummary(
-            n_packets=len(delays),
+            n_packets=len(delays_us),
             duration_us=duration_us,
-            mean_delay_us=mean_delay,
+            mean_delay_us=mean_delay_us,
             delay_ci_us=ci,
-            mean_queueing_us=float(queueing.mean()),
+            mean_queueing_us=float(queueing_us.mean()),
             mean_exec_us=float(execs.mean()),
-            mean_lock_wait_us=float(lock_waits.mean()),
-            p50_delay_us=float(np.percentile(delays, 50)),
-            p95_delay_us=float(np.percentile(delays, 95)),
-            p99_delay_us=float(np.percentile(delays, 99)),
+            mean_lock_wait_us=float(lock_waits_us.mean()),
+            p50_delay_us=float(np.percentile(delays_us, 50)),
+            p95_delay_us=float(np.percentile(delays_us, 95)),
+            p99_delay_us=float(np.percentile(delays_us, 99)),
             throughput_pps=throughput_pps,
             offered_rate_pps=offered_rate_pps,
             utilization_per_proc=utilization_per_proc,

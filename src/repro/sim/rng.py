@@ -33,9 +33,9 @@ class RandomStreams:
         if not isinstance(master_seed, (int, np.integer)) or master_seed < 0:
             raise ValueError(f"master_seed must be a non-negative int, got {master_seed!r}")
         self.master_seed = int(master_seed)
-        self._cache: Dict[Tuple, np.random.Generator] = {}
+        self._cache: Dict[Tuple[object, ...], np.random.Generator] = {}
 
-    def get(self, *key) -> np.random.Generator:
+    def get(self, *key: object) -> np.random.Generator:
         """Generator for a hashable key (created on first use, cached)."""
         if key not in self._cache:
             # Key the child off (master_seed, stable hash of key parts).

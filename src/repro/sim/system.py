@@ -41,7 +41,7 @@ from ..core.policies import (
     make_locking_policy,
 )
 from ..verify.invariants import InvariantChecker
-from ..workloads.arrivals import PoissonArrivals
+from ..workloads.arrivals import ArrivalProcess, PoissonArrivals
 from ..workloads.sessions import SessionChurnSpec
 from ..workloads.traffic import TrafficSpec
 from .dispatch import IPSDispatcher, LockingDispatcher
@@ -128,7 +128,7 @@ class SystemConfig:
         if self.lock_granularity < 1:
             raise ValueError("lock_granularity must be >= 1")
 
-    def with_(self, **changes) -> "SystemConfig":
+    def with_(self, **changes: object) -> "SystemConfig":
         """Functional update (sweep helper)."""
         return replace(self, **changes)
 
@@ -167,7 +167,7 @@ class NetworkProcessingSystem:
         self._live_sessions = 0
         self._ran = False
 
-    def _build_dispatcher(self):
+    def _build_dispatcher(self) -> Union[LockingDispatcher, IPSDispatcher]:
         cfg = self.config
         if cfg.paradigm == "locking":
             policy = cfg.policy
@@ -195,14 +195,14 @@ class NetworkProcessingSystem:
         if self.config.churn is not None:
             self._schedule_next_session()
 
-    def _schedule_next_arrival(self, stream_id: int, process,
+    def _schedule_next_arrival(self, stream_id: int, process: ArrivalProcess,
                                end_us: Optional[float] = None) -> None:
-        horizon = self.config.duration_us if end_us is None else min(
+        horizon_us = self.config.duration_us if end_us is None else min(
             end_us, self.config.duration_us
         )
         gap_us, batch = process.next_batch()
         when = self.sim.now + gap_us
-        if when > horizon:
+        if when > horizon_us:
             if end_us is not None and when <= self.config.duration_us:
                 # The churning stream died; account its departure.
                 self._live_sessions -= 1
@@ -237,10 +237,10 @@ class NetworkProcessingSystem:
             self.peak_concurrent_sessions, self._live_sessions
         )
         rng = self.rngs.arrivals(stream_id)
-        lifetime = float(rng.exponential(churn.mean_lifetime_us))
+        lifetime_us = float(rng.exponential(churn.mean_lifetime_us))
         process = PoissonArrivals(churn.per_stream_rate_pps, rng)
         self._schedule_next_arrival(stream_id, process,
-                                    end_us=now_us + lifetime)
+                                    end_us=now_us + lifetime_us)
 
     def _inject_packet(self, stream_id: int) -> None:
         size = self.config.traffic.size_model.sample(self.rngs.sizes)
@@ -275,13 +275,13 @@ class NetworkProcessingSystem:
             self.invariants.at_end(
                 self.metrics, self.dispatcher.queued(), self.processors
             )
-        duration = self.config.duration_us
-        utilization = tuple(p.utilization(duration) for p in self.processors)
+        duration_us = self.config.duration_us
+        utilization = tuple(p.utilization(duration_us) for p in self.processors)
         offered = self.config.traffic.total_rate_pps
         if self.config.churn is not None:
             offered += self.config.churn.offered_rate_pps
         return self.metrics.summarize(
-            duration_us=duration,
+            duration_us=duration_us,
             utilization_per_proc=utilization,
             offered_rate_pps=offered,
         )

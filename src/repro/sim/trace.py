@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from ..core.exec_model import ComponentState, ExecutionTimeModel
+from .entities import Packet
 
 __all__ = ["ServiceTraceRecord", "ExecutionTracer"]
 
@@ -66,7 +67,7 @@ class ExecutionTracer:
         self.records: List[ServiceTraceRecord] = []
 
     # ------------------------------------------------------------------
-    def record(self, packet, state: ComponentState, lock_wait_us: float,
+    def record(self, packet: Packet, state: ComponentState, lock_wait_us: float,
                exec_time_us: float, start_us: float) -> None:
         """Called by the dispatchers at service start."""
         self.records.append(ServiceTraceRecord(
@@ -162,7 +163,7 @@ class ExecutionTracer:
         equivalent that fails at the offending event is
         :meth:`repro.verify.invariants.InvariantChecker.on_service_start`.
         """
-        procs = {r.processor_id for r in self.records}
+        procs = sorted({r.processor_id for r in self.records})
         for p in procs:
             intervals = self.busy_intervals(p)
             for (s1, e1), (s2, _) in zip(intervals, intervals[1:]):

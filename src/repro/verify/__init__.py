@@ -49,7 +49,7 @@ _LAZY = {
 }
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     if name in ("equivalence", "golden"):
         return importlib.import_module(f".{name}", __name__)
     if name in _LAZY:

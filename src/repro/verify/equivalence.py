@@ -130,7 +130,7 @@ def compare_result_sets(
     """
     if not set_a or not set_b:
         raise ValueError("both result sets must be non-empty")
-    comparisons = []
+    comparisons: List[MetricEquivalence] = []
     for metric in metrics:
         mean_a = float(np.mean([getattr(s, metric) for s in set_a]))
         mean_b = float(np.mean([getattr(s, metric) for s in set_b]))

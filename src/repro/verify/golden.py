@@ -107,7 +107,7 @@ def _jsonable_meta(meta: dict) -> Tuple[dict, List[str]]:
     return out, skipped
 
 
-def _snapshot(experiment_id: str, seed: int, fast: bool) -> dict:
+def _snapshot(experiment_id: str, seed: int, fast: bool) -> Dict[str, object]:
     """Run one experiment and reduce it to its golden payload."""
     result = run_experiment(experiment_id, fast=fast, seed=seed)
     meta, skipped = _jsonable_meta(result.meta)
@@ -231,7 +231,8 @@ class GoldenReport:
         return "\n".join(lines)
 
 
-def _compare(location: str, golden, actual, rtol: float, atol: float,
+def _compare(location: str, golden: object, actual: object,
+             rtol: float, atol: float,
              out: List[FieldMismatch]) -> None:
     """Recursive field-by-field diff (appends mismatches to ``out``)."""
     # bool is an int subclass: compare it before the numeric branch.

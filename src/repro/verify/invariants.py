@@ -42,7 +42,29 @@ it can be wired into :mod:`repro.sim` without import cycles.
 from __future__ import annotations
 
 import math
-from typing import Dict
+from typing import Dict, Iterable, Protocol
+
+
+class _PacketLike(Protocol):
+    """Structural view of :class:`repro.sim.entities.Packet` (this module
+    imports nothing from the rest of the package to stay cycle-free)."""
+
+    packet_id: int
+    arrival_us: float
+    service_start_us: float
+    lock_wait_us: float
+    exec_time_us: float
+
+
+class _MetricsLike(Protocol):
+    arrivals: int
+    completions: int
+    in_flight: int
+
+
+class _ProcessorLike(Protocol):
+    busy: bool
+
 
 __all__ = ["InvariantChecker", "InvariantViolation"]
 
@@ -97,7 +119,7 @@ class InvariantChecker:
     # ------------------------------------------------------------------
     # Packet lifecycle hooks
     # ------------------------------------------------------------------
-    def on_arrival(self, packet, now_us: float) -> None:
+    def on_arrival(self, packet: _PacketLike, now_us: float) -> None:
         self.checks += 1
         self.arrivals += 1
         self.in_flight += 1
@@ -107,7 +129,7 @@ class InvariantChecker:
                 f"{packet.arrival_us} at simulation time {now_us}"
             )
 
-    def on_service_start(self, proc_id: int, packet, now_us: float,
+    def on_service_start(self, proc_id: int, packet: _PacketLike, now_us: float,
                          lock_wait_us: float, exec_time_us: float) -> None:
         self.checks += 1
         if packet.arrival_us > now_us + self.epsilon_us:
@@ -135,7 +157,8 @@ class InvariantChecker:
         self._serving[proc_id] = packet.packet_id
         self._busy_until[proc_id] = now_us + lock_wait_us + exec_time_us
 
-    def on_completion(self, packet, proc_id: int, now_us: float) -> None:
+    def on_completion(self, packet: _PacketLike, proc_id: int,
+                      now_us: float) -> None:
         self.checks += 1
         self.completions += 1
         self.in_flight -= 1
@@ -158,10 +181,10 @@ class InvariantChecker:
                 f"{packet.arrival_us}, service_start {packet.service_start_us}, "
                 f"completion {now_us}"
             )
-        delay = now_us - packet.arrival_us
-        if delay < packet.exec_time_us - eps:
+        delay_us = now_us - packet.arrival_us
+        if delay_us < packet.exec_time_us - eps:
             self._fail(
-                f"packet {packet.packet_id}: delay {delay} < exec_time "
+                f"packet {packet.packet_id}: delay {delay_us} < exec_time "
                 f"{packet.exec_time_us}"
             )
         span = now_us - packet.service_start_us
@@ -191,7 +214,8 @@ class InvariantChecker:
     # ------------------------------------------------------------------
     # End-of-run cross-checks
     # ------------------------------------------------------------------
-    def at_end(self, metrics, dispatcher_queued: int, processors) -> None:
+    def at_end(self, metrics: _MetricsLike, dispatcher_queued: int,
+               processors: Iterable[_ProcessorLike]) -> None:
         """Conservation against the independent metrics/dispatcher state."""
         self.checks += 1
         if self.arrivals != metrics.arrivals:

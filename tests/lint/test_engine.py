@@ -1,0 +1,131 @@
+"""Engine/CLI behaviour: discovery, scoping, filters, the clean-repo
+gate, and the ``repro lint`` command surface."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.lint import RULES, lint_file, lint_paths, parse_code_list, render_report
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+PACKAGE = REPO / "src" / "repro"
+
+
+# ----------------------------------------------------------------------
+# The acceptance gate: the shipped package lints clean.
+# ----------------------------------------------------------------------
+def test_repo_lints_clean():
+    findings = lint_paths()
+    assert findings == [], render_report(findings)
+
+
+def test_every_rule_documented():
+    assert sorted(RULES) == ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005"]
+    catalogue = (REPO / "docs" / "LINTING.md").read_text()
+    for code in RULES:
+        assert code in catalogue, f"{code} missing from docs/LINTING.md"
+
+
+# ----------------------------------------------------------------------
+# Scoping
+# ----------------------------------------------------------------------
+def test_rng_module_is_exempt_in_place():
+    # sim/rng.py constructs generators by design; linted at its real
+    # location it must stay clean.
+    assert lint_file(PACKAGE / "sim" / "rng.py") == []
+
+
+def test_runner_may_read_wall_clock():
+    # runner/runner.py times its sweeps with perf_counter; orchestration
+    # scope exempts it from the wall-clock half of RPR001.
+    assert lint_file(PACKAGE / "runner" / "runner.py") == []
+
+
+def test_fixture_outside_package_is_result_affecting(tmp_path):
+    f = tmp_path / "snippet.py"
+    f.write_text("import time\nt = time.time()\n")
+    findings = lint_file(f)
+    assert [x.code for x in findings] == ["RPR001"]
+
+
+def test_relpath_override_controls_scope(tmp_path):
+    f = tmp_path / "snippet.py"
+    f.write_text("import time\nt = time.time()\n")
+    assert lint_file(f, relpath="runner/foo.py") == []
+    assert [x.code for x in lint_file(f, relpath="sim/foo.py")] == ["RPR001"]
+
+
+# ----------------------------------------------------------------------
+# Filters
+# ----------------------------------------------------------------------
+def test_select_and_ignore(tmp_path):
+    f = tmp_path / "snippet.py"
+    f.write_text("import random\ndelay = 1.0\n")
+    all_codes = {x.code for x in lint_paths([f])}
+    assert all_codes == {"RPR001", "RPR003"}
+    only = lint_paths([f], select=frozenset({"RPR003"}))
+    assert {x.code for x in only} == {"RPR003"}
+    rest = lint_paths([f], ignore=frozenset({"RPR003"}))
+    assert {x.code for x in rest} == {"RPR001"}
+
+
+def test_parse_code_list_validates():
+    assert parse_code_list(None) is None
+    assert parse_code_list("rpr001, RPR003") == frozenset({"RPR001", "RPR003"})
+    with pytest.raises(ValueError, match="RPR999"):
+        parse_code_list("RPR999")
+
+
+def test_findings_sorted_and_rendered(tmp_path):
+    f = tmp_path / "snippet.py"
+    f.write_text("import random\ndelay = 1.0\n")
+    findings = lint_paths([f])
+    assert findings == sorted(findings, key=lambda x: x.sort_key())
+    report = render_report(findings)
+    assert "RPR001" in report and "problem(s)" in report
+    assert render_report([]) == "all clean"
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+def run_cli(*argv):
+    from repro.cli import main
+    return main(list(argv))
+
+
+def test_cli_lint_clean_repo_exits_zero(capsys):
+    assert run_cli("lint") == 0
+    assert "all clean" in capsys.readouterr().out
+
+
+def test_cli_lint_findings_exit_one(tmp_path, capsys):
+    f = tmp_path / "snippet.py"
+    f.write_text("import random\n")
+    assert run_cli("lint", str(f)) == 1
+    assert "RPR001" in capsys.readouterr().out
+
+
+def test_cli_lint_unknown_code_exits_two(tmp_path, capsys):
+    assert run_cli("lint", "--select", "RPR999") == 2
+    assert "RPR999" in capsys.readouterr().err
+
+
+def test_cli_list_rules(capsys):
+    assert run_cli("lint", "--list-rules") == 0
+    out = capsys.readouterr().out
+    for code in RULES:
+        assert code in out
+
+
+def test_module_invocation_smoke():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "--list-rules"],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        cwd=str(REPO),
+    )
+    assert proc.returncode == 0
+    assert "RPR001" in proc.stdout

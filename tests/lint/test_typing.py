@@ -1,0 +1,39 @@
+"""Static-typing gates that degrade gracefully when mypy is absent.
+
+CI installs mypy in the lint job and runs it against pyproject.toml's
+staged-strict config; this test mirrors that locally so developers with
+``pip install -e .[lint]`` get the same gate from pytest, while minimal
+environments (numpy+scipy+pytest only) skip rather than fail.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+def test_py_typed_marker_ships():
+    assert (REPO / "src" / "repro" / "py.typed").exists()
+    text = (REPO / "pyproject.toml").read_text()
+    assert 'repro = ["py.typed"]' in text
+
+
+def test_mypy_config_is_staged_strict():
+    text = (REPO / "pyproject.toml").read_text()
+    assert "[tool.mypy]" in text
+    for pkg in ("repro.sim.*", "repro.cache.*", "repro.runner.*",
+                "repro.verify.*"):
+        assert f'"{pkg}"' in text, f"{pkg} missing from strict overrides"
+
+
+@pytest.mark.slow
+def test_mypy_strict_passes_on_core_packages():
+    pytest.importorskip("mypy", reason="mypy not installed (pip install -e .[lint])")
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file=pyproject.toml"],
+        capture_output=True, text=True, cwd=str(REPO),
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
