@@ -1,0 +1,86 @@
+"""Record hot-path benchmark results into ``BENCH_hotpath.json``.
+
+Writes the repo-root trajectory file that tracks simulator throughput
+PR-over-PR::
+
+    PYTHONPATH=src python benchmarks/record_bench.py
+
+The file has three sections:
+
+``baseline``
+    The pre-overhaul measurement (commit ``af16703``, frozen — never
+    rewritten by this script) that the hot-path PR's >=3x claim is
+    measured against.
+``current``
+    Best-of-N measurement of the checked-out tree on this machine,
+    refreshed on every invocation.
+``workload``
+    The exact configuration both sections were measured with.
+
+Numbers are machine-relative: re-record on the machine whose numbers you
+want to compare, and treat cross-machine deltas as noise.  CI only
+enforces a conservative absolute floor (see ``bench_hotpath.py --check``).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from typing import Any, Dict
+
+from bench_hotpath import BENCH_JSON, WORKLOAD, report
+
+#: Frozen pre-overhaul reference (commit af16703, same machine/workload
+#: as the initial "current" recording).  Kept in-code so a fresh
+#: recording can never silently erase the comparison point.
+BASELINE: Dict[str, Any] = {
+    "commit": "af16703",
+    "note": "pre hot-path overhaul (seed workload, best of 5)",
+    "locking/mru": {
+        "elapsed_s": 0.2731,
+        "events_per_sec": 73_880.0,
+        "us_per_packet": 27.06,
+    },
+    "ips/ips-mru": {
+        "elapsed_s": 0.2487,
+        "events_per_sec": 81_154.0,
+        "us_per_packet": 24.64,
+    },
+}
+
+
+def current_commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def main(repeats: int = 5) -> int:
+    rows = report(repeats=repeats)
+    payload: Dict[str, Any] = {
+        "workload": WORKLOAD,
+        "baseline": BASELINE,
+        "current": {
+            "commit": current_commit(),
+            **{case: row for case, row in rows.items()},
+        },
+        "speedup_vs_baseline": {
+            case: round(BASELINE[case]["elapsed_s"] / rows[case]["elapsed_s"], 3)
+            for case in rows
+            if case in BASELINE
+        },
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[record_bench] wrote {BENCH_JSON}")
+    for case, speedup in payload["speedup_vs_baseline"].items():
+        print(f"[record_bench] {case}: {speedup}x vs baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

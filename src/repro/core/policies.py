@@ -45,6 +45,7 @@ stateful per simulation run.
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
@@ -98,15 +99,32 @@ class SchedulerView(ABC):
     def random_choice(self, items: List[int]) -> int:
         """Uniform choice using the simulation's scheduling RNG stream."""
 
+    def mru_idle(self) -> int:
+        """The idle processor with the most recent protocol activity.
+
+        Ties (e.g. several never-used processors at ``-inf``) break
+        randomly so that the policy does not silently favour low processor
+        ids; tie candidates accumulate in idle order and the RNG is
+        consulted only for genuine ties — exactly the historical
+        max-then-filter behaviour.  The dispatchers override this with a
+        direct-attribute-access version (this runs once per dispatch
+        attempt); the default works for any view.
+        """
+        return _mru_idle(self, self.idle_processors())
+
 
 def _mru_idle(view: SchedulerView, idle: List[int]) -> int:
-    """The idle processor with the most recent protocol activity.
-
-    Ties (e.g. several never-used processors at ``-inf``) break randomly so
-    that the policy does not silently favour low processor ids.
-    """
-    best_t = max(view.last_protocol_end(p) for p in idle)
-    best = [p for p in idle if view.last_protocol_end(p) == best_t]
+    """Default single-pass :meth:`SchedulerView.mru_idle` implementation."""
+    last_end = view.last_protocol_end
+    best_t = -math.inf
+    best: List[int] = []
+    for p in idle:
+        t = last_end(p)
+        if t > best_t:
+            best_t = t
+            best = [p]
+        elif t == best_t:
+            best.append(p)
     return best[0] if len(best) == 1 else view.random_choice(best)
 
 
@@ -192,7 +210,7 @@ class MRUPolicy(_GlobalQueuePolicy):
     name = "mru"
 
     def _select_processor(self, packet, idle: List[int]) -> int:
-        return _mru_idle(self.view, idle)
+        return self.view.mru_idle()
 
 
 class StreamMRUPolicy(_GlobalQueuePolicy):
@@ -209,7 +227,7 @@ class StreamMRUPolicy(_GlobalQueuePolicy):
         last = self.view.stream_last_processor(packet.stream_id)
         if last is not None and last in idle:
             return last
-        return _mru_idle(self.view, idle)
+        return self.view.mru_idle()
 
 
 class PerProcessorPoolsPolicy(LockingPolicy):
@@ -334,7 +352,7 @@ class HybridPolicy(WiredStreamsPolicy):
         if not overloaded:
             return None
         victim = max(overloaded, key=lambda p: (len(self._pools[p]), -p))
-        thief = _mru_idle(self.view, idle)
+        thief = self.view.mru_idle()
         return thief, self._pools[victim].popleft()
 
 
@@ -380,7 +398,7 @@ class IPSMRUPolicy(IPSPolicy):
             return None
         if stack_last_proc is not None and stack_last_proc in idle:
             return stack_last_proc
-        return _mru_idle(view, idle)
+        return view.mru_idle()
 
 
 # ----------------------------------------------------------------------

@@ -3,7 +3,7 @@
 A dispatcher owns the mapping from arrived packets to (processor, thread)
 executions, implements the :class:`repro.core.policies.SchedulerView`
 protocol for its scheduling policy, and encodes each paradigm's coherence
-semantics when assembling the per-packet :class:`ComponentState`:
+semantics when assembling the per-packet cache state:
 
 **Migration coherence.**  Writable footprint components live in the cache
 of the processor that last *wrote* them; serving elsewhere finds them cold
@@ -21,15 +21,31 @@ of the processor that last *wrote* them; serving elsewhere finds them cold
 
 Read-mostly code+globals are displaced only by local intervening
 references (tracked by the processor's displacing-reference clock).
+
+**Hot path.**  ``_start_service`` and ``_complete`` each run once per
+packet, so the :class:`~repro.sim.entities.ProcessorState` lifecycle
+(idle-clock accrual, reference assembly, touch-table stamping) is inlined
+rather than delegated — the float expression trees are preserved
+operation for operation, so results stay bit-identical to the
+straightforward code.  Touch-table keys are interned per stream/thread
+(one tuple allocation per entity, not per packet), completions re-push
+one preallocated engine event record per processor, and the idle set is
+maintained incrementally (sorted ascending, matching the historical scan
+order) instead of rescanned on every policy query.  The
+:class:`ComponentState` dataclass is only materialized when a tracer
+wants it.
 """
 
 from __future__ import annotations
 
+import math
+from bisect import insort
 from collections import deque
 from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
 from ..core.exec_model import COLD, ComponentState
 from ..core.policies import IPSPolicy, LockingPolicy, SchedulerView
+from .engine import EVENT_COMPLETION, Event
 from .entities import Packet, ProcessorState, ThreadPool
 from .locks import LayeredLocks
 
@@ -37,6 +53,9 @@ if TYPE_CHECKING:
     from .system import NetworkProcessingSystem
 
 __all__ = ["BaseDispatcher", "LockingDispatcher", "IPSDispatcher"]
+
+#: Interned touch-table key for the shared code+globals component.
+_CODE_KEY = ("code",)
 
 
 class BaseDispatcher(SchedulerView):
@@ -52,23 +71,47 @@ class BaseDispatcher(SchedulerView):
 
     def __init__(self, system: NetworkProcessingSystem) -> None:
         self.system = system
+        self.sim = system.sim
+        self.model = system.model
+        self._procs = system.processors
+        # Hot-path aliases (all are fixed for the system's lifetime).
+        self._schedule_record = system.sim.schedule_record
+        self._metrics_on_completion = system.metrics.on_completion
+        self._tracer = system.tracer
+        self._invariants = system.invariants
+        self._data_touching = system.data_touching
+        self._extra_us = system.fixed_overhead_us
         #: stream id -> processor that last served it (migration tracking).
         self._stream_last_proc: Dict[int, int] = {}
+        #: stream id -> interned ("stream", id) touch key (allocated at the
+        #: stream's first completion; ``_start_service`` only looks a
+        #: stream's key up after a completion recorded its processor).
+        self._stream_keys: Dict[int, Tuple[str, int]] = {}
         #: monotone count of completed protocol executions, system-wide.
         self.protocol_epoch: int = 0
+        #: Idle processor ids, kept sorted ascending — the same order the
+        #: historical per-query scan produced.
+        self._idle: List[int] = [p.proc_id for p in system.processors]
+        #: One reusable completion event per processor (a processor serves
+        #: one packet at a time, so at most one occurrence is pending).
+        self._completion_records: List[Event] = [
+            Event(EVENT_COMPLETION, self._complete, p)
+            for p in system.processors
+        ]
 
     # ------------------------------------------------------------------
     # SchedulerView
     # ------------------------------------------------------------------
     @property
     def n_processors(self) -> int:
-        return len(self.system.processors)
+        return len(self._procs)
 
     def idle_processors(self) -> List[int]:
-        return [p.proc_id for p in self.system.processors if not p.busy]
+        # Live (maintained) list; policies treat it as read-only.
+        return self._idle
 
     def last_protocol_end(self, proc_id: int) -> float:
-        return self.system.processors[proc_id].last_protocol_end
+        return self._procs[proc_id].last_protocol_end
 
     def stream_last_processor(self, stream_id: int) -> Optional[int]:
         return self._stream_last_proc.get(stream_id)
@@ -81,6 +124,25 @@ class BaseDispatcher(SchedulerView):
         idx = int(self.system.rngs.scheduling.integers(0, len(items)))
         return items[idx]
 
+    def mru_idle(self) -> int:
+        # Direct-attribute override of the SchedulerView default: same
+        # single pass, same tie handling, without a method call per
+        # candidate (this runs once per dispatch attempt).
+        idle = self._idle
+        if len(idle) == 1:
+            return idle[0]
+        procs = self._procs
+        best_t = -math.inf
+        best: List[int] = []
+        for p in idle:
+            t = procs[p].last_protocol_end
+            if t > best_t:
+                best_t = t
+                best = [p]
+            elif t == best_t:
+                best.append(p)
+        return best[0] if len(best) == 1 else self.random_choice(best)
+
     # ------------------------------------------------------------------
     # Component cache-state assembly
     # ------------------------------------------------------------------
@@ -90,27 +152,6 @@ class BaseDispatcher(SchedulerView):
         if last != proc.proc_id:
             return COLD
         return proc.refs_since_touch(("stream", stream_id), now)
-
-    # ------------------------------------------------------------------
-    # Service lifecycle helpers
-    # ------------------------------------------------------------------
-    def _begin(self, proc: ProcessorState, packet: Packet, thread_id: int,
-               state: ComponentState, lock_wait_us: float, exec_time: float) -> None:
-        now = self.system.sim.now
-        packet.service_start_us = now
-        packet.processor_id = proc.proc_id
-        packet.thread_id = thread_id
-        packet.lock_wait_us = lock_wait_us
-        packet.exec_time_us = exec_time
-        proc.begin_service(packet, now)
-        if self.system.tracer is not None:
-            self.system.tracer.record(packet, state, lock_wait_us, exec_time, now)
-        if self.system.invariants is not None:
-            self.system.invariants.on_service_start(
-                proc.proc_id, packet, now, lock_wait_us, exec_time
-            )
-        span = lock_wait_us + exec_time
-        self.system.sim.schedule(span, lambda: self._complete(proc))
 
     def _complete(self, proc: ProcessorState) -> None:
         raise NotImplementedError
@@ -140,10 +181,26 @@ class LockingDispatcher(BaseDispatcher):
             n_threads=self.n_processors,
             per_processor=policy.per_processor_threads,
         )
+        #: Interned ("thread", id) touch keys, indexed by thread id.
+        self._thread_keys: List[Tuple[str, int]] = [
+            ("thread", t) for t in range(self.threads.n_threads)
+        ]
+        # Per-packet thread-pool aliases (the pool is fixed for the run).
+        self._threads_acquire = self.threads.acquire
+        self._threads_release = self.threads.release
+        self._threads_last_proc = self.threads._last_proc
         inv = system.invariants
         self.lock = LayeredLocks(
             system.config.lock_granularity,
             on_reserve=inv.on_lock_reservation if inv is not None else None,
+        )
+        self._lock_cs_us = system.costs.lock_cs_us
+        # With one coarse lock the layered wrapper reduces to its single
+        # stage bit for bit (``cs / 1 == cs`` and ``0.0 + wait == wait``),
+        # so reserve on the stage lock directly.
+        self._reserve = (
+            self.lock.locks[0].reserve
+            if self.lock.n_locks == 1 else self.lock.reserve
         )
 
     def on_arrival(self, packet: Packet) -> None:
@@ -162,54 +219,131 @@ class LockingDispatcher(BaseDispatcher):
         return self.policy.queued()
 
     def _start_service(self, proc_id: int, packet: Packet) -> None:
-        system = self.system
-        now = system.sim.now
-        proc = system.processors[proc_id]
+        now = self.sim._now
+        proc = self._procs[proc_id]
         if proc.busy:
             raise RuntimeError(
                 f"policy {self.policy.name!r} dispatched to busy processor {proc_id}"
             )
-        thread_id = self.threads.acquire(proc_id)
+        thread_id = self._threads_acquire(proc_id)
 
-        thread_last = self.threads.last_processor(thread_id)
-        thread_refs = (
-            proc.refs_since_touch(("thread", thread_id), now)
-            if thread_last == proc_id
-            else COLD  # never ran, or stack lines migrated with the thread
-        )
-        state = ComponentState(
-            code_refs=proc.refs_since_touch(("code",), now),
-            stream_refs=self._stream_refs(proc, packet.stream_id, now),
-            thread_refs=thread_refs,
-            shared_invalidated=self.protocol_epoch > proc.protocol_epoch_seen,
-        )
-        exec_time = system.model.execution_time_us(
-            state,
+        # Inlined ProcessorState.accrue_idle (the processor is idle: its
+        # busy flag was just checked), preserving the guard and the
+        # ``dt * rate * V`` expression tree exactly.
+        accrued = proc._accrued_until
+        dt = now - accrued
+        if dt > 0.0:
+            proc._ref_clock += (
+                dt * proc.references_per_us * proc.nonprotocol_intensity
+            )
+            proc.nonprotocol_us += dt
+            proc._accrued_until = now
+        elif dt < -1e-9:
+            raise ValueError(f"time went backwards: {now} < {accrued}")
+
+        # Inline refs_since_touch: read the touch table directly
+        # (``d if d > 0.0 else 0.0`` is ``max(0.0, d)`` bit for bit, and
+        # the delta is never negative).
+        clock = proc._ref_clock
+        touch = proc._last_touch
+        last = touch.get(_CODE_KEY)
+        if last is None:
+            code_refs = COLD
+        else:
+            d = clock - last
+            code_refs = d if d > 0.0 else 0.0
+        stream_id = packet.stream_id
+        if self._stream_last_proc.get(stream_id) != proc_id:
+            stream_refs = COLD
+        else:
+            # The stream completed here before, so its key is interned.
+            last = touch.get(self._stream_keys[stream_id])
+            if last is None:
+                stream_refs = COLD
+            else:
+                d = clock - last
+                stream_refs = d if d > 0.0 else 0.0
+        if self._threads_last_proc[thread_id] == proc_id:
+            last = touch.get(self._thread_keys[thread_id])
+            if last is None:
+                thread_refs = COLD  # never ran here
+            else:
+                d = clock - last
+                thread_refs = d if d > 0.0 else 0.0
+        else:
+            thread_refs = COLD  # never ran, or stack migrated with the thread
+        shared_invalidated = self.protocol_epoch > proc.protocol_epoch_seen
+
+        exec_time = self.model.execution_time_scalar(
+            code_refs, stream_refs, thread_refs, shared_invalidated,
             payload_bytes=packet.size_bytes,
-            data_touching=system.data_touching,
+            data_touching=self._data_touching,
             locking=True,
-            extra_us=system.fixed_overhead_us,
+            extra_us=self._extra_us,
         )
-        lock_wait_us = self.lock.reserve(now, system.costs.lock_cs_us)
-        self._begin(proc, packet, thread_id, state, lock_wait_us, exec_time)
+        lock_wait_us = self._reserve(now, self._lock_cs_us)
+
+        # Inlined begin-service (the clock was accrued to `now` above, so
+        # ProcessorState.begin_service's re-accrual would be a no-op).
+        packet.service_start_us = now
+        packet.processor_id = proc_id
+        packet.thread_id = thread_id
+        packet.lock_wait_us = lock_wait_us
+        packet.exec_time_us = exec_time
+        proc.busy = True
+        proc.current_packet = packet
+        self._idle.remove(proc_id)
+        if self._tracer is not None:
+            state = ComponentState(
+                code_refs=code_refs,
+                stream_refs=stream_refs,
+                thread_refs=thread_refs,
+                shared_invalidated=shared_invalidated,
+            )
+            self._tracer.record(packet, state, lock_wait_us, exec_time, now)
+        if self._invariants is not None:
+            self._invariants.on_service_start(
+                proc_id, packet, now, lock_wait_us, exec_time
+            )
+        self._schedule_record(lock_wait_us + exec_time,
+                              self._completion_records[proc_id])
 
     def _complete(self, proc: ProcessorState) -> None:
-        system = self.system
-        now = system.sim.now
+        now = self.sim._now
         packet = proc.current_packet
-        self.protocol_epoch += 1
-        touched = (
-            ("code",),
-            ("stream", packet.stream_id),
-            ("thread", packet.thread_id),
-        )
-        proc.end_service(now, packet.exec_time_us, touched, self.protocol_epoch)
+        if packet is None or not proc.busy:
+            raise RuntimeError(f"processor {proc.proc_id} is not serving a packet")
+        epoch = self.protocol_epoch + 1
+        self.protocol_epoch = epoch
+        stream_id = packet.stream_id
+        thread_id = packet.thread_id
+        exec_us = packet.exec_time_us
+        # Inlined ProcessorState.end_service: protocol execution issues
+        # references at the full platform rate; the touched components are
+        # stamped with the post-execution clock value.
+        clock = proc._ref_clock + exec_us * proc.references_per_us
+        proc._ref_clock = clock
+        proc._accrued_until = now
+        touch = proc._last_touch
+        touch[_CODE_KEY] = clock
+        skey = self._stream_keys.get(stream_id)
+        if skey is None:
+            skey = ("stream", stream_id)
+            self._stream_keys[stream_id] = skey
+        touch[skey] = clock
+        touch[self._thread_keys[thread_id]] = clock
+        proc.protocol_busy_us += exec_us
+        proc.last_protocol_end = now
+        proc.protocol_epoch_seen = epoch
+        proc.busy = False
+        proc.current_packet = None
+        insort(self._idle, proc.proc_id)
         packet.completion_us = now
-        if system.invariants is not None:
-            system.invariants.on_completion(packet, proc.proc_id, now)
-        self.threads.release(packet.thread_id)
-        self._stream_last_proc[packet.stream_id] = proc.proc_id
-        system.metrics.on_completion(packet)
+        if self._invariants is not None:
+            self._invariants.on_completion(packet, proc.proc_id, now)
+        self._threads_release(thread_id)
+        self._stream_last_proc[stream_id] = proc.proc_id
+        self._metrics_on_completion(packet)
         self.try_dispatch()
 
 
@@ -237,6 +371,10 @@ class IPSDispatcher(BaseDispatcher):
         self._stack_last_proc: Dict[int, Optional[int]] = {
             k: None for k in range(n_stacks)
         }
+        #: Interned ("stack_thread", id) touch keys, indexed by stack id.
+        self._stack_thread_keys: List[Tuple[str, int]] = [
+            ("stack_thread", k) for k in range(n_stacks)
+        ]
 
     def stack_of(self, stream_id: int) -> int:
         return stream_id % self.n_stacks
@@ -245,7 +383,7 @@ class IPSDispatcher(BaseDispatcher):
         return self._stack_last_proc[stack_id]
 
     def on_arrival(self, packet: Packet) -> None:
-        self._queues[self.stack_of(packet.stream_id)].append(packet)
+        self._queues[packet.stream_id % self.n_stacks].append(packet)
         self.try_dispatch()
 
     def queued(self) -> int:
@@ -254,15 +392,48 @@ class IPSDispatcher(BaseDispatcher):
     def try_dispatch(self) -> None:
         # Runnable stacks compete in order of their head packet's arrival
         # time (global FCFS across stacks), matching a work-conserving
-        # kernel scheduler.
+        # kernel scheduler.  The common case — the earliest runnable stack
+        # gets a processor — needs one min-scan, not a sorted list; the
+        # ordered fallback scan only runs when that stack was refused,
+        # which built-in policies decide without consulting the RNG (so
+        # skipping the already-refused stack repeats no draw).
+        queues = self._queues
+        busy = self._stack_busy
+        n_stacks = self.n_stacks
         while True:
+            if not self._idle:
+                # No processor can start anything; built-in policies
+                # consult no RNG before refusing, so returning early
+                # repeats their decision exactly.
+                return
+            best_k = -1
+            best_t = math.inf
+            for k in range(n_stacks):
+                q = queues[k]
+                if q and not busy[k]:
+                    t = q[0].arrival_us
+                    if t < best_t:
+                        best_t = t
+                        best_k = k
+            if best_k < 0:
+                return
+            proc_id = self.policy.select_processor(
+                best_k, self, self._stack_last_proc[best_k]
+            )
+            if proc_id is not None:
+                if self._procs[proc_id].busy:
+                    raise RuntimeError(
+                        f"IPS policy {self.policy.name!r} chose busy processor"
+                    )
+                self._start_service(best_k, proc_id)
+                continue  # re-evaluate runnable set after each start
+            # The earliest runnable stack was refused: fall back to the
+            # full arrival-ordered scan over the remaining stacks.
             runnable: List[Tuple[float, int]] = [
                 (q[0].arrival_us, k)
-                for k, q in enumerate(self._queues)
-                if q and not self._stack_busy[k]
+                for k, q in enumerate(queues)
+                if q and not busy[k] and k != best_k
             ]
-            if not runnable:
-                return
             runnable.sort()
             progress = False
             for _, k in runnable:
@@ -271,7 +442,7 @@ class IPSDispatcher(BaseDispatcher):
                 )
                 if proc_id is None:
                     continue
-                if self.system.processors[proc_id].busy:
+                if self._procs[proc_id].busy:
                     raise RuntimeError(
                         f"IPS policy {self.policy.name!r} chose busy processor"
                     )
@@ -282,49 +453,121 @@ class IPSDispatcher(BaseDispatcher):
                 return
 
     def _start_service(self, stack_id: int, proc_id: int) -> None:
-        system = self.system
-        now = system.sim.now
-        proc = system.processors[proc_id]
+        now = self.sim._now
+        proc = self._procs[proc_id]
+        if proc.busy:
+            raise RuntimeError(f"processor {proc_id} is already busy")
         packet = self._queues[stack_id].popleft()
         self._stack_busy[stack_id] = True
 
         # Stack-private writable data is cold iff the stack migrated; the
-        # per-stack thread's stack follows the stack instance.
+        # per-stack thread's stack follows the stack instance.  The
+        # processor lifecycle and reference counts are inlined exactly as
+        # in the Locking path.
         migrated = self._stack_last_proc[stack_id] != proc_id
-        thread_key = ("stack_thread", stack_id)
-        state = ComponentState(
-            code_refs=proc.refs_since_touch(("code",), now),
-            stream_refs=self._stream_refs(proc, packet.stream_id, now),
-            thread_refs=(COLD if migrated else proc.refs_since_touch(thread_key, now)),
-            shared_invalidated=migrated,
-        )
-        exec_time = system.model.execution_time_us(
-            state,
+        accrued = proc._accrued_until
+        dt = now - accrued
+        if dt > 0.0:
+            proc._ref_clock += (
+                dt * proc.references_per_us * proc.nonprotocol_intensity
+            )
+            proc.nonprotocol_us += dt
+            proc._accrued_until = now
+        elif dt < -1e-9:
+            raise ValueError(f"time went backwards: {now} < {accrued}")
+        clock = proc._ref_clock
+        touch = proc._last_touch
+        last = touch.get(_CODE_KEY)
+        if last is None:
+            code_refs = COLD
+        else:
+            d = clock - last
+            code_refs = d if d > 0.0 else 0.0
+        stream_id = packet.stream_id
+        if self._stream_last_proc.get(stream_id) != proc_id:
+            stream_refs = COLD
+        else:
+            # The stream completed here before, so its key is interned.
+            last = touch.get(self._stream_keys[stream_id])
+            if last is None:
+                stream_refs = COLD
+            else:
+                d = clock - last
+                stream_refs = d if d > 0.0 else 0.0
+        if migrated:
+            thread_refs = COLD
+        else:
+            last = touch.get(self._stack_thread_keys[stack_id])
+            if last is None:
+                thread_refs = COLD
+            else:
+                d = clock - last
+                thread_refs = d if d > 0.0 else 0.0
+
+        exec_time = self.model.execution_time_scalar(
+            code_refs, stream_refs, thread_refs, migrated,
             payload_bytes=packet.size_bytes,
-            data_touching=system.data_touching,
+            data_touching=self._data_touching,
             locking=False,
-            extra_us=system.fixed_overhead_us,
+            extra_us=self._extra_us,
         )
+
+        # Inlined begin-service (clock already accrued to `now` above).
+        packet.service_start_us = now
+        packet.processor_id = proc_id
         packet.thread_id = stack_id  # one serving context per stack
-        self._begin(proc, packet, stack_id, state, 0.0, exec_time)
+        packet.lock_wait_us = 0.0
+        packet.exec_time_us = exec_time
+        proc.busy = True
+        proc.current_packet = packet
+        self._idle.remove(proc_id)
+        if self._tracer is not None:
+            state = ComponentState(
+                code_refs=code_refs,
+                stream_refs=stream_refs,
+                thread_refs=thread_refs,
+                shared_invalidated=migrated,
+            )
+            self._tracer.record(packet, state, 0.0, exec_time, now)
+        if self._invariants is not None:
+            self._invariants.on_service_start(
+                proc_id, packet, now, 0.0, exec_time
+            )
+        self._schedule_record(exec_time, self._completion_records[proc_id])
 
     def _complete(self, proc: ProcessorState) -> None:
-        system = self.system
-        now = system.sim.now
+        now = self.sim._now
         packet = proc.current_packet
-        stack_id = self.stack_of(packet.stream_id)
-        self.protocol_epoch += 1
-        touched = (
-            ("code",),
-            ("stream", packet.stream_id),
-            ("stack_thread", stack_id),
-        )
-        proc.end_service(now, packet.exec_time_us, touched, self.protocol_epoch)
+        if packet is None or not proc.busy:
+            raise RuntimeError(f"processor {proc.proc_id} is not serving a packet")
+        stream_id = packet.stream_id
+        stack_id = stream_id % self.n_stacks
+        epoch = self.protocol_epoch + 1
+        self.protocol_epoch = epoch
+        exec_us = packet.exec_time_us
+        # Inlined ProcessorState.end_service (see LockingDispatcher).
+        clock = proc._ref_clock + exec_us * proc.references_per_us
+        proc._ref_clock = clock
+        proc._accrued_until = now
+        touch = proc._last_touch
+        touch[_CODE_KEY] = clock
+        skey = self._stream_keys.get(stream_id)
+        if skey is None:
+            skey = ("stream", stream_id)
+            self._stream_keys[stream_id] = skey
+        touch[skey] = clock
+        touch[self._stack_thread_keys[stack_id]] = clock
+        proc.protocol_busy_us += exec_us
+        proc.last_protocol_end = now
+        proc.protocol_epoch_seen = epoch
+        proc.busy = False
+        proc.current_packet = None
+        insort(self._idle, proc.proc_id)
         packet.completion_us = now
-        if system.invariants is not None:
-            system.invariants.on_completion(packet, proc.proc_id, now)
+        if self._invariants is not None:
+            self._invariants.on_completion(packet, proc.proc_id, now)
         self._stack_busy[stack_id] = False
         self._stack_last_proc[stack_id] = proc.proc_id
-        self._stream_last_proc[packet.stream_id] = proc.proc_id
-        system.metrics.on_completion(packet)
+        self._stream_last_proc[stream_id] = proc.proc_id
+        self._metrics_on_completion(packet)
         self.try_dispatch()

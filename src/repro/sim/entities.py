@@ -31,13 +31,15 @@ from ..core.exec_model import COLD
 __all__ = ["Packet", "ProcessorState", "ThreadPool"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One protocol message travelling through the system.
 
     Timestamps are filled in as the packet progresses; ``delay_us`` is the
     paper's response metric (arrival to completion of protocol
-    processing).
+    processing).  Slotted: one instance exists per simulated packet, so
+    dropping the per-instance ``__dict__`` saves both allocation time and
+    a large share of a run's peak memory.
     """
 
     packet_id: int
@@ -210,17 +212,29 @@ class ThreadPool:
             except ValueError:
                 raise RuntimeError(f"thread {tid} not free") from None
         else:
-            if not self._free:
+            free = self._free
+            if not free:
                 raise RuntimeError("no free protocol threads")
-            # Prefer a thread whose stack was last on this processor.
-            tid = None
-            for cand in reversed(self._free):
-                if self._last_proc[cand] == proc_id:
-                    tid = cand
-                    break
-            if tid is None:
-                tid = self._free[-1]
-            self._free.remove(tid)
+            # Prefer a thread whose stack was last on this processor
+            # (LIFO within that preference).  The most recently released
+            # thread sits at the end of the free list and is the first
+            # candidate of the preference scan, so checking it alone
+            # resolves the common back-to-back case with a single pop.
+            last_proc = self._last_proc
+            tid = free[-1]
+            if last_proc[tid] == proc_id:
+                free.pop()
+            else:
+                found = -1
+                for cand in reversed(free):
+                    if last_proc[cand] == proc_id:
+                        found = cand
+                        break
+                if found < 0:
+                    tid = free.pop()
+                else:
+                    tid = found
+                    free.remove(tid)
         self._busy[tid] = proc_id
         return tid
 

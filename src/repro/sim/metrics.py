@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -94,13 +94,30 @@ class MetricsCollector:
     Packets completing before ``warmup_us`` are discarded (transient
     removal); the arrival counter still includes them so offered load is
     reported exactly.
+
+    Storage is row-tuples: the per-completion hot path appends one plain
+    tuple per packet (a :class:`PacketRecord` costs ~7 slow
+    frozen-dataclass ``__setattr__`` calls; seven parallel-list appends
+    cost seven method calls), and :meth:`summarize` unzips the rows into
+    its NumPy arrays.  The :attr:`records` view materializes the record
+    objects lazily for analysis and tests.
     """
+
+    #: Row layout (must match PacketRecord field order).
+    _ROW_FIELDS = (
+        "stream_id", "arrival_us", "service_start_us", "completion_us",
+        "exec_time_us", "lock_wait_us", "processor_id",
+    )
 
     def __init__(self, warmup_us: float = 0.0) -> None:
         if warmup_us < 0:
             raise ValueError("warmup_us must be non-negative")
         self.warmup_us = warmup_us
-        self.records: List[PacketRecord] = []
+        self._rows: List[Tuple[int, float, float, float, float, float, int]] = []
+        # Bound append: the completion hot path calls this once per packet
+        # (the list is never rebound).
+        self._append_row = self._rows.append
+        self._records_cache: Optional[List[PacketRecord]] = None
         self.arrivals: int = 0
         self.completions: int = 0
         self.max_backlog: int = 0
@@ -118,18 +135,31 @@ class MetricsCollector:
     def on_completion(self, packet: Packet) -> None:
         self.completions += 1
         self._backlog -= 1
-        if packet.completion_us >= self.warmup_us:
-            self.records.append(
-                PacketRecord(
-                    stream_id=packet.stream_id,
-                    arrival_us=packet.arrival_us,
-                    service_start_us=packet.service_start_us,
-                    completion_us=packet.completion_us,
-                    exec_time_us=packet.exec_time_us,
-                    lock_wait_us=packet.lock_wait_us,
-                    processor_id=packet.processor_id,
-                )
-            )
+        completion_us = packet.completion_us
+        if completion_us >= self.warmup_us:
+            self._append_row((
+                packet.stream_id,
+                packet.arrival_us,
+                packet.service_start_us,
+                completion_us,
+                packet.exec_time_us,
+                packet.lock_wait_us,
+                packet.processor_id,
+            ))
+
+    @property
+    def records(self) -> List[PacketRecord]:
+        """Per-packet records (lazily materialized from the rows).
+
+        Rows are append-only, so a stale cache is detected by length
+        alone — the hot completion path never touches the cache.
+        """
+        cache = self._records_cache
+        if cache is None or len(cache) != len(self._rows):
+            self._records_cache = [
+                PacketRecord(*row) for row in self._rows
+            ]
+        return self._records_cache
 
     @property
     def backlog(self) -> int:
@@ -154,7 +184,7 @@ class MetricsCollector:
         n_batches: int = 20,
     ) -> SimulationSummary:
         """Build the run summary (delays in µs, rates in packets/second)."""
-        if not self.records:
+        if not self._rows:
             nan = math.nan
             return SimulationSummary(
                 n_packets=0, duration_us=duration_us, mean_delay_us=nan,
@@ -165,16 +195,21 @@ class MetricsCollector:
                 utilization_per_proc=utilization_per_proc,
                 max_backlog=self.max_backlog, final_backlog=self._backlog,
             )
-        delays_us = np.array([r.delay_us for r in self.records])
-        queueing_us = np.array([r.queueing_us for r in self.records])
-        execs = np.array([r.exec_time_us for r in self.records])
-        lock_waits_us = np.array([r.lock_wait_us for r in self.records])
+        # Elementwise float64 subtraction equals the historical per-record
+        # Python-float subtraction bit for bit (both are IEEE doubles).
+        (stream_col, arrival_col_us, start_col_us, completion_col_us,
+         exec_col_us, lock_wait_col_us, _proc_col) = zip(*self._rows)
+        arrivals_us = np.array(arrival_col_us)
+        delays_us = np.array(completion_col_us) - arrivals_us
+        queueing_us = np.array(start_col_us) - arrivals_us
+        execs = np.array(exec_col_us)
+        lock_waits_us = np.array(lock_wait_col_us)
         mean_delay_us = float(delays_us.mean())
         ci = batch_means_ci(delays_us, n_batches=n_batches)
         measured_span = duration_us - self.warmup_us
         throughput_pps = len(delays_us) / measured_span * 1e6 if measured_span > 0 else 0.0
         per_stream: Dict[int, float] = {}
-        stream_ids = np.array([r.stream_id for r in self.records])
+        stream_ids = np.array(stream_col)
         for sid in np.unique(stream_ids):
             per_stream[int(sid)] = float(delays_us[stream_ids == sid].mean())
         return SimulationSummary(

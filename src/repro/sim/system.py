@@ -43,9 +43,9 @@ from ..core.policies import (
 from ..verify.invariants import InvariantChecker
 from ..workloads.arrivals import ArrivalProcess, PoissonArrivals
 from ..workloads.sessions import SessionChurnSpec
-from ..workloads.traffic import TrafficSpec
+from ..workloads.traffic import FixedSize, TrafficSpec
 from .dispatch import IPSDispatcher, LockingDispatcher
-from .engine import Simulator
+from .engine import EVENT_ARRIVAL, EVENT_SESSION, Event, Simulator
 from .entities import Packet, ProcessorState
 from .metrics import MetricsCollector, SimulationSummary
 from .rng import RandomStreams
@@ -54,6 +54,44 @@ from .trace import ExecutionTracer
 __all__ = ["SystemConfig", "NetworkProcessingSystem", "run_simulation"]
 
 PARADIGMS = ("locking", "ips")
+
+#: Bounds for per-stream arrival pregeneration chunks (batches per RNG
+#: refill).  The lower bound keeps short-lived churned sessions cheap;
+#: the upper bound caps the memory a single refill may pin.
+_MIN_CHUNK = 16
+_MAX_CHUNK = 8192
+
+
+class _ArrivalSource:
+    """Pregenerated arrival state for one stream.
+
+    Interarrival gaps and batch sizes are drawn from the stream's private
+    RNG in vectorized chunks (:meth:`ArrivalProcess.next_batches`) and
+    consumed one batch per arrival event; the chunk refills on
+    exhaustion.  Because every chunk reproduces the event-by-event draw
+    sequence value for value, and each stream draws from its own RNG
+    substream, pregeneration is bit-identical to the historical
+    draw-per-event scheme — chunks merely draw (and possibly discard)
+    values past the horizon that no other consumer can observe.
+
+    ``record`` is the stream's reusable engine event: one allocation per
+    stream for the whole run instead of one closure per arrival.
+    """
+
+    __slots__ = ("stream_id", "process", "gaps", "sizes", "idx",
+                 "end_us", "chunk_hint", "pending_size", "record")
+
+    def __init__(self, stream_id: int, process: ArrivalProcess,
+                 end_us: Optional[float], chunk_hint: int) -> None:
+        self.stream_id = stream_id
+        self.process = process
+        self.end_us = end_us
+        self.chunk_hint = chunk_hint
+        self.gaps: List[float] = []
+        self.sizes: Optional[List[int]] = None
+        self.idx = 0
+        self.pending_size = 1
+        self.record: Event = None  # type: ignore[assignment]  # set by the system
 
 
 @dataclass(frozen=True)
@@ -161,6 +199,20 @@ class NetworkProcessingSystem:
         ]
         self.tracer = ExecutionTracer(self.model) if config.trace else None
         self.dispatcher = self._build_dispatcher()
+        self._size_model = config.traffic.size_model
+        self._sizes_rng = self.rngs.sizes
+        # FixedSize.sample never touches its RNG, so the constant can be
+        # hoisted out of the injection path without perturbing any
+        # substream (None = sample the model per packet).
+        self._fixed_size: Optional[int] = (
+            self._size_model.size_bytes
+            if type(self._size_model) is FixedSize else None
+        )
+        # Hot-path aliases for the per-packet injection sequence.
+        self._dispatcher_on_arrival = self.dispatcher.on_arrival
+        self._metrics_on_arrival = self.metrics.on_arrival
+        self._at_record = self.sim.at_record
+        self._duration_us = config.duration_us
         self._packet_counter = 0
         self._stream_counter = config.traffic.n_streams
         self.peak_concurrent_sessions = 0
@@ -186,32 +238,71 @@ class NetworkProcessingSystem:
         return IPSDispatcher(self, policy, cfg.effective_n_stacks)
 
     # ------------------------------------------------------------------
-    # Arrival generation (event-driven, one pending event per stream)
+    # Arrival generation (pregenerated chunks, one pending event per
+    # stream; see _ArrivalSource for the bit-identity argument)
     # ------------------------------------------------------------------
+    @staticmethod
+    def _chunk_hint(rate_pps: float, window_us: float) -> int:
+        """Batches to pregenerate per refill: the expected count in the
+        window plus slack, clamped to ``[_MIN_CHUNK, _MAX_CHUNK]``."""
+        expected = rate_pps * max(0.0, window_us) * 1e-6
+        if not (expected < _MAX_CHUNK):  # also catches inf/NaN rates
+            return _MAX_CHUNK
+        return max(_MIN_CHUNK, int(expected * 1.05) + 8)
+
     def _start_arrivals(self) -> None:
         for stream_id, spec in enumerate(self.config.traffic.stream_specs):
             process = spec.build(self.rngs.arrivals(stream_id))
-            self._schedule_next_arrival(stream_id, process)
+            hint = self._chunk_hint(spec.mean_rate_pps, self.config.duration_us)
+            self._add_source(stream_id, process, None, hint)
         if self.config.churn is not None:
             self._schedule_next_session()
 
-    def _schedule_next_arrival(self, stream_id: int, process: ArrivalProcess,
-                               end_us: Optional[float] = None) -> None:
-        horizon_us = self.config.duration_us if end_us is None else min(
-            end_us, self.config.duration_us
-        )
-        gap_us, batch = process.next_batch()
-        when = self.sim.now + gap_us
+    def _add_source(self, stream_id: int, process: ArrivalProcess,
+                    end_us: Optional[float], chunk_hint: int) -> None:
+        source = _ArrivalSource(stream_id, process, end_us, chunk_hint)
+        source.record = Event(EVENT_ARRIVAL, self._arrival_fire, source)
+        self._advance_arrivals(source)
+
+    def _arrival_fire(self, source: _ArrivalSource) -> None:
+        n = source.pending_size
+        now = self.sim._now
+        if n == 1:
+            self._inject_packet(source.stream_id, now)
+        else:
+            for _ in range(n):
+                self._inject_packet(source.stream_id, now)
+        self._advance_arrivals(source)
+
+    def _advance_arrivals(self, source: _ArrivalSource) -> None:
+        """Consume the source's next pregenerated batch and schedule it.
+
+        Mirrors, decision for decision, the historical draw-per-event
+        ``_schedule_next_arrival``: the next gap is read (refilling the
+        chunk when exhausted), arrivals past the horizon end the stream —
+        with churned sessions accounting their departure — and otherwise
+        the stream's reusable arrival record is pushed at the batch time.
+        """
+        idx = source.idx
+        gaps = source.gaps
+        if idx >= len(gaps):
+            gaps, sizes = source.process.next_batches(source.chunk_hint)
+            source.gaps = gaps
+            source.sizes = sizes
+            idx = 0
+        sizes = source.sizes
+        source.pending_size = 1 if sizes is None else sizes[idx]
+        source.idx = idx + 1
+        when = self.sim._now + gaps[idx]
+        duration_us = self._duration_us
+        end_us = source.end_us
+        horizon_us = duration_us if end_us is None else min(end_us, duration_us)
         if when > horizon_us:
-            if end_us is not None and when <= self.config.duration_us:
+            if end_us is not None and when <= duration_us:
                 # The churning stream died; account its departure.
                 self._live_sessions -= 1
             return  # no further arrivals within the horizon
-        def fire() -> None:
-            for _ in range(batch):
-                self._inject_packet(stream_id)
-            self._schedule_next_arrival(stream_id, process, end_us)
-        self.sim.at(when, fire)
+        self._at_record(when, source.record)
 
     # ------------------------------------------------------------------
     # Session churn (dynamic stream population)
@@ -223,10 +314,11 @@ class NetworkProcessingSystem:
         when = self.sim.now + gap_us
         if when > self.config.duration_us:
             return
-        def fire() -> None:
-            self._open_session(when)
-            self._schedule_next_session()
-        self.sim.at(when, fire)
+        self.sim.at_record(when, Event(EVENT_SESSION, self._session_fire, when))
+
+    def _session_fire(self, when: float) -> None:
+        self._open_session(when)
+        self._schedule_next_session()
 
     def _open_session(self, now_us: float) -> None:
         churn = self.config.churn
@@ -239,22 +331,21 @@ class NetworkProcessingSystem:
         rng = self.rngs.arrivals(stream_id)
         lifetime_us = float(rng.exponential(churn.mean_lifetime_us))
         process = PoissonArrivals(churn.per_stream_rate_pps, rng)
-        self._schedule_next_arrival(stream_id, process,
-                                    end_us=now_us + lifetime_us)
+        window_us = min(now_us + lifetime_us, self.config.duration_us) - now_us
+        hint = self._chunk_hint(churn.per_stream_rate_pps, window_us)
+        self._add_source(stream_id, process, now_us + lifetime_us, hint)
 
-    def _inject_packet(self, stream_id: int) -> None:
-        size = self.config.traffic.size_model.sample(self.rngs.sizes)
-        packet = Packet(
-            packet_id=self._packet_counter,
-            stream_id=stream_id,
-            arrival_us=self.sim.now,
-            size_bytes=size,
-        )
-        self._packet_counter += 1
-        self.metrics.on_arrival(packet)
+    def _inject_packet(self, stream_id: int, now: float) -> None:
+        size = self._fixed_size
+        if size is None:
+            size = self._size_model.sample(self._sizes_rng)
+        pid = self._packet_counter
+        self._packet_counter = pid + 1
+        packet = Packet(pid, stream_id, now, size)
+        self._metrics_on_arrival(packet)
         if self.invariants is not None:
-            self.invariants.on_arrival(packet, self.sim.now)
-        self.dispatcher.on_arrival(packet)
+            self.invariants.on_arrival(packet, now)
+        self._dispatcher_on_arrival(packet)
 
     # ------------------------------------------------------------------
     # Run

@@ -16,12 +16,13 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Iterator, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
 __all__ = [
     "ArrivalBatch",
+    "ArrivalChunk",
     "ArrivalProcess",
     "ArrivalSpec",
     "PoissonArrivals",
@@ -38,6 +39,11 @@ __all__ = [
 #: previous batch, containing ``batch_size`` simultaneous packets.
 ArrivalBatch = Tuple[float, int]
 
+#: ``(gaps_us, batch_sizes)`` for a pregenerated chunk of batches; a
+#: ``None`` size list means "every batch is a single packet" (the common
+#: case, spared a list of ones).
+ArrivalChunk = Tuple[List[float], Optional[List[int]]]
+
 
 class ArrivalProcess(ABC):
     """Stateful per-stream arrival sampler."""
@@ -45,6 +51,38 @@ class ArrivalProcess(ABC):
     @abstractmethod
     def next_batch(self) -> ArrivalBatch:
         """Sample the next ``(interarrival_gap_us, batch_size)``."""
+
+    def next_batches(self, n: int) -> ArrivalChunk:
+        """Pregenerate the next ``n`` batches in one call.
+
+        Returns ``(gaps_us, batch_sizes)`` where ``batch_sizes`` may be
+        ``None`` when every batch contains exactly one packet.
+
+        **Contract (bit-identity):** the concatenation of chunks must
+        reproduce, value for value, the sequence that repeated
+        :meth:`next_batch` calls would have produced from the same RNG
+        state — the simulator's vectorized arrival pregeneration relies
+        on this to keep runs bit-identical with the historical
+        event-by-event sampling.  The default implementation simply loops
+        :meth:`next_batch`; subclasses may vectorize only where NumPy's
+        bulk sampling is stream-equivalent to repeated scalar sampling
+        (e.g. ``Generator.exponential``), which the property tests in
+        ``tests/workloads/test_arrival_pregen.py`` enforce for every
+        process type.
+        """
+        if n <= 0:
+            raise ValueError("n must be positive")
+        gaps: List[float] = []
+        sizes: List[int] = []
+        all_single = True
+        next_batch = self.next_batch
+        for _ in range(n):
+            gap, size = next_batch()
+            gaps.append(gap)
+            sizes.append(size)
+            if size != 1:
+                all_single = False
+        return gaps, (None if all_single else sizes)
 
     def iter_batches(self, horizon_us: float) -> Iterator[Tuple[float, int]]:
         """Yield ``(absolute_time_us, batch_size)`` up to a horizon."""
@@ -85,6 +123,18 @@ class PoissonArrivals(ArrivalProcess):
     def next_batch(self) -> ArrivalBatch:
         return float(self._rng.exponential(self._mean_gap_us)), 1
 
+    def next_batches(self, n: int) -> ArrivalChunk:
+        """Vectorized pregeneration.
+
+        ``Generator.exponential(scale, n)`` consumes the bit stream
+        exactly as ``n`` scalar ``exponential(scale)`` calls do, so the
+        chunk is bit-identical to event-by-event sampling (asserted by
+        the pregeneration property tests).
+        """
+        if n <= 0:
+            raise ValueError("n must be positive")
+        return self._rng.exponential(self._mean_gap_us, n).tolist(), None
+
 
 @dataclass(frozen=True)
 class PoissonSpec(ArrivalSpec):
@@ -122,6 +172,15 @@ class DeterministicArrivals(ArrivalProcess):
             self._first = False
             return self._phase_us + self._gap_us, 1
         return self._gap_us, 1
+
+    def next_batches(self, n: int) -> ArrivalChunk:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        gaps = [self._gap_us] * n
+        if self._first:
+            self._first = False
+            gaps[0] = self._phase_us + self._gap_us
+        return gaps, None
 
 
 @dataclass(frozen=True)
@@ -174,6 +233,10 @@ class BatchPoissonArrivals(ArrivalProcess):
         gap = float(self._rng.exponential(self._batch_gap_us))
         size = int(self._rng.geometric(self._p))
         return gap, size
+
+    # next_batches: the exponential/geometric draws interleave per batch,
+    # so no bulk NumPy call can reproduce the scalar draw order; the base
+    # implementation's scalar loop keeps pregeneration bit-identical.
 
 
 @dataclass(frozen=True)

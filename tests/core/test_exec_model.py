@@ -222,3 +222,68 @@ class TestMemoization:
                                    memoize=False)
         model.component_penalty_us(ComponentState())
         assert model._penalty_cache is None
+
+
+class TestFastPathStats:
+    """The scalar fast path is bit-identical and its counters add up."""
+
+    STATES = [
+        (0.0, 0.0, 0.0, False),          # all warm: analytic + dedup only
+        (COLD, COLD, COLD, False),       # fully cold
+        (0.0, COLD, 1e4, False),         # mixed discrete/continuous
+        (123.0, 456.0, 789.0, True),     # distinct finite, invalidated
+        (777.0, 777.0, 777.0, False),    # equal counts: dedup
+        (50.0, 50.0, 3.0, True),
+    ]
+
+    def test_scalar_fast_path_matches_uncached_bitwise(self, hierarchy):
+        memo = ExecutionTimeModel(PAPER_COSTS, PAPER_COMPOSITION, hierarchy)
+        plain = ExecutionTimeModel(PAPER_COSTS, PAPER_COMPOSITION, hierarchy,
+                                   memoize=False)
+        for code, stream, thread, inv in self.STATES:
+            for locking in (False, True):
+                want = plain.execution_time_scalar(
+                    code, stream, thread, inv, locking=locking)
+                got = memo.execution_time_scalar(
+                    code, stream, thread, inv, locking=locking)
+                assert got == want  # exact: no tolerance
+
+    def test_counters_all_warm_call(self, model):
+        model.execution_time_scalar(0.0, 0.0, 0.0, False)
+        s = model.stats()
+        assert s["calls"] == s["fast_calls"] == 1
+        assert s["hit_rate"] == 1.0
+        assert s["component_evals"] == 3
+        # code resolves analytically; stream/thread dedup against it.
+        assert s["analytic_hits"] == 1
+        assert s["dedup_hits"] == 2
+        assert s["flush_computes"] == 0
+        assert s["component_reuse_rate"] == 1.0
+
+    def test_counters_distinct_counts_then_cache_hits(self, model):
+        model.execution_time_scalar(100.0, 200.0, 300.0, False)
+        s = model.stats()
+        assert s["flush_computes"] == 3
+        assert s["cache_size"] == 3
+        model.execution_time_scalar(100.0, 200.0, 300.0, False)
+        s = model.stats()
+        assert s["cache_hits"] == 3
+        assert s["flush_computes"] == 3  # unchanged: all served from cache
+        assert s["component_evals"] == 6
+        assert s["component_reuse_rate"] == 0.5
+
+    def test_unmemoized_model_counts_slow_calls(self, hierarchy):
+        plain = ExecutionTimeModel(PAPER_COSTS, PAPER_COMPOSITION, hierarchy,
+                                   memoize=False)
+        plain.execution_time_scalar(1.0, 2.0, 3.0, False)
+        s = plain.stats()
+        assert s["calls"] == 1
+        assert s["fast_calls"] == 0
+        assert s["hit_rate"] == 0.0
+        assert s["cache_size"] == 0
+
+    def test_cache_bound_respected_by_fast_path(self, model):
+        model._PENALTY_CACHE_MAX = 8
+        for i in range(1, 40):
+            model.execution_time_scalar(float(i), 0.0, 0.0, False)
+        assert len(model._penalty_cache) <= 8

@@ -1,10 +1,18 @@
 """Tests for the discrete-event engine."""
 
+import math
+
 import hypothesis.strategies as st
 import pytest
 from hypothesis import given, settings
 
-from repro.sim.engine import SimulationError, Simulator
+from repro.sim.engine import (
+    EVENT_ARRIVAL,
+    EVENT_COMPLETION,
+    Event,
+    SimulationError,
+    Simulator,
+)
 
 
 class TestScheduling:
@@ -70,6 +78,86 @@ class TestScheduling:
         sim.at(15.0, lambda: seen.append(sim.now))
         sim.run_until(20.0)
         assert seen == [15.0]
+
+
+class TestRecordScheduling:
+    """The slotted-record fast path honours the ``(time, seq)`` contract.
+
+    Ties at one timestamp must fire in scheduling order regardless of
+    which API scheduled them — reusable records, ``fn(arg)`` pairs and
+    generic closures all share one sequence counter.
+    """
+
+    def test_ties_fire_in_scheduling_order_across_all_apis(self):
+        sim = Simulator()
+        fired = []
+        sim.at(10.0, lambda: fired.append("closure"))
+        sim.at_record(10.0, Event(EVENT_ARRIVAL, fired.append, "record"))
+        sim.at_call(10.0, fired.append, "call")
+        sim.schedule_record(10.0, Event(EVENT_COMPLETION, fired.append,
+                                        "rel-record"))
+        sim.schedule_call(10.0, fired.append, "rel-call")
+        sim.run_until(100.0)
+        assert fired == ["closure", "record", "call", "rel-record", "rel-call"]
+
+    def test_record_reuse_keeps_tie_break(self):
+        sim = Simulator()
+        fired = []
+        record = Event(EVENT_ARRIVAL, lambda arg: fired.append(("reused", sim.now)))
+        record.arg = object()  # non-None: fast-path convention
+        sim.at_record(5.0, record)
+        sim.at(5.0, lambda: fired.append(("closure", sim.now)))
+        sim.run_until(5.0)
+        # Re-pushing the same record object starts a fresh tie group.
+        sim.at(9.0, lambda: fired.append(("closure", sim.now)))
+        sim.at_record(9.0, record)
+        sim.run_until(100.0)
+        assert fired == [
+            ("reused", 5.0), ("closure", 5.0),
+            ("closure", 9.0), ("reused", 9.0),
+        ]
+
+    def test_event_at_horizon_fires_and_later_stays(self):
+        """Pop-first horizon handling: ``time == end`` fires, the first
+        entry past the horizon is pushed back intact."""
+        sim = Simulator()
+        fired = []
+        sim.at_call(50.0, fired.append, "at-horizon")
+        sim.at_call(math.nextafter(50.0, math.inf), fired.append, "just-past")
+        sim.run_until(50.0)
+        assert fired == ["at-horizon"]
+        assert sim.pending == 1
+        assert sim.now == 50.0
+        sim.run_until(51.0)
+        assert fired == ["at-horizon", "just-past"]
+
+    def test_events_processed_counted_when_stopped_mid_run(self):
+        sim = Simulator()
+        sim.at_call(1.0, lambda _: None, 0)
+        sim.at(2.0, sim.stop)
+        sim.at_call(3.0, lambda _: None, 0)
+        sim.run_until(100.0)
+        assert sim.events_processed == 2
+        assert sim.pending == 1
+
+    def test_on_event_hook_sees_every_tied_event(self):
+        times = []
+        sim = Simulator(on_event=times.append)
+        for _ in range(3):
+            sim.at_call(7.0, lambda _: None, 0)
+        sim.at_call(8.0, lambda _: None, 0)
+        sim.run_until(10.0)
+        assert times == [7.0, 7.0, 7.0, 8.0]
+
+    def test_record_schedule_rejects_nan_and_negative(self):
+        sim = Simulator()
+        record = Event(EVENT_COMPLETION, lambda _: None, 0)
+        with pytest.raises(SimulationError, match="NaN"):
+            sim.schedule_record(float("nan"), record)
+        with pytest.raises(SimulationError, match="negative"):
+            sim.schedule_record(-1.0, record)
+        with pytest.raises(SimulationError, match="NaN"):
+            sim.at_record(float("nan"), record)
 
 
 class TestErrors:
