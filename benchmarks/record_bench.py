@@ -5,7 +5,7 @@ PR-over-PR::
 
     PYTHONPATH=src python benchmarks/record_bench.py
 
-The file has three sections:
+The file has four sections:
 
 ``baseline``
     The pre-overhaul measurement (commit ``af16703``, frozen — never
@@ -16,6 +16,11 @@ The file has three sections:
     refreshed on every invocation.
 ``workload``
     The exact configuration both sections were measured with.
+``runner_overhead``
+    Happy-path cost of the fault-tolerant sweep runner (timeouts,
+    retries, checkpoint plumbing armed, no faults firing) vs a bare
+    ``run_simulation`` loop over the same sweep — the hardening tax,
+    budgeted at < 2% (``docs/ROBUSTNESS.md``).
 
 Numbers are machine-relative: re-record on the machine whose numbers you
 want to compare, and treat cross-machine deltas as noise.  CI only
@@ -30,6 +35,7 @@ import sys
 from typing import Any, Dict
 
 from bench_hotpath import BENCH_JSON, WORKLOAD, report
+from bench_runner import measure_overhead
 
 #: Frozen pre-overhaul reference (commit af16703, same machine/workload
 #: as the initial "current" recording).  Kept in-code so a fresh
@@ -62,6 +68,7 @@ def current_commit() -> str:
 
 def main(repeats: int = 5) -> int:
     rows = report(repeats=repeats)
+    overhead = measure_overhead(repeats=7)
     payload: Dict[str, Any] = {
         "workload": WORKLOAD,
         "baseline": BASELINE,
@@ -74,11 +81,14 @@ def main(repeats: int = 5) -> int:
             for case in rows
             if case in BASELINE
         },
+        "runner_overhead": overhead,
     }
     BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"[record_bench] wrote {BENCH_JSON}")
     for case, speedup in payload["speedup_vs_baseline"].items():
         print(f"[record_bench] {case}: {speedup}x vs baseline")
+    print(f"[record_bench] runner overhead: {overhead['overhead_pct']}% "
+          f"(raw {overhead['raw_s']}s vs hardened {overhead['runner_s']}s)")
     return 0
 
 

@@ -22,8 +22,13 @@ Commands
     exits non-zero with a per-experiment report on any drift.
 ``repro lint [--select CODES] [--ignore CODES] [paths]``
     Run the domain-specific static-analysis pass (determinism, ordering,
-    units, cache-key and registry conformance; rules RPR001..RPR005, see
-    ``docs/LINTING.md``); exits non-zero on findings.
+    units, cache-key, registry and pickle-safety conformance; rules
+    RPR001..RPR006, see ``docs/LINTING.md``); exits non-zero on findings.
+``repro faults [--seed N] [--jobs N] [--workdir P]``
+    Run the deterministic fault-injection suite (worker crashes, hangs,
+    cache corruption, interrupts) against the real runner and report
+    PASS/FAIL per scenario (``docs/ROBUSTNESS.md``); exits non-zero on
+    any failure.
 ``repro simulate --paradigm locking --policy mru --rate 12000 ...``
     One ad-hoc simulation with a summary printout.
 
@@ -46,6 +51,17 @@ by config content + simulator code version (``docs/RUNNER.md``), so
 re-runs skip already-computed points; ``--no-cache`` bypasses the cache
 and ``--cache-dir`` relocates it.  Each invocation ends with a summary
 line reporting simulations run, cache hits, and elapsed wall-clock.
+
+Fault tolerance
+---------------
+Sweeps are fault-tolerant (``docs/ROBUSTNESS.md``): ``--timeout S``
+bounds each simulation's wall clock, ``--retries N`` re-runs failed or
+timed-out tasks with deterministic exponential backoff, crashed worker
+pools are respawned transparently, and completed work is checkpointed so
+an interrupted invocation (Ctrl-C, SIGTERM) can continue with
+``--resume`` without recomputing anything.  Permanent failures are
+reported as a structured summary and exit non-zero; ``--fail-fast``
+stops at the first one.
 """
 
 from __future__ import annotations
@@ -57,7 +73,13 @@ from typing import List, Optional
 
 from .analysis.tables import format_kv
 from .experiments.base import ALL_IDS, EXPERIMENT_IDS, load_experiment, run_experiment
-from .runner import ResultCache, SweepRunner, default_cache_dir, use_runner
+from .runner import (
+    ResultCache,
+    SweepExecutionError,
+    SweepRunner,
+    default_cache_dir,
+    use_runner,
+)
 from .sim.system import SystemConfig, run_simulation
 from .workloads.traffic import TrafficSpec
 
@@ -80,6 +102,22 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
         help="run every simulation under the online invariant checker "
              "(conservation, busy-interval non-overlap, causality, lock "
              "mutual exclusion); combine with --no-cache to force execution")
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-simulation wall-clock budget in seconds; over-budget "
+             "tasks are reported as timeouts and retried (default: none)")
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="extra attempts per failed/timed-out simulation, with "
+             "deterministic exponential backoff (default: 0)")
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted sweep from its checkpoint journal, "
+             "recomputing nothing already completed")
+    parser.add_argument(
+        "--fail-fast", action="store_true",
+        help="stop at the first permanent task failure instead of "
+             "completing the rest of the sweep")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -146,9 +184,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_chk.add_argument("--goldens", default=None, metavar="DIR")
     _add_runner_flags(p_chk)
 
+    p_faults = sub.add_parser(
+        "faults", help="run the deterministic fault-injection suite "
+                       "against the real runner (see docs/ROBUSTNESS.md)")
+    p_faults.add_argument("--seed", type=int, default=1,
+                          help="fault-plan seed (same seed = same faults)")
+    p_faults.add_argument("--jobs", type=int, default=2, metavar="N",
+                          help="worker processes for the parallel scenarios")
+    p_faults.add_argument("--workdir", default=None, metavar="PATH",
+                          help="scratch directory for the scenarios' "
+                               "caches/journals (default: a temp dir)")
+
     p_lint = sub.add_parser(
         "lint", help="run the domain-specific static-analysis pass "
-                     "(RPR001..RPR005; see docs/LINTING.md)")
+                     "(RPR001..RPR006; see docs/LINTING.md)")
     p_lint.add_argument("paths", nargs="*", metavar="PATH",
                         help="files/directories to lint (default: the "
                              "installed repro package)")
@@ -188,8 +237,13 @@ def _make_runner(args: argparse.Namespace) -> SweepRunner:
     """Build the sweep runner requested by --jobs/--no-cache/--cache-dir."""
     jobs = None if args.jobs is not None and args.jobs < 0 else args.jobs
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    return SweepRunner(jobs=jobs, cache=cache,
-                       check_invariants=getattr(args, "check_invariants", False))
+    return SweepRunner(
+        jobs=jobs, cache=cache,
+        check_invariants=getattr(args, "check_invariants", False),
+        timeout_s=getattr(args, "timeout", None),
+        retries=getattr(args, "retries", 0),
+        resume=getattr(args, "resume", False),
+        fail_fast=getattr(args, "fail_fast", False))
 
 
 def _print_runner_summary(runner: SweepRunner) -> None:
@@ -262,7 +316,34 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         return 0
     print(f"cache dir: {cache.root}")
     print(f"entries:   {len(cache)}")
+    quarantined = cache.quarantined_entries()
+    if quarantined:
+        print(f"quarantined: {quarantined} unreadable entries parked in "
+              f"{cache.quarantine_dir} (see docs/ROBUSTNESS.md)")
     return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    import tempfile
+    from pathlib import Path
+
+    from .runner import run_fault_suite
+
+    if args.workdir is not None:
+        results = run_fault_suite(Path(args.workdir), jobs=args.jobs,
+                                  seed=args.seed)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-faults-") as tmp:
+            results = run_fault_suite(Path(tmp), jobs=args.jobs,
+                                      seed=args.seed)
+    width = max(len(r.name) for r in results)
+    for r in results:
+        status = "PASS" if r.ok else "FAIL"
+        print(f"{status}  {r.name:<{width}}  {r.detail}")
+    failed = sum(1 for r in results if not r.ok)
+    print(f"[faults] {len(results) - failed}/{len(results)} scenarios passed "
+          f"(seed={args.seed}, jobs={args.jobs})")
+    return 1 if failed else 0
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -348,8 +429,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
@@ -364,9 +444,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_verify(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except SweepExecutionError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        # The runner has already flushed its checkpoint journal and
+        # printed a resume hint by the time this propagates.
+        print("repro: interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -109,7 +109,7 @@ def delay_vs_rate_sweep(
             configs.append(
                 base.with_(traffic=traffic, paradigm=paradigm, policy=policy)
             )
-    summaries = iter(runner.run_many(configs))
+    summaries = iter(runner.run_many(configs, label="delay_vs_rate"))
 
     series: Dict[str, List[float]] = {label: [] for label in policies}
     rows: List[Dict[str, object]] = []
@@ -161,7 +161,7 @@ def find_capacity(
     lo, hi = low_pps, high_pps
     # Ensure the bracket: lo stable, hi unstable (best effort).
     lo_summary, hi_summary = runner.run_many(
-        [make_config(lo), make_config(hi)]
+        [make_config(lo), make_config(hi)], label="capacity_bracket"
     )
     if not lo_summary.stable:
         return lo
@@ -171,7 +171,8 @@ def find_capacity(
     for _ in range(rounds):
         step = (hi - lo) / (points_per_round + 1)
         mids = [lo + step * (i + 1) for i in range(points_per_round)]
-        summaries = runner.run_many([make_config(m) for m in mids])
+        summaries = runner.run_many([make_config(m) for m in mids],
+                                    label="capacity_search")
         # Keep the sub-interval containing the stability boundary
         # (stability is assumed monotone in rate, as in plain bisection).
         new_lo, new_hi = lo, hi

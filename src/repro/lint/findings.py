@@ -25,6 +25,9 @@ RULES: Dict[str, str] = {
               "on the observability exclusion list",
     "RPR005": "registry: experiment module not registered or missing its "
               "golden snapshot",
+    "RPR006": "pickle: a process-pool submission target must be a "
+              "module-level function (lambdas and nested defs break worker "
+              "dispatch or silently run serially)",
 }
 
 

@@ -1,5 +1,5 @@
 """Per-file AST rules: RPR001 (determinism), RPR002 (ordering),
-RPR003 (units).
+RPR003 (units), RPR006 (pickle-safe pool submissions).
 
 Each rule is an :class:`ast.NodeVisitor` producing :class:`Finding`
 objects.  They share :class:`ImportTable`, a whole-module import-alias
@@ -24,6 +24,15 @@ RPR003 checks names at binding sites only (parameters, assignment
 targets, loop targets, fields) — call sites inherit discipline from their
 definitions — and flags ``+``/``-`` between operands whose names carry
 *different* unit suffixes.
+
+RPR006 keeps worker entrypoints pickle-safe: anything handed to a
+process pool's ``submit``/``map`` must be a module-level function.  A
+lambda or a function nested inside another function cannot be pickled to
+a worker — with the fork start method it may appear to work locally and
+then break under spawn, and a "helpful" fallback would silently run
+serially.  The receiver is matched by name (contains ``pool`` or
+``executor``), which covers the idiomatic spellings without needing type
+inference.
 """
 
 from __future__ import annotations
@@ -44,6 +53,7 @@ __all__ = [
     "ImportTable",
     "DeterminismRule",
     "OrderingRule",
+    "PickleSafetyRule",
     "UnitsRule",
     "run_file_rules",
 ]
@@ -424,6 +434,66 @@ class UnitsRule(_BaseRule):
 
 
 # ----------------------------------------------------------------------
+# RPR006 — pickle-safe pool submissions
+# ----------------------------------------------------------------------
+class PickleSafetyRule(_BaseRule):
+    """Process-pool ``submit``/``map`` targets must be module-level
+    functions (lambdas and nested defs cannot be pickled to a worker)."""
+
+    _POOL_METHODS = frozenset({"submit", "map"})
+    _POOL_WORDS = ("pool", "executor")
+
+    def __init__(self, *args: object, **kwargs: object) -> None:
+        super().__init__(*args, **kwargs)  # type: ignore[arg-type]
+        #: names of functions defined inside another function's body.
+        self._nested_defs: Set[str] = set()
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self._collect_nested(node, inside_function=False)
+        self.generic_visit(node)
+
+    def _collect_nested(self, node: ast.AST, inside_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if inside_function:
+                    self._nested_defs.add(child.name)
+                self._collect_nested(child, True)
+            else:
+                self._collect_nested(child, inside_function)
+
+    def _pool_receiver(self, node: ast.expr) -> Optional[str]:
+        name: Optional[str] = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if name is not None and any(w in name.lower()
+                                    for w in self._POOL_WORDS):
+            return name
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and \
+                func.attr in self._POOL_METHODS and node.args:
+            receiver = self._pool_receiver(func.value)
+            if receiver is not None:
+                target = node.args[0]
+                if isinstance(target, ast.Lambda):
+                    self.emit(node, "RPR006",
+                              f"lambda passed to {receiver}.{func.attr}(); "
+                              "pool workers can only unpickle module-level "
+                              "functions")
+                elif isinstance(target, ast.Name) and \
+                        target.id in self._nested_defs:
+                    self.emit(node, "RPR006",
+                              f"nested function {target.id!r} passed to "
+                              f"{receiver}.{func.attr}(); move it to module "
+                              "level so pool workers can unpickle it")
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
 # Driver for one file
 # ----------------------------------------------------------------------
 def run_file_rules(path: str, source: str, *, result_affecting: bool,
@@ -439,7 +509,8 @@ def run_file_rules(path: str, source: str, *, result_affecting: bool,
                         message=f"syntax error: {exc.msg}")]
     imports = ImportTable(tree)
     findings: List[Finding] = []
-    for rule_cls in (DeterminismRule, OrderingRule, UnitsRule):
+    for rule_cls in (DeterminismRule, OrderingRule, UnitsRule,
+                     PickleSafetyRule):
         rule = rule_cls(path, imports, result_affecting, rng_exempt)
         rule.visit(tree)
         findings.extend(rule.findings)

@@ -1,4 +1,4 @@
-"""Parallel sweep runner and persistent result cache.
+"""Parallel sweep runner, persistent result cache, and fault tolerance.
 
 The experiment suite is embarrassingly parallel — dozens of independent
 :func:`~repro.sim.system.run_simulation` calls per artifact — and highly
@@ -8,32 +8,67 @@ identical grid points).  This package provides:
 - :class:`SweepRunner` — fans a batch of :class:`SystemConfig` runs out
   over a process pool (``jobs=N``; ``jobs=0`` = serial fallback) with
   deterministic, submission-ordered results that are bit-identical to
-  serial execution;
+  serial execution, and with fault-tolerant execution: per-task
+  timeouts, bounded retries with deterministic backoff, broken-pool
+  recovery, and checkpoint/resume (``docs/ROBUSTNESS.md``);
 - :class:`ResultCache` — a content-addressed on-disk cache of
   :class:`~repro.sim.metrics.SimulationSummary` objects keyed by
   :func:`config_key` (canonical config serialization + simulator code
-  version), so already-computed points are never simulated twice;
+  version), with atomic writes and quarantine of unreadable entries;
+- :class:`CheckpointJournal` — the append-only completed-task journal
+  behind ``--resume``;
+- :class:`FaultPlan` / :func:`run_fault_suite` — deterministic fault
+  injection and the scenario harness behind ``repro faults``;
 - :func:`use_runner` / :func:`get_runner` — the default-runner hook the
   CLI and tests use to rewire every sweep without touching experiment
   signatures.
 
-See ``docs/RUNNER.md`` for the cache key scheme and invalidation rules.
+See ``docs/RUNNER.md`` for the cache key scheme and invalidation rules,
+and ``docs/ROBUSTNESS.md`` for the failure taxonomy and resume workflow.
 """
 
-from .cache import ResultCache, default_cache_dir
+from .cache import CacheStats, ResultCache, default_cache_dir
+from .checkpoint import CheckpointJournal, sweep_id
+from .faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    InjectedFault,
+    ScenarioResult,
+    TaskTimeout,
+    run_fault_suite,
+)
 from .keys import UncacheableConfig, canonicalize, code_version, config_key
-from .runner import RunnerStats, SweepRunner, get_runner, set_runner, use_runner
+from .runner import (
+    FailureReport,
+    RunnerStats,
+    SweepExecutionError,
+    SweepRunner,
+    get_runner,
+    set_runner,
+    use_runner,
+)
 
 __all__ = [
+    "CacheStats",
+    "CheckpointJournal",
+    "FAULT_KINDS",
+    "FailureReport",
+    "FaultPlan",
+    "InjectedFault",
     "ResultCache",
     "RunnerStats",
+    "ScenarioResult",
+    "SweepExecutionError",
     "SweepRunner",
+    "TaskTimeout",
     "UncacheableConfig",
     "canonicalize",
     "code_version",
     "config_key",
     "default_cache_dir",
     "get_runner",
+    "run_fault_suite",
     "set_runner",
+    "sweep_id",
     "use_runner",
 ]

@@ -7,12 +7,20 @@ One JSON file per content key (see :mod:`repro.runner.keys`), sharded into
 - ``$XDG_CACHE_HOME/repro`` if set, else
 - ``~/.cache/repro``.
 
-Entries are written atomically (temp file + rename) so concurrent sweep
-workers and interrupted runs can never leave a torn file behind; a file
-that fails to parse is treated as a miss and removed.  Because the content
-key already encodes the simulator's code version, invalidation is
-automatic — stale entries are simply never looked up again (``prune`` can
-reclaim the space).
+Entries are written atomically (temp file + fsync + rename) so a crash
+mid-``put`` can never publish a torn file.  Reads are uniformly
+defensive: *any* entry that cannot be parsed and validated — truncated
+JSON, non-object payloads, unknown layout versions, schema-drifted
+summaries — is treated as a miss and moved to ``<root>/quarantine/``
+for post-mortem inspection rather than silently deleted.  Per-instance
+:class:`CacheStats` count hits, misses, decode ``errors`` and
+quarantined entries.  Because the content key already encodes the
+simulator's code version, invalidation is automatic — stale entries are
+simply never looked up again (``prune`` can reclaim the space).
+
+A :class:`~repro.runner.faults.FaultPlan` with a nonzero ``corrupt``
+rate can be attached to deterministically write torn entries, which is
+how the fault-injection harness proves the quarantine path.
 """
 
 from __future__ import annotations
@@ -21,15 +29,26 @@ import dataclasses
 import json
 import os
 import tempfile
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, Iterator, Optional
 
 from ..sim.metrics import SimulationSummary
+from .faults import FaultPlan
 
-__all__ = ["ResultCache", "default_cache_dir", "summary_to_dict", "summary_from_dict"]
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "default_cache_dir",
+    "summary_to_dict",
+    "summary_from_dict",
+]
 
 #: Bump when the on-disk entry layout changes.
 _FORMAT = 1
+
+#: Subdirectory (of the cache root) holding quarantined entries.
+_QUARANTINE = "quarantine"
 
 
 def default_cache_dir() -> Path:
@@ -45,7 +64,7 @@ def default_cache_dir() -> Path:
 
 def summary_to_dict(summary: SimulationSummary) -> Dict[str, object]:
     """JSON-able dict of a summary (tuples become lists)."""
-    out = {}
+    out: Dict[str, object] = {}
     for f in dataclasses.fields(summary):
         value = getattr(summary, f.name)
         if isinstance(value, tuple):
@@ -65,44 +84,103 @@ def summary_from_dict(data: dict) -> SimulationSummary:
     return SimulationSummary(**kwargs)
 
 
+@dataclass
+class CacheStats:
+    """Per-instance accounting of one cache's activity."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    #: Entries that existed but could not be read/validated.
+    errors: int = 0
+    #: Unreadable entries successfully moved to ``quarantine/``.
+    quarantined: int = 0
+
+
 class ResultCache:
     """Content-addressed store of :class:`SimulationSummary` objects."""
 
-    def __init__(self, root: Optional["os.PathLike[str]"] = None) -> None:
+    def __init__(self, root: Optional["os.PathLike[str]"] = None,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        self.fault_plan = fault_plan
+        self.stats = CacheStats()
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / _QUARANTINE
+
     def get(self, key: str) -> Optional[SimulationSummary]:
-        """Look up a summary; any read/parse failure is a miss."""
+        """Look up a summary.
+
+        A missing file is a plain miss.  An *unreadable* file — truncated
+        or invalid JSON, a non-object payload, an unknown ``format``, or
+        a summary whose schema no longer matches — is uniformly counted
+        as an error, quarantined, and reported as a miss so the caller
+        recomputes and re-publishes a clean entry.
+        """
         path = self.path_for(key)
         try:
-            with open(path) as fh:
+            with open(path, encoding="utf-8") as fh:
                 data = json.load(fh)
+            if not isinstance(data, dict):
+                raise ValueError(f"cache entry is {type(data).__name__}, not an object")
             if data.get("format") != _FORMAT:
-                return None
-            return summary_from_dict(data["summary"])
+                raise ValueError(f"unknown cache entry format {data.get('format')!r}")
+            summary_payload = data["summary"]
+            if not isinstance(summary_payload, dict):
+                raise ValueError("cache entry 'summary' is not an object")
+            summary = summary_from_dict(summary_payload)
         except FileNotFoundError:
+            self.stats.misses += 1
             return None
         except (OSError, ValueError, KeyError, TypeError):
-            # Torn or stale entry: drop it so it cannot mask future writes.
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            # Torn, stale or foreign entry: move it aside (evidence for a
+            # post-mortem — never silently destroyed) so it cannot mask
+            # the clean re-write that follows the recompute.
+            self.stats.errors += 1
+            self.stats.misses += 1
+            self._quarantine(path)
             return None
+        self.stats.hits += 1
+        return summary
+
+    def _quarantine(self, path: Path) -> None:
+        """Move an unreadable entry into ``quarantine/`` (unique name)."""
+        try:
+            qdir = self.quarantine_dir
+            qdir.mkdir(parents=True, exist_ok=True)
+            target = qdir / path.name
+            serial = 0
+            while target.exists():
+                serial += 1
+                target = qdir / f"{path.stem}.{serial}{path.suffix}"
+            os.replace(path, target)
+            self.stats.quarantined += 1
+        except OSError:
+            pass  # raced away or unmovable; the next reader retries
 
     def put(self, key: str, summary: SimulationSummary) -> None:
-        """Atomically persist a summary under ``key``."""
+        """Atomically persist a summary under ``key`` (temp file, fsync,
+        ``os.replace``) — a crash mid-write can never publish a torn
+        entry."""
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"format": _FORMAT, "key": key,
                    "summary": summary_to_dict(summary)}
+        blob = json.dumps(payload, separators=(",", ":")).encode()
+        if self.fault_plan is not None and \
+                self.fault_plan.decide("corrupt", key):
+            blob = blob[: max(1, len(blob) // 2)]  # injected torn write
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh, separators=(",", ":"))
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -110,17 +188,45 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        self.stats.puts += 1
+
+    # -- maintenance -------------------------------------------------
+    def _entry_files(self) -> Iterator[Path]:
+        """Every live entry file (shard dirs only — quarantine and any
+        checkpoint journals under the root are not entries)."""
+        if not self.root.is_dir():
+            return
+        for sub in sorted(self.root.iterdir()):
+            if sub.is_dir() and len(sub.name) == 2:
+                yield from sorted(sub.glob("*.json"))
 
     def __len__(self) -> int:
-        if not self.root.is_dir():
+        return sum(1 for _ in self._entry_files())
+
+    def quarantined_entries(self) -> int:
+        """Number of files currently parked in ``quarantine/``."""
+        qdir = self.quarantine_dir
+        if not qdir.is_dir():
             return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(1 for _ in qdir.glob("*.json"))
 
     def prune(self) -> int:
         """Delete every entry; returns the number removed."""
         removed = 0
-        if self.root.is_dir():
-            for path in self.root.glob("*/*.json"):
+        for path in self._entry_files():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def clear_quarantine(self) -> int:
+        """Delete every quarantined file; returns the number removed."""
+        removed = 0
+        qdir = self.quarantine_dir
+        if qdir.is_dir():
+            for path in sorted(qdir.glob("*.json")):
                 try:
                     path.unlink()
                     removed += 1

@@ -1,0 +1,151 @@
+"""Sweep checkpointing: a completed-task journal enabling resume.
+
+A *sweep* is one ``SweepRunner.run_many`` batch.  While the batch runs,
+every completed (cacheable) task is appended to a JSONL journal named
+after the sweep's identity — a digest of its ordered content keys — so
+an interrupted run (Ctrl-C, SIGTERM, crash, permanent task failure)
+leaves a durable record of exactly what finished.  Re-running the same
+batch with ``resume=True`` serves those entries from the journal and
+executes only the remainder: zero completed work is recomputed, even
+with the result cache disabled.
+
+The journal is append-only and torn-tail tolerant: each line is one
+self-contained JSON object flushed as it is written, and :meth:`load`
+silently skips a final line truncated by an interrupt mid-write.  A
+journal whose header does not match the expected sweep identity or
+layout version is ignored wholesale (resume falls back to a fresh run —
+never a wrong result).  On clean sweep completion the journal is
+deleted; it persists only when there is something to resume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import IO, Dict, List, Optional, Sequence
+
+from ..sim.metrics import SimulationSummary
+from .cache import summary_from_dict, summary_to_dict
+
+__all__ = ["CheckpointJournal", "sweep_id"]
+
+#: Bump when the journal line layout changes.
+_FORMAT = 1
+
+
+def sweep_id(keys: Sequence[Optional[str]]) -> str:
+    """Stable identity of one sweep: a digest of its *ordered* content
+    keys (uncacheable entries hash as empty strings), 16 hex chars."""
+    blob = json.dumps([k if k is not None else "" for k in keys],
+                      separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+class CheckpointJournal:
+    """Append-only JSONL journal of one sweep's completed tasks.
+
+    Line 1 is a header (``format``/``sweep``/``label``/``total``); every
+    subsequent line is ``{"key": ..., "summary": ...}``.  Lines are
+    flushed to the OS as written (an interrupt loses at most the line in
+    flight); :meth:`sync` additionally fsyncs, and is called on the
+    graceful-shutdown path.
+    """
+
+    def __init__(self, path: Path, sweep: str, label: str = "",
+                 total: int = 0) -> None:
+        self.path = Path(path)
+        self.sweep = sweep
+        self.label = label
+        self.total = total
+        self.recorded = 0
+        self._fh: Optional[IO[str]] = None
+
+    # -- reading -----------------------------------------------------
+    def exists(self) -> bool:
+        return self.path.is_file()
+
+    def load(self) -> Dict[str, SimulationSummary]:
+        """Completed entries from a prior (interrupted) run of this sweep.
+
+        Tolerant by construction: unreadable files, foreign headers, torn
+        or malformed lines, and schema-drifted summaries all degrade to
+        "not completed" — resume can only skip work, never corrupt it.
+        """
+        out: Dict[str, SimulationSummary] = {}
+        try:
+            lines: List[str] = self.path.read_text().splitlines()
+        except (OSError, UnicodeDecodeError):
+            return out
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                data = json.loads(line)
+            except ValueError:
+                continue  # torn tail from an interrupted write
+            if not isinstance(data, dict):
+                continue
+            if "sweep" in data:  # header line
+                if data.get("sweep") != self.sweep or data.get("format") != _FORMAT:
+                    return {}  # another sweep/layout: ignore wholesale
+                continue
+            key = data.get("key")
+            summary = data.get("summary")
+            if not isinstance(key, str) or not isinstance(summary, dict):
+                continue
+            try:
+                out[key] = summary_from_dict(summary)
+            except (KeyError, TypeError, ValueError):
+                continue  # schema drift: recompute rather than trust it
+        return out
+
+    # -- writing -----------------------------------------------------
+    @property
+    def is_open(self) -> bool:
+        return self._fh is not None
+
+    def start(self, resume: bool) -> None:
+        """Open for appending (``resume=True`` keeps prior entries) or
+        start fresh, writing the header line."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = not (resume and self.exists())
+        self._fh = open(self.path, "a" if not fresh else "w")
+        if fresh:
+            self._write({"format": _FORMAT, "sweep": self.sweep,
+                         "label": self.label, "total": self.total})
+
+    def _write(self, data: Dict[str, object]) -> None:
+        assert self._fh is not None
+        self._fh.write(json.dumps(data, separators=(",", ":")) + "\n")
+        self._fh.flush()
+
+    def record(self, key: str, summary: SimulationSummary) -> None:
+        """Append one completed task (no-op when the journal is closed)."""
+        if self._fh is None:
+            return
+        self._write({"key": key, "summary": summary_to_dict(summary)})
+        self.recorded += 1
+
+    def sync(self) -> None:
+        """Flush and fsync — the graceful-shutdown durability point."""
+        if self._fh is not None:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.flush()
+            finally:
+                self._fh.close()
+                self._fh = None
+
+    def delete(self) -> None:
+        """Remove the journal (the sweep completed; nothing to resume)."""
+        self.close()
+        try:
+            self.path.unlink()
+        except OSError:
+            pass

@@ -1,0 +1,325 @@
+"""Deterministic fault injection for the sweep runner.
+
+Resilience must be *tested*, not assumed: the related work this repo
+draws on (Flow Director's reordering pathology, work-stealing's cache
+misbehaviour) only surfaced failure modes under adversarial conditions.
+This module provides the adversary — a :class:`FaultPlan` that injects
+worker crashes, hangs, raised exceptions, cache corruption, and
+interrupts into the *real* execution paths of
+:class:`~repro.runner.runner.SweepRunner` and
+:class:`~repro.runner.cache.ResultCache` — plus a scenario harness
+(:func:`run_fault_suite`, CLI ``repro faults``) that proves each failure
+path behaves as specified.
+
+Every injection decision is a pure function of ``(plan seed, fault kind,
+task key, attempt number)`` — a SHA-256 threshold test, no RNG object,
+no wall clock — so a fault run replays bit-identically: the same tasks
+crash, hang, or corrupt on the same attempts, on any machine, under any
+worker count.  With ``plan=None`` (the default everywhere) the injection
+hooks are inert and the happy path is untouched.
+
+Fault kinds
+-----------
+``crash``
+    The worker process exits abnormally (``os._exit``), breaking the
+    process pool mid-task.  In inline/serial execution (where a real
+    crash would kill the caller) it degrades to a raised
+    :class:`InjectedFault` tagged as a simulated crash.
+``hang``
+    The worker sleeps for ``hang_s`` before simulating — long enough to
+    trip any configured task timeout.
+``error``
+    The worker raises :class:`InjectedFault` instead of returning.
+``corrupt``
+    :meth:`ResultCache.put` writes a torn (truncated) entry, exercising
+    the quarantine-and-recompute path on the next read.
+``interrupt``
+    The task raises :class:`KeyboardInterrupt`, exercising the graceful
+    shutdown + checkpoint-flush path exactly as a user Ctrl-C would.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle
+    from ..sim.system import SystemConfig
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "InjectedFault",
+    "ScenarioResult",
+    "TaskTimeout",
+    "run_fault_suite",
+]
+
+#: Every fault kind a plan can inject (see module docstring).
+FAULT_KINDS: Tuple[str, ...] = ("crash", "hang", "error", "corrupt", "interrupt")
+
+
+class InjectedFault(RuntimeError):
+    """An artificial failure raised by an active :class:`FaultPlan`."""
+
+
+class TaskTimeout(RuntimeError):
+    """A task exceeded its wall-clock budget (raised by the runner's
+    deadline guard, and reported as a ``timeout`` failure)."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, reproducible fault-injection schedule.
+
+    Each per-kind field is an injection probability in ``[0, 1]``
+    evaluated *deterministically* per ``(key, attempt)`` — see
+    :meth:`decide`.  ``max_faulty_attempts`` bounds injection to the
+    first N attempts of a task (the default ``1`` makes every fault
+    transient, so a single retry succeeds); ``None`` injects on every
+    attempt (permanent faults, for exercising retry exhaustion).
+    ``only_keys`` restricts injection to an explicit set of task keys.
+    """
+
+    seed: int = 0
+    crash: float = 0.0
+    hang: float = 0.0
+    error: float = 0.0
+    corrupt: float = 0.0
+    interrupt: float = 0.0
+    #: Inject only while ``attempt <= max_faulty_attempts`` (None = always).
+    max_faulty_attempts: Optional[int] = 1
+    #: How long a ``hang`` injection sleeps before (never) completing.
+    hang_s: float = 30.0
+    #: Restrict injection to these task keys (None = any key).
+    only_keys: Optional[Tuple[str, ...]] = None
+
+    def rate(self, kind: str) -> float:
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}; known: {FAULT_KINDS}")
+        return float(getattr(self, "error" if kind == "error" else kind))
+
+    def decide(self, kind: str, key: str, attempt: int = 1) -> bool:
+        """Whether to inject ``kind`` into attempt ``attempt`` of task
+        ``key`` — a pure function of the plan and its arguments."""
+        probability = self.rate(kind)
+        if probability <= 0.0:
+            return False
+        if self.only_keys is not None and key not in self.only_keys:
+            return False
+        if self.max_faulty_attempts is not None and attempt > self.max_faulty_attempts:
+            return False
+        blob = f"{self.seed}|{kind}|{key}|{attempt}".encode()
+        digest = hashlib.sha256(blob).digest()
+        draw = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return draw < probability
+
+    def affected(self, kind: str, keys: List[str], attempt: int = 1) -> List[str]:
+        """The subset of ``keys`` this plan injects ``kind`` into at
+        ``attempt`` (harness/test helper)."""
+        return [k for k in keys if self.decide(kind, k, attempt)]
+
+
+# ----------------------------------------------------------------------
+# Scenario harness: prove each failure path against the real runner.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Outcome of one fault-injection scenario."""
+
+    name: str
+    ok: bool
+    detail: str
+
+
+def _scenario_grid(n: int, seed: int) -> "List[SystemConfig]":
+    """``n`` tiny, fast, independent simulation configs."""
+    from ..sim.system import SystemConfig
+    from ..workloads.traffic import TrafficSpec
+
+    return [
+        SystemConfig(
+            traffic=TrafficSpec.homogeneous_poisson(2, 6_000.0),
+            paradigm="locking",
+            policy="mru",
+            duration_us=30_000.0,
+            warmup_us=5_000.0,
+            seed=seed * 100 + i,
+        )
+        for i in range(n)
+    ]
+
+
+def _grid_keys(configs: "List[SystemConfig]") -> List[str]:
+    from .keys import config_key
+
+    return [config_key(cfg) for cfg in configs]
+
+
+def _scenario_crash_retry(workdir: Path, jobs: int, seed: int) -> ScenarioResult:
+    """A crashed worker breaks the pool; the runner respawns it, requeues
+    the lost tasks, retries the crasher, and the sweep completes with
+    results identical to a fault-free serial run."""
+    from .runner import SweepRunner
+
+    configs = _scenario_grid(6, seed)
+    reference = SweepRunner(jobs=0).run_many(configs)
+    plan = FaultPlan(seed=seed, crash=0.5, max_faulty_attempts=1)
+    runner = SweepRunner(jobs=max(2, jobs), retries=2, backoff_base_s=0.0,
+                         timeout_s=60.0, fault_plan=plan)
+    results = runner.run_many(configs)
+    crashed = len(plan.affected("crash", _grid_keys(configs)))
+    ok = (results == reference and crashed > 0
+          and runner.stats.pool_respawns >= 1 and runner.stats.retries >= crashed)
+    return ScenarioResult(
+        "crash-retry-completes", ok,
+        f"{crashed} injected crash(es), {runner.stats.pool_respawns} pool "
+        f"respawn(s), {runner.stats.retries} retries; results "
+        f"{'bit-identical to' if results == reference else 'DIVERGED from'} "
+        f"serial reference")
+
+
+def _scenario_hang_timeout(workdir: Path, jobs: int, seed: int) -> ScenarioResult:
+    """A permanently hung task times out on every attempt and is reported
+    in a FailureReport; the rest of the sweep still completes — no
+    deadlock."""
+    import time
+
+    from .runner import SweepExecutionError, SweepRunner
+
+    configs = _scenario_grid(5, seed)
+    keys = _grid_keys(configs)
+    plan = FaultPlan(seed=seed, hang=1.0, max_faulty_attempts=None,
+                     hang_s=30.0, only_keys=(keys[2],))
+    runner = SweepRunner(jobs=jobs, retries=1, backoff_base_s=0.0,
+                         timeout_s=0.5, fault_plan=plan)
+    t0 = time.perf_counter()
+    try:
+        runner.run_many(configs)
+    except SweepExecutionError as exc:
+        elapsed_s = time.perf_counter() - t0
+        reports = exc.failures
+        completed = sum(1 for r in exc.results if r is not None)
+        ok = (len(reports) == 1 and reports[0].kind == "timeout"
+              and reports[0].key == keys[2] and reports[0].attempts == 2
+              and completed == len(configs) - 1 and elapsed_s < 25.0)
+        return ScenarioResult(
+            "hang-times-out-not-deadlocked", ok,
+            f"hung task reported as {reports[0].kind!r} after "
+            f"{reports[0].attempts} attempts, {completed}/{len(configs)} "
+            f"others completed in {elapsed_s:.1f}s")
+    return ScenarioResult("hang-times-out-not-deadlocked", False,
+                          "sweep completed despite a permanently hung task")
+
+
+def _scenario_corrupt_quarantine(workdir: Path, jobs: int, seed: int) -> ScenarioResult:
+    """Corrupted cache entries are quarantined (moved, never deleted) and
+    transparently recomputed; results stay identical."""
+    from .cache import ResultCache
+    from .runner import SweepRunner
+
+    configs = _scenario_grid(4, seed)
+    reference = SweepRunner(jobs=0).run_many(configs)
+    cache_dir = workdir / "corrupt-cache"
+    writer_plan = FaultPlan(seed=seed, corrupt=1.0, max_faulty_attempts=None)
+    SweepRunner(jobs=0, cache=ResultCache(cache_dir, fault_plan=writer_plan)
+                ).run_many(configs)
+    clean_cache = ResultCache(cache_dir)
+    runner = SweepRunner(jobs=0, cache=clean_cache)
+    results = runner.run_many(configs)
+    n = len(configs)
+    ok = (results == reference
+          and clean_cache.stats.quarantined == n
+          and clean_cache.stats.errors == n
+          and clean_cache.quarantined_entries() == n
+          and runner.stats.executed == n
+          and clean_cache.get(_grid_keys(configs)[0]) == reference[0])
+    return ScenarioResult(
+        "corrupt-entry-quarantined-and-recomputed", ok,
+        f"{clean_cache.stats.quarantined} corrupted entries quarantined to "
+        f"{clean_cache.quarantine_dir.name}/, {runner.stats.executed} "
+        f"recomputed, clean entries re-cached")
+
+
+def _scenario_interrupt_resume(workdir: Path, jobs: int, seed: int) -> ScenarioResult:
+    """An interrupted sweep leaves a checkpoint journal; ``resume=True``
+    replays completed tasks from it and recomputes nothing already done."""
+    from .runner import SweepRunner
+
+    configs = _scenario_grid(6, seed)
+    reference = SweepRunner(jobs=0).run_many(configs)
+    keys = _grid_keys(configs)
+    cut = len(configs) // 2  # interrupt while executing this task
+    checkpoint_dir = workdir / "checkpoints"
+    plan = FaultPlan(seed=seed, interrupt=1.0, max_faulty_attempts=None,
+                     only_keys=(keys[cut],))
+    interrupted = SweepRunner(jobs=0, checkpoint_dir=checkpoint_dir,
+                              fault_plan=plan)
+    try:
+        interrupted.run_many(configs)
+        return ScenarioResult("interrupt-checkpoint-resume", False,
+                              "injected interrupt did not propagate")
+    except KeyboardInterrupt:
+        pass
+    resumed = SweepRunner(jobs=0, checkpoint_dir=checkpoint_dir, resume=True)
+    results = resumed.run_many(configs)
+    ok = (results == reference
+          and resumed.stats.resumed == cut
+          and resumed.stats.executed == len(configs) - cut)
+    return ScenarioResult(
+        "interrupt-checkpoint-resume", ok,
+        f"{interrupted.stats.executed} tasks checkpointed before interrupt; "
+        f"resume served {resumed.stats.resumed} from the journal and "
+        f"re-executed {resumed.stats.executed} "
+        f"({0 if ok else 'some'} completed work recomputed)")
+
+
+def _scenario_happy_path_identity(workdir: Path, jobs: int, seed: int) -> ScenarioResult:
+    """With injection disabled, the fully hardened runner (timeouts,
+    retries, checkpointing, parallel pool) is bit-identical to the plain
+    serial reference."""
+    from .cache import ResultCache
+    from .runner import SweepRunner
+
+    configs = _scenario_grid(5, seed)
+    reference = SweepRunner(jobs=0).run_many(configs)
+    hardened = SweepRunner(jobs=jobs, cache=ResultCache(workdir / "happy-cache"),
+                           timeout_s=120.0, retries=2,
+                           checkpoint_dir=workdir / "happy-checkpoints")
+    results = hardened.run_many(configs)
+    ok = (results == reference and hardened.stats.failures == 0
+          and hardened.stats.retries == 0)
+    return ScenarioResult(
+        "happy-path-bit-identical", ok,
+        f"hardened runner (timeout+retry+checkpoint, jobs={jobs}) "
+        f"{'matches' if ok else 'DIVERGED from'} the serial reference "
+        f"with zero retries/failures")
+
+
+_SCENARIOS = (
+    _scenario_crash_retry,
+    _scenario_hang_timeout,
+    _scenario_corrupt_quarantine,
+    _scenario_interrupt_resume,
+    _scenario_happy_path_identity,
+)
+
+
+def run_fault_suite(workdir: Path, jobs: int = 2,
+                    seed: int = 1) -> List[ScenarioResult]:
+    """Run every fault-injection scenario against the real runner.
+
+    ``workdir`` holds the scratch caches/journals the scenarios create;
+    the suite is deterministic in ``(jobs, seed)`` and is the CI
+    ``faults`` gate (CLI: ``repro faults``).
+    """
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    return [scenario(workdir, jobs, seed) for scenario in _SCENARIOS]
+
+
+def plan_with(plan: FaultPlan, **overrides: object) -> FaultPlan:
+    """A copy of ``plan`` with fields replaced (test helper)."""
+    return replace(plan, **overrides)  # type: ignore[arg-type]

@@ -1,4 +1,4 @@
-"""Parallel sweep execution with transparent result caching.
+"""Parallel sweep execution with transparent caching and fault tolerance.
 
 Every paper artifact is a sweep of *independent* ``run_simulation`` calls
 (one per rate/policy/knob grid point).  :class:`SweepRunner` fans those
@@ -16,6 +16,34 @@ re-runs of ``repro all``, the tests, and the benchmarks skip
 already-computed points; identical configs *within* one batch are also
 deduplicated so e.g. a repeated baseline run is simulated once.
 
+Fault tolerance (``docs/ROBUSTNESS.md``)
+----------------------------------------
+The runner assumes workers can crash, hang, or raise, and that the whole
+process can be interrupted, without throwing away completed work:
+
+- **Timeouts** — ``timeout_s`` bounds each task's wall clock (SIGALRM
+  deadline inside the worker, plus a hard parent-side watchdog that
+  replaces a wedged pool), so a hung config is *reported*, never a
+  deadlock.
+- **Retries** — each failed/timed-out task is retried up to ``retries``
+  times with deterministic (seedless, jitter-free) exponential backoff.
+- **Pool recovery** — a :class:`BrokenProcessPool` (worker crash/OOM
+  kill) respawns the pool and requeues only the lost tasks; after
+  ``max_pool_failures`` respawns the runner degrades gracefully to
+  serial in-process execution for the remainder.
+- **Checkpoint/resume** — completed tasks are journaled (see
+  :mod:`repro.runner.checkpoint`); SIGINT/SIGTERM flush the journal and
+  print a resume hint, and ``resume=True`` replays completed entries so
+  an interrupted sweep recomputes nothing already done.
+- **Failure reporting** — tasks that exhaust their attempts become
+  structured :class:`FailureReport` entries inside a
+  :class:`SweepExecutionError` (raised after the rest of the sweep
+  completes, or immediately with ``fail_fast=True``).
+- **Fault injection** — an optional
+  :class:`~repro.runner.faults.FaultPlan` deterministically exercises
+  every one of those paths against the real runner (CLI ``repro
+  faults``); with ``fault_plan=None`` the hooks are inert.
+
 Experiments reach the runner through a module-level default (serial, no
 cache — the historical behaviour) that the CLI or tests rebind with
 :func:`use_runner`, keeping every experiment's ``run(fast, seed)``
@@ -25,24 +53,46 @@ signature unchanged.
 from __future__ import annotations
 
 import os
+import signal
+import sys
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
+import traceback
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import (
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..sim.metrics import SimulationSummary
 from ..sim.system import SystemConfig, run_simulation
 from .cache import ResultCache
+from .checkpoint import CheckpointJournal, sweep_id
+from .faults import FaultPlan, InjectedFault, TaskTimeout
 from .keys import UncacheableConfig, config_key
 
 __all__ = [
+    "FailureReport",
     "RunnerStats",
+    "SweepExecutionError",
     "SweepRunner",
     "get_runner",
     "set_runner",
     "use_runner",
 ]
+
+#: Exit code used by injected worker crashes (visible in pool diagnostics).
+_CRASH_EXIT_CODE = 73
 
 
 @dataclass
@@ -51,8 +101,13 @@ class RunnerStats:
 
     simulations: int = 0     # runs requested (incl. hits and dedups)
     cache_hits: int = 0      # served from the persistent cache
+    resumed: int = 0         # served from a checkpoint journal
     deduplicated: int = 0    # identical to another config in the same batch
-    executed: int = 0        # actually simulated
+    executed: int = 0        # actually simulated to completion
+    retries: int = 0         # re-submissions after a failed attempt
+    timeouts: int = 0        # attempts that exceeded the task budget
+    failures: int = 0        # tasks that exhausted every attempt
+    pool_respawns: int = 0   # process pools replaced after breaking
     batches: int = 0
     elapsed_s: float = 0.0   # wall-clock spent inside run_many
 
@@ -71,16 +126,202 @@ class RunnerStats:
             f"{self.cache_hits} cache hits,",
             f"{self.executed} executed",
         ]
+        if self.resumed:
+            parts.append(f"+ {self.resumed} resumed")
         if self.deduplicated:
             parts.append(f"({self.deduplicated} deduplicated)")
+        if self.retries:
+            parts.append(f"({self.retries} retries, {self.timeouts} timeouts)")
+        if self.pool_respawns:
+            parts.append(f"({self.pool_respawns} pool respawns)")
+        if self.failures:
+            parts.append(f"[{self.failures} FAILED]")
         parts.append(f"in {self.elapsed_s:.1f}s")
         if jobs_label:
             parts.append(f"[{jobs_label}]")
         return " ".join(parts)
 
 
+@dataclass(frozen=True)
+class FailureReport:
+    """One task that exhausted every attempt, with its full context."""
+
+    index: int               # position in the submitted batch
+    key: Optional[str]       # content key (None for uncacheable configs)
+    kind: str                # "timeout" | "crash" | "error"
+    attempts: int            # attempts consumed (1 + retries performed)
+    error: str               # formatted exception chain of the last attempt
+    elapsed_s: float         # wall-clock of the last attempt
+    label: str = ""          # sweep label, when the caller provided one
+
+    def render(self) -> str:
+        where = f"#{self.index}" + (f" [{self.label}]" if self.label else "")
+        key = (self.key or "uncacheable")[:12]
+        return (f"task {where} key={key} failed ({self.kind}) after "
+                f"{self.attempts} attempt(s), last took {self.elapsed_s:.2f}s: "
+                f"{self.error}")
+
+
+class SweepExecutionError(RuntimeError):
+    """One or more sweep tasks failed permanently.
+
+    Raised *after* every other task has completed (so the failure list is
+    exhaustive and completed work is checkpointed/cached), or at the
+    first permanent failure under ``fail_fast``.  ``results`` holds the
+    partial output (``None`` at failed indices) and ``failures`` the
+    structured reports.
+    """
+
+    def __init__(self, failures: Sequence[FailureReport],
+                 results: Sequence[Optional[SimulationSummary]],
+                 resume_hint: str = "") -> None:
+        self.failures = list(failures)
+        self.results = list(results)
+        self.resume_hint = resume_hint
+        lines = [f"{len(self.failures)} sweep task(s) failed permanently:"]
+        lines += [f"  {report.render()}" for report in self.failures[:10]]
+        if len(self.failures) > 10:
+            lines.append(f"  ... and {len(self.failures) - 10} more")
+        if resume_hint:
+            lines.append(resume_hint)
+        super().__init__("\n".join(lines))
+
+
+# ----------------------------------------------------------------------
+# Worker plumbing (module-level => pickle-safe; see lint rule RPR006)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _WorkerTask:
+    """Everything one attempt needs, shippable to a worker process."""
+
+    config: SystemConfig
+    fault_key: str           # stable task identity for fault decisions
+    attempt: int             # 1-based
+    timeout_s: Optional[float]
+    plan: Optional[FaultPlan]
+    inline: bool = False     # executing in the parent process (serial path)
+
+
+@dataclass(frozen=True)
+class _WorkerOutcome:
+    """Result of one attempt; failures travel as data, not exceptions."""
+
+    ok: bool
+    summary: Optional[SimulationSummary]
+    kind: str                # "" | "timeout" | "error"
+    error: str
+    elapsed_s: float
+
+
+@contextmanager
+def _deadline(timeout_s: Optional[float]) -> Iterator[None]:
+    """Raise :class:`TaskTimeout` when the block exceeds ``timeout_s``.
+
+    Uses a SIGALRM interval timer, which requires the main thread of a
+    POSIX process — exactly what a pool worker (and the CLI's serial
+    path) is.  Anywhere else the guard degrades to *no* in-band timeout;
+    the parent-side hard watchdog still bounds parallel execution.
+    """
+    usable = (
+        timeout_s is not None and timeout_s > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum: int, frame: object) -> None:
+        raise TaskTimeout(f"exceeded the {timeout_s:.3g}s wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(timeout_s))  # type: ignore[arg-type]
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _format_chain(exc: BaseException) -> str:
+    """One-line ``repr`` chain of an exception and its cause/context."""
+    parts = []
+    seen: set = set()
+    current: Optional[BaseException] = exc
+    while current is not None and id(current) not in seen:
+        seen.add(id(current))
+        parts.append("".join(
+            traceback.format_exception_only(type(current), current)).strip())
+        current = current.__cause__ or current.__context__
+    return " <- ".join(parts)
+
+
+def _execute_task(task: _WorkerTask) -> _WorkerOutcome:
+    """Worker entrypoint: run one attempt, honouring the fault plan and
+    the task deadline.  Must stay a module-level function (pickled by
+    the process pool — RPR006)."""
+    t0 = time.perf_counter()
+    plan = task.plan
+    try:
+        if plan is not None:
+            if plan.decide("crash", task.fault_key, task.attempt):
+                if task.inline:
+                    # A real crash would kill the caller; simulate it.
+                    raise InjectedFault("injected worker crash (inline mode)")
+                os._exit(_CRASH_EXIT_CODE)
+            if plan.decide("interrupt", task.fault_key, task.attempt):
+                raise KeyboardInterrupt("injected interrupt")
+        with _deadline(task.timeout_s):
+            if plan is not None and \
+                    plan.decide("hang", task.fault_key, task.attempt):
+                time.sleep(plan.hang_s)
+            if plan is not None and \
+                    plan.decide("error", task.fault_key, task.attempt):
+                raise InjectedFault(
+                    f"injected failure for task {task.fault_key[:12]}")
+            summary = run_simulation(task.config)
+        return _WorkerOutcome(True, summary, "", "", time.perf_counter() - t0)
+    except TaskTimeout as exc:
+        return _WorkerOutcome(False, None, "timeout", str(exc),
+                              time.perf_counter() - t0)
+    except KeyboardInterrupt:
+        raise  # graceful-shutdown path, handled by run_many
+    except Exception as exc:
+        return _WorkerOutcome(False, None, "error", _format_chain(exc),
+                              time.perf_counter() - t0)
+
+
+def _worker_init() -> None:
+    """Pool-worker initializer: restore default SIGTERM disposition so a
+    forked worker does not inherit the parent's graceful-shutdown handler
+    (which would turn pool teardown into spurious tracebacks)."""
+    if hasattr(signal, "SIGTERM"):
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+
+
+@contextmanager
+def _sigterm_as_interrupt() -> Iterator[None]:
+    """Convert SIGTERM into KeyboardInterrupt for the duration of a sweep
+    so orchestrators' terminations also take the graceful-shutdown path
+    (checkpoint flush + resume hint).  Main-thread only; elsewhere a
+    no-op."""
+    if not hasattr(signal, "SIGTERM") or \
+            threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _on_term(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt("SIGTERM")
+
+    previous = signal.signal(signal.SIGTERM, _on_term)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
 class SweepRunner:
-    """Execute batches of independent simulation configs.
+    """Execute batches of independent simulation configs, fault-tolerantly.
 
     Parameters
     ----------
@@ -97,31 +338,113 @@ class SweepRunner:
         does not change content keys — but note that cache *hits* skip
         execution entirely, so an invariant-checking gate should run with
         the cache disabled.
+    timeout_s:
+        Per-task wall-clock budget; ``None`` (default) = unbounded.  A
+        task over budget is reported as a ``timeout`` failure and retried.
+    retries:
+        Extra attempts per failed task (so each task runs at most
+        ``retries + 1`` times).
+    backoff_base_s:
+        Base of the deterministic exponential backoff between attempts:
+        attempt *k* waits ``backoff_base_s * 2**(k-1)`` seconds (capped
+        at :data:`BACKOFF_CAP_S`; no jitter, so retry schedules replay
+        exactly).
+    fail_fast:
+        Stop scheduling new work at the first permanent task failure
+        instead of completing the rest of the sweep first.
+    checkpoint_dir:
+        Where sweep journals live.  Defaults to ``<cache>/checkpoints``
+        when a cache is attached, else checkpointing is off.
+    resume:
+        Serve completed tasks from an existing journal of the same sweep
+        before executing anything.
+    fault_plan:
+        Optional deterministic fault injector (tests/CI only).
+    max_pool_failures:
+        Pool respawns tolerated before degrading to serial execution.
     """
 
     def __init__(self, jobs: Optional[int] = 0,
                  cache: Optional[ResultCache] = None,
-                 check_invariants: bool = False) -> None:
+                 check_invariants: bool = False,
+                 *,
+                 timeout_s: Optional[float] = None,
+                 retries: int = 0,
+                 backoff_base_s: float = 0.05,
+                 fail_fast: bool = False,
+                 checkpoint_dir: Optional["os.PathLike[str]"] = None,
+                 resume: bool = False,
+                 fault_plan: Optional[FaultPlan] = None,
+                 max_pool_failures: int = 2,
+                 hard_timeout_factor: float = 4.0) -> None:
         if jobs is None:
             jobs = os.cpu_count() or 1
         if jobs < 0:
             raise ValueError("jobs must be >= 0 (0 = serial)")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None)")
         self.jobs = jobs
         self.cache = cache
         self.check_invariants = check_invariants
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_base_s = backoff_base_s
+        self.fail_fast = fail_fast
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
+        self.resume = resume
+        self.fault_plan = fault_plan
+        self.max_pool_failures = max_pool_failures
+        self.hard_timeout_factor = hard_timeout_factor
         self.stats = RunnerStats()
 
+    #: Upper bound on a single backoff sleep.
+    BACKOFF_CAP_S = 2.0
+
     # ------------------------------------------------------------------
-    def _key(self, config: SystemConfig) -> Optional[str]:
-        if self.cache is None:
-            return None
+    # keys / checkpoint plumbing
+    # ------------------------------------------------------------------
+    def _content_key(self, config: SystemConfig) -> Optional[str]:
         try:
             return config_key(config)
         except UncacheableConfig:
             return None
 
-    def run_many(self, configs: Sequence[SystemConfig]) -> List[SimulationSummary]:
-        """Run every config; results align index-for-index with input."""
+    def _checkpoint_root(self) -> Optional[Path]:
+        if self.checkpoint_dir is not None:
+            return self.checkpoint_dir
+        if self.cache is not None:
+            return self.cache.root / "checkpoints"
+        return None
+
+    def _open_journal(
+        self, keys: Sequence[Optional[str]], label: str,
+    ) -> Tuple[Optional[CheckpointJournal], Dict[str, SimulationSummary]]:
+        root = self._checkpoint_root()
+        if root is None or not any(k is not None for k in keys):
+            return None, {}
+        sid = sweep_id(keys)
+        journal = CheckpointJournal(root / f"{sid}.jsonl", sweep=sid,
+                                    label=label, total=len(keys))
+        entries: Dict[str, SimulationSummary] = {}
+        if self.resume and journal.exists():
+            entries = journal.load()
+        journal.start(resume=bool(entries))
+        return journal, entries
+
+    # ------------------------------------------------------------------
+    # the batch entrypoint
+    # ------------------------------------------------------------------
+    def run_many(self, configs: Sequence[SystemConfig],
+                 label: str = "") -> List[SimulationSummary]:
+        """Run every config; results align index-for-index with input.
+
+        Raises :class:`SweepExecutionError` if any task fails permanently
+        (after the rest completed, unless ``fail_fast``), and re-raises
+        :class:`KeyboardInterrupt` after flushing the checkpoint journal
+        and printing a resume hint.
+        """
         t0 = time.perf_counter()
         if self.check_invariants:
             configs = [
@@ -130,52 +453,332 @@ class SweepRunner:
             ]
         n = len(configs)
         results: List[Optional[SimulationSummary]] = [None] * n
-        keys = [self._key(cfg) for cfg in configs]
+        keys = [self._content_key(cfg) for cfg in configs]
+        # Stable per-task identity for fault decisions, independent of
+        # whether the config is cacheable.
+        fault_keys = [k if k is not None else f"@{i}"
+                      for i, k in enumerate(keys)]
 
-        # Serve cache hits; collect misses with within-batch dedup.
-        work: List[int] = []          # indices to actually simulate
-        followers: List[Tuple[int, int]] = []   # (index, leader_index) duplicates
-        leader_for_key: Dict[str, int] = {}
-        hits = dedups = 0
-        for i, (cfg, key) in enumerate(zip(configs, keys)):
-            if key is not None:
-                cached = self.cache.get(key)
-                if cached is not None:
-                    results[i] = cached
-                    hits += 1
-                    continue
-                leader = leader_for_key.get(key)
-                if leader is not None:
-                    followers.append((i, leader))
-                    dedups += 1
-                    continue
-                leader_for_key[key] = i
-            work.append(i)
+        journal: Optional[CheckpointJournal] = None
+        failures: List[FailureReport] = []
+        hits = resumed = dedups = 0
+        self._label = label
+        try:
+            journal, prior = self._open_journal(keys, label)
 
-        if work:
-            pending = [configs[i] for i in work]
-            if self.jobs <= 1 or len(pending) == 1:
-                outs = [run_simulation(cfg) for cfg in pending]
-            else:
-                workers = min(self.jobs, len(pending))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    outs = list(pool.map(run_simulation, pending))
-            for i, summary in zip(work, outs):
-                results[i] = summary
-                key = keys[i]
+            # Serve journal + cache hits; collect misses with dedup.
+            work: List[int] = []
+            followers: List[Tuple[int, int]] = []   # (index, leader_index)
+            leader_for_key: Dict[str, int] = {}
+            for i, key in enumerate(keys):
                 if key is not None:
-                    self.cache.put(key, summary)
-        for i, leader in followers:
-            results[i] = results[leader]
+                    replay = prior.get(key)
+                    if replay is not None:
+                        results[i] = replay
+                        resumed += 1
+                        continue
+                    if self.cache is not None:
+                        cached = self.cache.get(key)
+                        if cached is not None:
+                            results[i] = cached
+                            hits += 1
+                            continue
+                    leader = leader_for_key.get(key)
+                    if leader is not None:
+                        followers.append((i, leader))
+                        dedups += 1
+                        continue
+                    leader_for_key[key] = i
+                work.append(i)
 
-        self.stats.simulations += n
-        self.stats.cache_hits += hits
-        self.stats.deduplicated += dedups
-        self.stats.executed += len(work)
-        self.stats.batches += 1
-        self.stats.elapsed_s += time.perf_counter() - t0
+            if work:
+                with _sigterm_as_interrupt():
+                    if self.jobs <= 1 or len(work) == 1:
+                        self._execute_serial(work, configs, keys, fault_keys,
+                                             results, journal, failures)
+                    else:
+                        self._execute_parallel(work, configs, keys, fault_keys,
+                                               results, journal, failures)
+            for i, leader in followers:
+                results[i] = results[leader]
+        except KeyboardInterrupt:
+            self._note_interrupt(journal)
+            raise
+        finally:
+            self.stats.simulations += n
+            self.stats.cache_hits += hits
+            self.stats.resumed += resumed
+            self.stats.deduplicated += dedups
+            self.stats.failures += len(failures)
+            self.stats.batches += 1
+            self.stats.elapsed_s += time.perf_counter() - t0
+            if journal is not None and journal.is_open:
+                if failures:
+                    journal.sync()
+                    journal.close()
+                else:
+                    journal.delete()
+
+        if failures:
+            hint = ""
+            if journal is not None:
+                hint = (f"completed work is checkpointed in {journal.path}; "
+                        f"re-run with --resume to skip it")
+            raise SweepExecutionError(failures, results, hint)
         return results  # type: ignore[return-value]
 
+    def _note_interrupt(self, journal: Optional[CheckpointJournal]) -> None:
+        """Graceful-shutdown bookkeeping: flush partial results, print a
+        resume hint, leave the journal on disk."""
+        if journal is None or not journal.is_open:
+            return
+        journal.sync()
+        journal.close()
+        print(f"[runner] interrupted: {journal.recorded} completed task(s) "
+              f"checkpointed in {journal.path}; re-run with --resume to "
+              f"continue without recomputing them", file=sys.stderr)
+
+    # ------------------------------------------------------------------
+    # execution engines
+    # ------------------------------------------------------------------
+    def _complete(self, i: int, summary: SimulationSummary,
+                  key: Optional[str],
+                  results: List[Optional[SimulationSummary]],
+                  journal: Optional[CheckpointJournal]) -> None:
+        results[i] = summary
+        self.stats.executed += 1
+        if key is not None:
+            if self.cache is not None:
+                self.cache.put(key, summary)
+            if journal is not None:
+                journal.record(key, summary)
+
+    def _backoff(self, attempt: int) -> None:
+        """Deterministic exponential backoff before attempt ``attempt+1``
+        — no jitter, so a replayed fault run waits identically."""
+        delay_s = min(self.backoff_base_s * (2.0 ** (attempt - 1)),
+                      self.BACKOFF_CAP_S)
+        if delay_s > 0:
+            time.sleep(delay_s)
+
+    def _fail(self, i: int, key: Optional[str], kind: str, error: str,
+              attempts: int, elapsed_s: float,
+              failures: List[FailureReport]) -> None:
+        failures.append(FailureReport(
+            index=i, key=key, kind=kind, attempts=attempts, error=error,
+            elapsed_s=elapsed_s, label=getattr(self, "_label", "")))
+
+    def _run_inline(self, i: int, first_attempt: int,
+                    configs: Sequence[SystemConfig],
+                    keys: Sequence[Optional[str]],
+                    fault_keys: Sequence[str],
+                    results: List[Optional[SimulationSummary]],
+                    journal: Optional[CheckpointJournal],
+                    failures: List[FailureReport]) -> None:
+        """Attempt loop for one task, executed in-process."""
+        attempt = first_attempt
+        while True:
+            outcome = _execute_task(_WorkerTask(
+                configs[i], fault_keys[i], attempt, self.timeout_s,
+                self.fault_plan, inline=True))
+            if outcome.ok:
+                assert outcome.summary is not None
+                self._complete(i, outcome.summary, keys[i], results, journal)
+                return
+            if outcome.kind == "timeout":
+                self.stats.timeouts += 1
+            if attempt > self.retries:
+                self._fail(i, keys[i], outcome.kind, outcome.error, attempt,
+                           outcome.elapsed_s, failures)
+                return
+            self.stats.retries += 1
+            self._backoff(attempt)
+            attempt += 1
+
+    def _execute_serial(self, work: Sequence[int],
+                        configs: Sequence[SystemConfig],
+                        keys: Sequence[Optional[str]],
+                        fault_keys: Sequence[str],
+                        results: List[Optional[SimulationSummary]],
+                        journal: Optional[CheckpointJournal],
+                        failures: List[FailureReport]) -> None:
+        for i in work:
+            if self.fail_fast and failures:
+                return
+            self._run_inline(i, 1, configs, keys, fault_keys, results,
+                             journal, failures)
+
+    # -- parallel ------------------------------------------------------
+    def _hard_timeout_s(self) -> Optional[float]:
+        """Parent-side watchdog deadline for one in-flight task: generous
+        multiple of the soft budget, so it only fires when a worker is
+        wedged beyond its own SIGALRM guard."""
+        if self.timeout_s is None:
+            return None
+        return self.timeout_s * self.hard_timeout_factor + 1.0
+
+    @staticmethod
+    def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+        """Forcibly retire a pool (used for wedged/broken pools and
+        interrupt cleanup; hung workers cannot be joined)."""
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+            processes = getattr(pool, "_processes", None) or {}
+            for process in list(processes.values()):
+                try:
+                    process.terminate()
+                except Exception:
+                    pass
+        except Exception:
+            pass
+
+    def _retry_or_fail(self, i: int, attempt: int, kind: str, error: str,
+                       elapsed_s: float,
+                       pending: "Deque[Tuple[int, int]]",
+                       keys: Sequence[Optional[str]],
+                       failures: List[FailureReport]) -> None:
+        if attempt <= self.retries:
+            self.stats.retries += 1
+            self._backoff(attempt)
+            pending.append((i, attempt + 1))
+        else:
+            self._fail(i, keys[i], kind, error, attempt, elapsed_s, failures)
+
+    def _execute_parallel(self, work: Sequence[int],
+                          configs: Sequence[SystemConfig],
+                          keys: Sequence[Optional[str]],
+                          fault_keys: Sequence[str],
+                          results: List[Optional[SimulationSummary]],
+                          journal: Optional[CheckpointJournal],
+                          failures: List[FailureReport]) -> None:
+        pending: Deque[Tuple[int, int]] = deque((i, 1) for i in work)
+        workers = min(self.jobs, len(work))
+        hard_s = self._hard_timeout_s()
+        tick_s = None if hard_s is None else max(0.05, min(0.5, hard_s / 4.0))
+        pool: Optional[ProcessPoolExecutor] = None
+        #: future -> (batch index, attempt, submission monotonic time)
+        in_flight: Dict["Future[_WorkerOutcome]", Tuple[int, int, float]] = {}
+        pool_failures = 0
+
+        def _abandon_pool() -> None:
+            nonlocal pool, pool_failures
+            if pool is not None:
+                self._terminate_pool(pool)
+                pool = None
+            pool_failures += 1
+            self.stats.pool_respawns += 1
+
+        try:
+            while pending or in_flight:
+                if self.fail_fast and failures:
+                    return
+                if pool_failures > self.max_pool_failures:
+                    # Graceful degradation: the pool keeps dying — finish
+                    # the remainder serially in-process.
+                    for future in in_flight:
+                        future.cancel()
+                    in_flight.clear()
+                    while pending:
+                        if self.fail_fast and failures:
+                            return
+                        i, attempt = pending.popleft()
+                        self._run_inline(i, attempt, configs, keys, fault_keys,
+                                         results, journal, failures)
+                    return
+                if pool is None and pending:
+                    pool = ProcessPoolExecutor(max_workers=workers,
+                                               initializer=_worker_init)
+                while pool is not None and pending and len(in_flight) < workers:
+                    i, attempt = pending.popleft()
+                    task = _WorkerTask(configs[i], fault_keys[i], attempt,
+                                       self.timeout_s, self.fault_plan)
+                    future = pool.submit(_execute_task, task)
+                    in_flight[future] = (i, attempt, time.monotonic())
+                if not in_flight:
+                    continue
+
+                done, _ = wait(set(in_flight), timeout=tick_s,
+                               return_when=FIRST_COMPLETED)
+                if not done:
+                    # Watchdog: a worker past the hard deadline is wedged
+                    # beyond its own SIGALRM guard — replace the pool.
+                    if hard_s is None:
+                        continue
+                    now = time.monotonic()
+                    wedged = {f for f, (_, _, t_sub) in in_flight.items()
+                              if now - t_sub > hard_s}
+                    if not wedged:
+                        continue
+                    _abandon_pool()
+                    for future, (i, attempt, t_sub) in list(in_flight.items()):
+                        if future in wedged:
+                            self.stats.timeouts += 1
+                            self._retry_or_fail(
+                                i, attempt, "timeout",
+                                "worker unresponsive past the hard deadline; "
+                                "pool replaced", now - t_sub, pending, keys,
+                                failures)
+                        else:
+                            self._retry_or_fail(
+                                i, attempt, "crash",
+                                "task lost when an unresponsive pool was "
+                                "replaced", now - t_sub, pending, keys,
+                                failures)
+                    in_flight.clear()
+                    continue
+
+                broken = False
+                for future in done:
+                    i, attempt, t_sub = in_flight.pop(future)
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        self._retry_or_fail(
+                            i, attempt, "crash",
+                            "worker process exited abnormally "
+                            "(BrokenProcessPool)",
+                            time.monotonic() - t_sub, pending, keys, failures)
+                        continue
+                    except KeyboardInterrupt:
+                        raise
+                    except Exception as exc:
+                        self._retry_or_fail(i, attempt, "error",
+                                            _format_chain(exc),
+                                            time.monotonic() - t_sub,
+                                            pending, keys, failures)
+                        continue
+                    if outcome.ok:
+                        assert outcome.summary is not None
+                        self._complete(i, outcome.summary, keys[i], results,
+                                       journal)
+                    else:
+                        if outcome.kind == "timeout":
+                            self.stats.timeouts += 1
+                        self._retry_or_fail(i, attempt, outcome.kind,
+                                            outcome.error, outcome.elapsed_s,
+                                            pending, keys, failures)
+                if broken:
+                    # The pool is dead: every other in-flight task is lost
+                    # with it.  Requeue only those (completed results are
+                    # already recorded), then respawn.
+                    for future, (i, attempt, t_sub) in list(in_flight.items()):
+                        self._retry_or_fail(
+                            i, attempt, "crash",
+                            "task lost when the process pool broke",
+                            time.monotonic() - t_sub, pending, keys, failures)
+                    in_flight.clear()
+                    _abandon_pool()
+        except BaseException:
+            if pool is not None:
+                self._terminate_pool(pool)
+                pool = None
+            raise
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
     def run_one(self, config: SystemConfig) -> SimulationSummary:
         return self.run_many([config])[0]
 
@@ -190,6 +793,12 @@ class SweepRunner:
         label = f"jobs={self.jobs}, {cache}"
         if self.check_invariants:
             label += ", invariants on"
+        if self.timeout_s is not None:
+            label += f", timeout={self.timeout_s:g}s"
+        if self.retries:
+            label += f", retries={self.retries}"
+        if self.resume:
+            label += ", resume"
         return label
 
 

@@ -258,6 +258,64 @@ class TestSuppressions:
 
 
 # ----------------------------------------------------------------------
+# RPR006 — pickle-safe pool submissions
+# ----------------------------------------------------------------------
+class TestRPR006:
+    def test_lambda_submission_fires(self):
+        out = lint_source("""
+            def run(pool, xs):
+                return [pool.submit(lambda x: x + 1, x) for x in xs]
+        """)
+        assert "RPR006" in codes(out)
+        assert "lambda" in [f for f in out if f.code == "RPR006"][0].message
+
+    def test_nested_def_submission_fires(self):
+        out = lint_source("""
+            def run(executor, xs):
+                def work(x):
+                    return x + 1
+                return list(executor.map(work, xs))
+        """)
+        assert codes(out) == ["RPR006"]
+        assert "work" in out[0].message
+
+    def test_module_level_function_is_clean(self):
+        assert lint_source("""
+            def work(x):
+                return x + 1
+
+            def run(pool, xs):
+                return [pool.submit(work, x) for x in xs]
+        """) == []
+
+    def test_attribute_receiver_matches(self):
+        out = lint_source("""
+            class Runner:
+                def go(self, xs):
+                    def work(x):
+                        return x
+                    return list(self.executor.map(work, xs))
+        """)
+        assert codes(out) == ["RPR006"]
+
+    def test_non_pool_receiver_is_clean(self):
+        # .map on arbitrary objects (e.g. pandas-style) must not fire.
+        assert lint_source("""
+            def run(series, xs):
+                return series.map(lambda x: x + 1)
+        """) == []
+
+    def test_fires_outside_result_affecting_scope(self):
+        # Pickle safety is a crash bug, not a determinism property: the
+        # rule applies to orchestration code too.
+        out = lint_source("""
+            def run(pool, xs):
+                return list(pool.map(lambda x: x, xs))
+        """, result_affecting=False)
+        assert codes(out) == ["RPR006"]
+
+
+# ----------------------------------------------------------------------
 # Broken input
 # ----------------------------------------------------------------------
 def test_syntax_error_becomes_finding():

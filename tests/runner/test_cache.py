@@ -56,6 +56,65 @@ class TestResultCache:
         assert cache.get(key) is None
         assert not path.exists()
 
+    def test_unreadable_entry_is_quarantined_not_deleted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = config_key(fast_config())
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        assert cache.get(key) is None
+        # The evidence moved to quarantine/ rather than being destroyed.
+        assert cache.quarantined_entries() == 1
+        parked = list(cache.quarantine_dir.glob("*.json"))
+        assert parked[0].read_text() == "{not json"
+        assert cache.stats.errors == 1
+        assert cache.stats.quarantined == 1
+        # Quarantined files are not cache entries.
+        assert len(cache) == 0
+
+    def test_repeat_quarantine_gets_unique_names(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = config_key(fast_config())
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        for _ in range(3):
+            path.write_text("{torn")
+            assert cache.get(key) is None
+        assert cache.quarantined_entries() == 3
+        assert cache.clear_quarantine() == 3
+        assert cache.quarantined_entries() == 0
+
+    def test_non_object_json_entry_is_uniform_miss(self, tmp_path):
+        # A JSON *list* parses fine but is not a valid entry: same path
+        # as truncated JSON (errors counter + quarantine + miss).
+        cache = ResultCache(tmp_path)
+        key = config_key(fast_config())
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps(["not", "an", "object"]))
+        assert cache.get(key) is None
+        assert cache.stats.errors == 1
+        assert cache.quarantined_entries() == 1
+
+    def test_stats_counters(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = config_key(fast_config())
+        assert cache.get(key) is None           # plain miss: no error
+        cache.put(key, _tiny_summary())
+        assert cache.get(key) is not None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.puts == 1
+        assert cache.stats.errors == 0
+        assert cache.stats.quarantined == 0
+
+    def test_put_is_atomic_no_temp_debris(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = config_key(fast_config())
+        cache.put(key, _tiny_summary())
+        shard = cache.path_for(key).parent
+        assert [p.name for p in shard.iterdir()] == [f"{key}.json"]
+
     def test_truncated_entry_self_heals_as_miss(self, tmp_path):
         """Crash-mid-write simulation: a torn (truncated) entry file must
         read as a miss, be removed, and accept a clean re-write."""

@@ -1,0 +1,125 @@
+"""CheckpointJournal: identity, round-trip, torn-tail tolerance."""
+
+import json
+
+from repro.runner.checkpoint import CheckpointJournal, sweep_id
+from repro.sim.system import run_simulation
+
+from ..conftest import fast_config
+
+
+def _summary(seed=1):
+    return run_simulation(fast_config(seed=seed, duration_us=40_000.0,
+                                      warmup_us=10_000.0))
+
+
+class TestSweepId:
+    def test_stable_and_order_sensitive(self):
+        keys = ["a" * 64, "b" * 64]
+        assert sweep_id(keys) == sweep_id(list(keys))
+        assert sweep_id(keys) != sweep_id(keys[::-1])
+        assert len(sweep_id(keys)) == 16
+
+    def test_uncacheable_slots_hash_as_empty(self):
+        assert sweep_id(["a", None]) == sweep_id(["a", ""])
+        assert sweep_id(["a", None]) != sweep_id(["a"])
+
+
+class TestJournalRoundTrip:
+    def test_record_then_load(self, tmp_path):
+        sid = sweep_id(["k1", "k2"])
+        journal = CheckpointJournal(tmp_path / "j.jsonl", sweep=sid, total=2)
+        journal.start(resume=False)
+        s1, s2 = _summary(1), _summary(2)
+        journal.record("k1", s1)
+        journal.record("k2", s2)
+        journal.sync()
+        journal.close()
+        assert journal.recorded == 2
+
+        reader = CheckpointJournal(tmp_path / "j.jsonl", sweep=sid)
+        assert reader.load() == {"k1": s1, "k2": s2}
+
+    def test_resume_appends(self, tmp_path):
+        sid = sweep_id(["k1", "k2"])
+        journal = CheckpointJournal(tmp_path / "j.jsonl", sweep=sid)
+        journal.start(resume=False)
+        journal.record("k1", _summary(1))
+        journal.close()
+
+        appender = CheckpointJournal(tmp_path / "j.jsonl", sweep=sid)
+        appender.start(resume=True)
+        appender.record("k2", _summary(2))
+        appender.close()
+        assert sorted(appender.load()) == ["k1", "k2"]
+
+    def test_record_after_close_is_noop(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "j.jsonl", sweep="s")
+        journal.start(resume=False)
+        journal.close()
+        journal.record("k", _summary())
+        assert journal.recorded == 0
+        assert not journal.is_open
+
+    def test_delete_removes_file(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "j.jsonl", sweep="s")
+        journal.start(resume=False)
+        journal.close()
+        assert journal.exists()
+        journal.delete()
+        assert not journal.exists()
+        journal.delete()  # idempotent
+
+
+class TestJournalTolerance:
+    def _journal_with_entries(self, tmp_path):
+        sid = sweep_id(["k1", "k2"])
+        journal = CheckpointJournal(tmp_path / "j.jsonl", sweep=sid)
+        journal.start(resume=False)
+        journal.record("k1", _summary(1))
+        journal.record("k2", _summary(2))
+        journal.close()
+        return journal
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        journal = self._journal_with_entries(tmp_path)
+        blob = journal.path.read_text()
+        # Truncate mid-way through the last line: k1 survives, k2 is lost.
+        journal.path.write_text(blob[: blob.rindex('{"key":"k2"') + 20])
+        assert sorted(journal.load()) == ["k1"]
+
+    def test_malformed_middle_line_is_skipped(self, tmp_path):
+        journal = self._journal_with_entries(tmp_path)
+        lines = journal.path.read_text().splitlines()
+        lines.insert(2, "not json at all")
+        lines.insert(2, json.dumps(["a", "list"]))
+        journal.path.write_text("\n".join(lines) + "\n")
+        assert sorted(journal.load()) == ["k1", "k2"]
+
+    def test_foreign_sweep_header_ignored_wholesale(self, tmp_path):
+        self._journal_with_entries(tmp_path)
+        other = CheckpointJournal(tmp_path / "j.jsonl", sweep="another-sweep")
+        assert other.load() == {}
+
+    def test_unknown_format_ignored_wholesale(self, tmp_path):
+        journal = self._journal_with_entries(tmp_path)
+        lines = journal.path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["format"] = 999
+        lines[0] = json.dumps(header)
+        journal.path.write_text("\n".join(lines) + "\n")
+        assert journal.load() == {}
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "absent.jsonl", sweep="s")
+        assert not journal.exists()
+        assert journal.load() == {}
+
+    def test_schema_drifted_summary_skipped(self, tmp_path):
+        journal = self._journal_with_entries(tmp_path)
+        lines = journal.path.read_text().splitlines()
+        entry = json.loads(lines[1])
+        del entry["summary"]["delay_ci_us"]
+        lines[1] = json.dumps(entry)
+        journal.path.write_text("\n".join(lines) + "\n")
+        assert sorted(journal.load()) == ["k2"]

@@ -53,6 +53,21 @@ class TestRunMany:
         assert runner.stats.executed == 2
         assert runner.stats.deduplicated == 1
 
+    def test_duplicate_keys_dedup_without_cache(self):
+        # Content keys are computed whether or not a cache is attached,
+        # so identical configs in one batch simulate once either way.
+        runner = SweepRunner(jobs=0, cache=None)
+        configs = [_tiny(seed=7), _tiny(seed=7), _tiny(seed=7)]
+        results = runner.run_many(configs)
+        assert results[0] == results[1] == results[2]
+        assert runner.stats.executed == 1
+        assert runner.stats.deduplicated == 2
+
+    def test_jobs_one_matches_serial_bitwise(self):
+        configs = [_tiny(seed=s) for s in (1, 2, 3)]
+        serial = SweepRunner(jobs=0).run_many(configs)
+        assert SweepRunner(jobs=1).run_many(configs) == serial
+
     def test_uncacheable_configs_still_run(self, tmp_path):
         from repro.core.policies import make_locking_policy
 

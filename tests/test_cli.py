@@ -37,6 +37,46 @@ class TestParser:
         assert args.no_cache is True
         assert args.cache_dir == "/tmp/c"
 
+    @pytest.mark.parametrize("argv", [
+        ["run", "e06"],
+        ["all"],
+        ["verify", "check"],
+    ])
+    def test_fault_tolerance_flag_defaults(self, argv):
+        args = build_parser().parse_args(argv)
+        assert args.timeout is None
+        assert args.retries == 0
+        assert args.resume is False
+        assert args.fail_fast is False
+
+    def test_fault_tolerance_flags_parse(self):
+        args = build_parser().parse_args(
+            ["all", "--timeout", "120", "--retries", "3", "--resume",
+             "--fail-fast"])
+        assert args.timeout == 120.0
+        assert args.retries == 3
+        assert args.resume is True
+        assert args.fail_fast is True
+
+    def test_fault_tolerance_flags_reach_the_runner(self):
+        from repro.cli import _make_runner
+
+        args = build_parser().parse_args(
+            ["all", "--timeout", "60", "--retries", "2", "--resume",
+             "--no-cache"])
+        runner = _make_runner(args)
+        assert runner.timeout_s == 60.0
+        assert runner.retries == 2
+        assert runner.resume is True
+        assert runner.fail_fast is False
+
+    def test_faults_subcommand_parses(self):
+        args = build_parser().parse_args(["faults"])
+        assert args.seed == 1 and args.jobs == 2 and args.workdir is None
+        args = build_parser().parse_args(
+            ["faults", "--seed", "9", "--jobs", "4", "--workdir", "/tmp/w"])
+        assert args.seed == 9 and args.jobs == 4 and args.workdir == "/tmp/w"
+
     def test_with_extras_flag(self):
         assert build_parser().parse_args(["all", "--with-extras"]).with_extras
         assert build_parser().parse_args(["csv", "o", "--with-extras"]).with_extras
@@ -152,6 +192,18 @@ class TestCacheCommand:
         assert main(["cache", "--cache-dir", str(tmp_path), "--clear"]) == 0
         assert "cleared 1" in capsys.readouterr().out
         assert len(ResultCache(tmp_path)) == 0
+
+    def test_reports_quarantined_entries(self, tmp_path, capsys):
+        from repro.runner import ResultCache
+
+        cache = ResultCache(tmp_path)
+        path = cache.path_for("ab" + "0" * 62)
+        path.parent.mkdir(parents=True)
+        path.write_text("{torn")
+        assert cache.get("ab" + "0" * 62) is None  # quarantines it
+        assert main(["cache", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined: 1" in out
 
 
 class TestVerifyCommand:
