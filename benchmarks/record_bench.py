@@ -5,17 +5,21 @@ PR-over-PR::
 
     PYTHONPATH=src python benchmarks/record_bench.py
 
-The file has four sections:
+The file has five sections:
 
 ``baseline``
     The pre-overhaul measurement (commit ``af16703``, frozen — never
     rewritten by this script) that the hot-path PR's >=3x claim is
     measured against.
+``baseline_pr4``
+    The scalar hot-path overhaul's numbers (commit ``13cf1ab``, frozen)
+    — the per-event-dispatch core at its fastest, i.e. the reference the
+    batched engine's speedup is measured against.
 ``current``
     Best-of-N measurement of the checked-out tree on this machine,
     refreshed on every invocation.
-``workload``
-    The exact configuration both sections were measured with.
+``workloads``
+    The exact configurations the cases were measured with.
 ``runner_overhead``
     Happy-path cost of the fault-tolerant sweep runner (timeouts,
     retries, checkpoint plumbing armed, no faults firing) vs a bare
@@ -34,7 +38,7 @@ import subprocess
 import sys
 from typing import Any, Dict
 
-from bench_hotpath import BENCH_JSON, WORKLOAD, report
+from bench_hotpath import BENCH_JSON, WORKLOADS, report
 from bench_runner import measure_overhead
 
 #: Frozen pre-overhaul reference (commit af16703, same machine/workload
@@ -55,6 +59,24 @@ BASELINE: Dict[str, Any] = {
     },
 }
 
+#: Frozen scalar hot-path reference (commit 13cf1ab: the per-event
+#: dispatch core after the PR-4 overhaul, before the batched engine).
+#: Same machine/workload as BASELINE.
+BASELINE_PR4: Dict[str, Any] = {
+    "commit": "13cf1ab",
+    "note": "scalar per-event core after the hot-path overhaul (best of 5)",
+    "locking/mru": {
+        "elapsed_s": 0.0910,
+        "events_per_sec": 221_703.0,
+        "us_per_packet": 9.02,
+    },
+    "ips/ips-mru": {
+        "elapsed_s": 0.0800,
+        "events_per_sec": 252_366.0,
+        "us_per_packet": 7.92,
+    },
+}
+
 
 def current_commit() -> str:
     try:
@@ -70,8 +92,9 @@ def main(repeats: int = 5) -> int:
     rows = report(repeats=repeats)
     overhead = measure_overhead(repeats=7)
     payload: Dict[str, Any] = {
-        "workload": WORKLOAD,
+        "workloads": WORKLOADS,
         "baseline": BASELINE,
+        "baseline_pr4": BASELINE_PR4,
         "current": {
             "commit": current_commit(),
             **{case: row for case, row in rows.items()},
@@ -81,12 +104,19 @@ def main(repeats: int = 5) -> int:
             for case in rows
             if case in BASELINE
         },
+        "speedup_vs_pr4": {
+            case: round(
+                BASELINE_PR4[case]["elapsed_s"] / rows[case]["elapsed_s"], 3
+            )
+            for case in rows
+            if case in BASELINE_PR4
+        },
         "runner_overhead": overhead,
     }
     BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"[record_bench] wrote {BENCH_JSON}")
-    for case, speedup in payload["speedup_vs_baseline"].items():
-        print(f"[record_bench] {case}: {speedup}x vs baseline")
+    for case, speedup in payload["speedup_vs_pr4"].items():
+        print(f"[record_bench] {case}: {speedup}x vs PR-4 scalar core")
     print(f"[record_bench] runner overhead: {overhead['overhead_pct']}% "
           f"(raw {overhead['raw_s']}s vs hardened {overhead['runner_s']}s)")
     return 0

@@ -1,0 +1,138 @@
+"""Opt-in compiled batch kernels (``REPRO_KERNEL=numba``).
+
+The pure-python/NumPy batch paths in :mod:`repro.core.exec_model` are the
+reference implementation and the only ones that count toward the
+performance floor.  This module optionally supplies a numba-compiled
+per-unique-count reload-penalty kernel behind the ``REPRO_KERNEL``
+environment variable:
+
+``off`` (default, also ``""``/``python``)
+    Never compile anything; the pure-python path runs.
+``numba``
+    Require numba; raise at model construction if it is not importable.
+``auto``
+    Use numba when importable, silently fall back otherwise.
+
+The kernel replicates the inlined two-level flush math of
+``ExecutionTimeModel._pen1`` statement for statement with ``fastmath``
+disabled, so on platforms where numba's libm bindings match CPython's it
+is bit-identical; the validation test asserts exact equality and is
+skipped when numba is absent.  The kernel is only built when both cache
+levels are direct-mapped (the same precondition as the scalar fast path).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["kernel_mode", "maybe_build_penalty_kernel"]
+
+#: Environment variable selecting the compiled-kernel backend.
+KERNEL_ENV = "REPRO_KERNEL"
+
+#: Five-tuple of per-level constants: (split, c0, slope, u1, log1m_p).
+LevelConstants = Tuple[float, float, float, float, float]
+
+#: refs array (float64, finite and positive entries mixed with 0/inf) ->
+#: per-count reload penalties (float64).
+PenaltyKernel = Callable[[np.ndarray], np.ndarray]
+
+
+def kernel_mode() -> str:
+    """Normalized ``REPRO_KERNEL`` value (``off``/``numba``/``auto``)."""
+    raw = os.environ.get(KERNEL_ENV, "off").strip().lower()
+    if raw in ("", "off", "python"):
+        return "off"
+    if raw in ("numba", "auto"):
+        return raw
+    raise ValueError(
+        f"{KERNEL_ENV}={raw!r} is not recognized "
+        "(expected 'off', 'python', 'numba' or 'auto')"
+    )
+
+
+def maybe_build_penalty_kernel(
+    fast_l1: Optional[LevelConstants],
+    fast_l2: Optional[LevelConstants],
+    delta1: float,
+    delta2: float,
+) -> Optional[PenaltyKernel]:
+    """Build the compiled penalty kernel if requested and possible.
+
+    Returns ``None`` when the kernel is off, unavailable (``auto``), or
+    inapplicable (non-direct-mapped hierarchy — the exact NumPy path must
+    run instead).  Raises when ``REPRO_KERNEL=numba`` is set but numba is
+    not importable, so an explicit opt-in never silently degrades.
+    """
+    mode = kernel_mode()
+    if mode == "off":
+        return None
+    if fast_l1 is None or fast_l2 is None:
+        # Higher-associativity hierarchies use the exact vectorized path;
+        # compiling would change which code computes the flush fractions.
+        return None
+    try:
+        import numba
+    except ImportError:
+        if mode == "numba":
+            raise RuntimeError(
+                f"{KERNEL_ENV}=numba requires the numba package, which is "
+                "not installed in this environment; unset the variable or "
+                f"use {KERNEL_ENV}=auto to fall back to the pure-python "
+                "kernel"
+            ) from None
+        return None
+    return _build_numba_kernel(numba, fast_l1, fast_l2, delta1, delta2)
+
+
+def _build_numba_kernel(
+    numba,  # type: ignore[no-untyped-def]
+    fast_l1: LevelConstants,
+    fast_l2: LevelConstants,
+    delta1: float,
+    delta2: float,
+) -> PenaltyKernel:
+    import math
+
+    split1, c01, slope1, u11, log1m_p1 = fast_l1
+    split2, c02, slope2, u12, log1m_p2 = fast_l2
+    pen_cold = delta1 + delta2
+
+    @numba.njit(cache=False, fastmath=False)  # type: ignore[misc]
+    def penalty_kernel(refs: np.ndarray) -> np.ndarray:
+        out = np.empty(refs.shape[0], dtype=np.float64)
+        for i in range(refs.shape[0]):
+            count = refs[i]
+            if count == 0.0:
+                out[i] = 0.0
+                continue
+            if count == np.inf:
+                out[i] = pen_cold
+                continue
+            r = count * split1
+            if r < 1.0:
+                u = r * u11
+            else:
+                u = 10.0 ** (c01 + slope1 * math.log10(r))
+            if u > r:
+                u = r
+            f = -math.expm1(u * log1m_p1)
+            f1 = 1.0 if f > 1.0 else (0.0 if f < 0.0 else f)
+            r = count * split2
+            if r < 1.0:
+                u = r * u12
+            else:
+                u = 10.0 ** (c02 + slope2 * math.log10(r))
+            if u > r:
+                u = r
+            f = -math.expm1(u * log1m_p2)
+            f2 = 1.0 if f > 1.0 else (0.0 if f < 0.0 else f)
+            out[i] = f1 * delta1 + f2 * delta2
+        return out
+
+    # Warm the JIT once so per-batch calls never pay compilation.
+    penalty_kernel(np.array([0.0, 1.0, np.inf]))
+    return penalty_kernel  # type: ignore[no-any-return]

@@ -14,6 +14,10 @@ RPR004  cache-key hygiene — every SystemConfig field acknowledged in
         runner/keys.py (content key or observability exclusion)
 RPR005  registry/golden conformance — every experiment registered and
         golden-covered
+RPR006  pickle safety — pool submission targets are module-level
+        functions
+RPR007  hot-path batching — no per-event scalar dispatch inside the
+        batched-engine modules
 ======  ==============================================================
 
 Run via ``repro lint [--select CODES] [--ignore CODES] [paths]``; suppress

@@ -26,6 +26,8 @@ from typing import Tuple
 
 __all__ = [
     "FORBIDDEN_WALLCLOCK",
+    "HOT_PATH_BATCH_RELPATHS",
+    "HOT_PATH_SCALAR_CALLS",
     "NUMPY_RANDOM_PREFIX",
     "RESULT_AFFECTING_PREFIXES",
     "RNG_EXEMPT_RELPATHS",
@@ -56,6 +58,32 @@ RESULT_AFFECTING_PREFIXES: Tuple[str, ...] = (
 
 #: Files allowed to construct RNGs: the one blessed seed-derivation point.
 RNG_EXEMPT_RELPATHS: Tuple[str, ...] = ("sim/rng.py",)
+
+#: Package-relative paths of the *batched* hot path: modules whose whole
+#: point is to amortize per-event Python dispatch.  Re-introducing a
+#: per-packet scalar call there (one model call or calendar insertion per
+#: packet) silently undoes the batching win while remaining perfectly
+#: correct — exactly the class of regression a reviewer won't spot in a
+#: diff, so RPR007 makes the linter spot it.
+HOT_PATH_BATCH_RELPATHS: Tuple[str, ...] = ("sim/batch.py",)
+
+#: Method/function names that mark per-event scalar dispatch when called
+#: inside a hot-path batch module.  The fused core must use the batch
+#: APIs (``component_penalty_us_batch``, ``exec_times_batch``,
+#: ``extend_columns``/``fold_batch_counts``) or operate on the calendar
+#: wholesale at fold-back; per-packet scheduling and per-packet model or
+#: metrics calls are banned.
+HOT_PATH_SCALAR_CALLS: Tuple[str, ...] = (
+    "component_penalty_us",
+    "execution_time_us",
+    "execution_time_scalar",
+    "schedule",
+    "schedule_call",
+    "schedule_record",
+    "at_call",
+    "on_arrival",
+    "on_completion",
+)
 
 #: Resolved dotted call targets that read ambient time/entropy.  These are
 #: forbidden in result-affecting code; ``time.perf_counter`` & friends are

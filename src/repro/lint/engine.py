@@ -1,7 +1,8 @@
 """Discovery, filtering and reporting: the ``repro lint`` driver.
 
 :func:`lint_paths` walks the requested files/directories, runs the
-per-file rules (RPR001–003) on each ``.py`` file, applies inline
+per-file rules (RPR001–003, RPR006, and RPR007 on hot-path batch
+modules) on each ``.py`` file, applies inline
 suppression comments and ``--select``/``--ignore`` filters, and — when the
 lint targets include ``sim/system.py`` (i.e. the package itself is being
 linted, not an isolated fixture) — runs the project-level cross-checks
@@ -14,6 +15,7 @@ from pathlib import Path
 from typing import FrozenSet, Iterable, List, Optional, Sequence
 
 from .config import (
+    HOT_PATH_BATCH_RELPATHS,
     RNG_EXEMPT_RELPATHS,
     default_package_root,
     default_repo_root,
@@ -81,6 +83,7 @@ def lint_file(path: Path, *, package_root: Optional[Path] = None,
         str(path), source,
         result_affecting=is_result_affecting(relpath),
         rng_exempt=relpath in RNG_EXEMPT_RELPATHS,
+        hot_path=relpath in HOT_PATH_BATCH_RELPATHS,
     )
     suppressions = suppressed_codes(source)
     return [f for f in findings

@@ -28,6 +28,9 @@ RULES: Dict[str, str] = {
     "RPR006": "pickle: a process-pool submission target must be a "
               "module-level function (lambdas and nested defs break worker "
               "dispatch or silently run serially)",
+    "RPR007": "hot-path: per-event scalar dispatch (per-packet model call, "
+              "metrics hook or calendar insertion) inside a batched hot-path "
+              "module; use the batch APIs",
 }
 
 

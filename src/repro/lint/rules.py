@@ -1,5 +1,6 @@
 """Per-file AST rules: RPR001 (determinism), RPR002 (ordering),
-RPR003 (units), RPR006 (pickle-safe pool submissions).
+RPR003 (units), RPR006 (pickle-safe pool submissions), RPR007
+(no per-event scalar dispatch in batched hot-path modules).
 
 Each rule is an :class:`ast.NodeVisitor` producing :class:`Finding`
 objects.  They share :class:`ImportTable`, a whole-module import-alias
@@ -25,6 +26,16 @@ targets, loop targets, fields) — call sites inherit discipline from their
 definitions — and flags ``+``/``-`` between operands whose names carry
 *different* unit suffixes.
 
+RPR007 guards the batched engine's reason to exist: inside the modules
+listed in ``HOT_PATH_BATCH_RELPATHS``, a call to one of the per-event
+scalar APIs (``component_penalty_us``, ``schedule_call``, the metrics
+hooks, ...) is flagged even though it would be perfectly *correct* — one
+scalar model call or calendar insertion per packet quietly reverts the
+array core to per-event dispatch, which no functional test can catch.
+Matched by attribute/function name (the hot-path modules are few and
+idiomatic, so name matching is precise there); legitimate exceptions
+carry a suppression comment explaining why.
+
 RPR006 keeps worker entrypoints pickle-safe: anything handed to a
 process pool's ``submit``/``map`` must be a module-level function.  A
 lambda or a function nested inside another function cannot be pickled to
@@ -42,6 +53,7 @@ from typing import Dict, List, Optional, Set, Tuple, Union
 
 from .config import (
     FORBIDDEN_WALLCLOCK,
+    HOT_PATH_SCALAR_CALLS,
     NUMPY_RANDOM_PREFIX,
     TIME_WORDS,
     UNIT_SUFFIXES,
@@ -52,6 +64,7 @@ from .findings import Finding
 __all__ = [
     "ImportTable",
     "DeterminismRule",
+    "HotPathBatchRule",
     "OrderingRule",
     "PickleSafetyRule",
     "UnitsRule",
@@ -494,10 +507,42 @@ class PickleSafetyRule(_BaseRule):
 
 
 # ----------------------------------------------------------------------
+# RPR007 — no per-event scalar dispatch in batched hot-path modules
+# ----------------------------------------------------------------------
+class HotPathBatchRule(_BaseRule):
+    """Flag calls to per-event scalar APIs inside modules whose purpose
+    is batched/array execution (``HOT_PATH_BATCH_RELPATHS``).
+
+    A per-packet ``model.component_penalty_us(...)`` or
+    ``sim.schedule_call(...)`` in the fused core is functionally
+    indistinguishable from the batch path (bit-identity is the core's
+    contract), so only a structural rule can keep the O(events) Python
+    dispatch from creeping back in.
+    """
+
+    _BANNED = frozenset(HOT_PATH_SCALAR_CALLS)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        name: Optional[str] = None
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+        elif isinstance(func, ast.Name):
+            name = func.id
+        if name in self._BANNED:
+            self.emit(node, "RPR007",
+                      f"per-event scalar call {name}() in a batched hot-path "
+                      "module; use the batch APIs (component_penalty_us_batch, "
+                      "exec_times_batch, extend_columns) or fold wholesale at "
+                      "the end of the run")
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
 # Driver for one file
 # ----------------------------------------------------------------------
 def run_file_rules(path: str, source: str, *, result_affecting: bool,
-                   rng_exempt: bool) -> List[Finding]:
+                   rng_exempt: bool, hot_path: bool = False) -> List[Finding]:
     """Parse ``source`` and run every per-file rule; syntax errors become a
     single pseudo-finding so a broken file fails loudly rather than
     silently passing."""
@@ -509,8 +554,11 @@ def run_file_rules(path: str, source: str, *, result_affecting: bool,
                         message=f"syntax error: {exc.msg}")]
     imports = ImportTable(tree)
     findings: List[Finding] = []
-    for rule_cls in (DeterminismRule, OrderingRule, UnitsRule,
-                     PickleSafetyRule):
+    rule_classes: List[type] = [DeterminismRule, OrderingRule, UnitsRule,
+                                PickleSafetyRule]
+    if hot_path:
+        rule_classes.append(HotPathBatchRule)
+    for rule_cls in rule_classes:
         rule = rule_cls(path, imports, result_affecting, rng_exempt)
         rule.visit(tree)
         findings.extend(rule.findings)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -95,28 +95,43 @@ class MetricsCollector:
     removal); the arrival counter still includes them so offered load is
     reported exactly.
 
-    Storage is row-tuples: the per-completion hot path appends one plain
-    tuple per packet (a :class:`PacketRecord` costs ~7 slow
-    frozen-dataclass ``__setattr__`` calls; seven parallel-list appends
-    cost seven method calls), and :meth:`summarize` unzips the rows into
-    its NumPy arrays.  The :attr:`records` view materializes the record
+    Storage is columnar with a block-flushed staging buffer: the
+    per-completion hot path appends one plain row tuple to a small block
+    (a :class:`PacketRecord` costs ~7 slow frozen-dataclass
+    ``__setattr__`` calls; a tuple build plus one append costs two), and
+    every :data:`_BLOCK_ROWS` completions the block is transposed into
+    seven parallel column lists in one ``zip(*block)`` pass.  The batched
+    engine bypasses the staging buffer entirely via
+    :meth:`extend_columns`.  :meth:`summarize` reads the columns straight
+    into its NumPy arrays; the :attr:`records` view materializes record
     objects lazily for analysis and tests.
     """
 
-    #: Row layout (must match PacketRecord field order).
+    #: Column layout (must match PacketRecord field order).
     _ROW_FIELDS = (
         "stream_id", "arrival_us", "service_start_us", "completion_us",
         "exec_time_us", "lock_wait_us", "processor_id",
     )
 
+    #: Staging-block flush threshold (rows).
+    _BLOCK_ROWS = 4096
+
     def __init__(self, warmup_us: float = 0.0) -> None:
         if warmup_us < 0:
             raise ValueError("warmup_us must be non-negative")
         self.warmup_us = warmup_us
-        self._rows: List[Tuple[int, float, float, float, float, float, int]] = []
+        # Columnar store (flushed) + row-tuple staging block (hot appends).
+        self._col_stream: List[int] = []
+        self._col_arrival: List[float] = []
+        self._col_start: List[float] = []
+        self._col_completion: List[float] = []
+        self._col_exec: List[float] = []
+        self._col_lock_wait: List[float] = []
+        self._col_proc: List[int] = []
+        self._block: List[Tuple[int, float, float, float, float, float, int]] = []
         # Bound append: the completion hot path calls this once per packet
-        # (the list is never rebound).
-        self._append_row = self._rows.append
+        # (the list is never rebound; flushes clear it in place).
+        self._append_row = self._block.append
         self._records_cache: Optional[List[PacketRecord]] = None
         self.arrivals: int = 0
         self.completions: int = 0
@@ -146,18 +161,87 @@ class MetricsCollector:
                 packet.lock_wait_us,
                 packet.processor_id,
             ))
+            if len(self._block) >= self._BLOCK_ROWS:
+                self._flush_block()
+
+    def _flush_block(self) -> None:
+        """Transpose the staging block into the column lists."""
+        block = self._block
+        if not block:
+            return
+        (stream, arrival, start, completion, exec_, lock_wait_us, proc) = zip(*block)
+        self._col_stream.extend(stream)
+        self._col_arrival.extend(arrival)
+        self._col_start.extend(start)
+        self._col_completion.extend(completion)
+        self._col_exec.extend(exec_)
+        self._col_lock_wait.extend(lock_wait_us)
+        self._col_proc.extend(proc)
+        block.clear()
+
+    # ------------------------------------------------------------------
+    # Batched-engine hooks
+    # ------------------------------------------------------------------
+    def extend_columns(
+        self,
+        stream_ids: Sequence[int],
+        arrivals_us: Sequence[float],
+        starts_us: Sequence[float],
+        completions_us: Sequence[float],
+        execs_us: Sequence[float],
+        lock_waits_us: Sequence[float],
+        proc_ids: Sequence[int],
+    ) -> None:
+        """Append one block of already-filtered completion rows.
+
+        Used by the batched engine, which accumulates post-warmup rows in
+        its own column buffers and flushes them here in one call.  Callers
+        are responsible for warmup filtering and for folding the
+        ``arrivals``/``completions``/backlog counters separately.
+        """
+        self._flush_block()
+        self._col_stream.extend(stream_ids)
+        self._col_arrival.extend(arrivals_us)
+        self._col_start.extend(starts_us)
+        self._col_completion.extend(completions_us)
+        self._col_exec.extend(execs_us)
+        self._col_lock_wait.extend(lock_waits_us)
+        self._col_proc.extend(proc_ids)
+
+    def fold_batch_counts(
+        self, n_arrivals: int, n_completions: int,
+        backlog: int, max_backlog: int,
+    ) -> None:
+        """Fold externally tracked counters (batched engine: arrivals,
+        completions and the backlog high-water mark are tracked as loop
+        locals, not via per-packet hook calls)."""
+        self.arrivals += n_arrivals
+        self.completions += n_completions
+        self._backlog = backlog
+        if max_backlog > self.max_backlog:
+            self.max_backlog = max_backlog
+
+    @property
+    def n_recorded(self) -> int:
+        """Post-warmup completion rows recorded so far."""
+        return len(self._col_stream) + len(self._block)
 
     @property
     def records(self) -> List[PacketRecord]:
-        """Per-packet records (lazily materialized from the rows).
+        """Per-packet records (lazily materialized from the columns).
 
-        Rows are append-only, so a stale cache is detected by length
+        Columns are append-only, so a stale cache is detected by length
         alone — the hot completion path never touches the cache.
         """
+        self._flush_block()
         cache = self._records_cache
-        if cache is None or len(cache) != len(self._rows):
+        if cache is None or len(cache) != len(self._col_stream):
             self._records_cache = [
-                PacketRecord(*row) for row in self._rows
+                PacketRecord(*row) for row in zip(
+                    self._col_stream, self._col_arrival, self._col_start,
+                    self._col_completion, self._col_exec,
+                    self._col_lock_wait, self._col_proc,
+                )
             ]
         return self._records_cache
 
@@ -184,7 +268,8 @@ class MetricsCollector:
         n_batches: int = 20,
     ) -> SimulationSummary:
         """Build the run summary (delays in µs, rates in packets/second)."""
-        if not self._rows:
+        self._flush_block()
+        if not self._col_stream:
             nan = math.nan
             return SimulationSummary(
                 n_packets=0, duration_us=duration_us, mean_delay_us=nan,
@@ -197,19 +282,20 @@ class MetricsCollector:
             )
         # Elementwise float64 subtraction equals the historical per-record
         # Python-float subtraction bit for bit (both are IEEE doubles).
-        (stream_col, arrival_col_us, start_col_us, completion_col_us,
-         exec_col_us, lock_wait_col_us, _proc_col) = zip(*self._rows)
-        arrivals_us = np.array(arrival_col_us)
-        delays_us = np.array(completion_col_us) - arrivals_us
-        queueing_us = np.array(start_col_us) - arrivals_us
-        execs = np.array(exec_col_us)
-        lock_waits_us = np.array(lock_wait_col_us)
+        arrivals_us = np.array(self._col_arrival)
+        delays_us = np.array(self._col_completion) - arrivals_us
+        queueing_us = np.array(self._col_start) - arrivals_us
+        execs = np.array(self._col_exec)
+        lock_waits_us = np.array(self._col_lock_wait)
         mean_delay_us = float(delays_us.mean())
+        # One shared sort/partition for all three quantiles; each result
+        # equals the corresponding single-quantile call bit for bit.
+        p50, p95, p99 = np.percentile(delays_us, (50.0, 95.0, 99.0))
         ci = batch_means_ci(delays_us, n_batches=n_batches)
         measured_span = duration_us - self.warmup_us
         throughput_pps = len(delays_us) / measured_span * 1e6 if measured_span > 0 else 0.0
         per_stream: Dict[int, float] = {}
-        stream_ids = np.array(stream_col)
+        stream_ids = np.array(self._col_stream)
         for sid in np.unique(stream_ids):
             per_stream[int(sid)] = float(delays_us[stream_ids == sid].mean())
         return SimulationSummary(
@@ -220,9 +306,9 @@ class MetricsCollector:
             mean_queueing_us=float(queueing_us.mean()),
             mean_exec_us=float(execs.mean()),
             mean_lock_wait_us=float(lock_waits_us.mean()),
-            p50_delay_us=float(np.percentile(delays_us, 50)),
-            p95_delay_us=float(np.percentile(delays_us, 95)),
-            p99_delay_us=float(np.percentile(delays_us, 99)),
+            p50_delay_us=float(p50),
+            p95_delay_us=float(p95),
+            p99_delay_us=float(p99),
             throughput_pps=throughput_pps,
             offered_rate_pps=offered_rate_pps,
             utilization_per_proc=utilization_per_proc,

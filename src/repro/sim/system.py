@@ -44,6 +44,7 @@ from ..verify.invariants import InvariantChecker
 from ..workloads.arrivals import ArrivalProcess, PoissonArrivals
 from ..workloads.sessions import SessionChurnSpec
 from ..workloads.traffic import FixedSize, TrafficSpec
+from . import batch
 from .dispatch import IPSDispatcher, LockingDispatcher
 from .engine import EVENT_ARRIVAL, EVENT_SESSION, Event, Simulator
 from .entities import Packet, ProcessorState
@@ -360,8 +361,21 @@ class NetworkProcessingSystem:
         if self._ran:
             raise RuntimeError("a NetworkProcessingSystem instance is single-use")
         self._ran = True
-        self._start_arrivals()
-        self.sim.run_until(self.config.duration_us)
+        mode = batch.engine_mode()
+        reason = "scalar engine forced" if mode == "scalar" else None
+        if reason is None:
+            reason = batch.unsupported_reason(self)
+            if reason is None:
+                batch.run_fused(self)
+            elif mode == "batched":
+                raise RuntimeError(
+                    f"{batch.ENGINE_ENV}=batched was requested but this "
+                    f"configuration is not supported by the fused core: "
+                    f"{reason}"
+                )
+        if reason is not None:
+            self._start_arrivals()
+            self.sim.run_until(self.config.duration_us)
         if self.invariants is not None:
             self.invariants.at_end(
                 self.metrics, self.dispatcher.queued(), self.processors

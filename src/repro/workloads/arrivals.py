@@ -21,6 +21,7 @@ from typing import Iterator, List, Optional, Tuple
 import numpy as np
 
 __all__ = [
+    "ArrivalArrayChunk",
     "ArrivalBatch",
     "ArrivalChunk",
     "ArrivalProcess",
@@ -43,6 +44,11 @@ ArrivalBatch = Tuple[float, int]
 #: ``None`` size list means "every batch is a single packet" (the common
 #: case, spared a list of ones).
 ArrivalChunk = Tuple[List[float], Optional[List[int]]]
+
+#: Array-valued chunk (``float64`` gaps, optional integer sizes) for the
+#: batched engine's vectorized merge; same bit-identity contract as
+#: :data:`ArrivalChunk`.
+ArrivalArrayChunk = Tuple[np.ndarray, Optional[np.ndarray]]
 
 
 class ArrivalProcess(ABC):
@@ -83,6 +89,26 @@ class ArrivalProcess(ABC):
             if size != 1:
                 all_single = False
         return gaps, (None if all_single else sizes)
+
+    def next_batches_array(self, n: int) -> ArrivalArrayChunk:
+        """Array-valued variant of :meth:`next_batches`.
+
+        Returns ``(gaps_us, batch_sizes)`` as a ``float64`` array and an
+        optional integer array (``None`` when every batch is a single
+        packet).  Same contract as :meth:`next_batches`: the concatenated
+        chunks must reproduce the event-by-event draw sequence value for
+        value — this is the block form the batched engine core
+        (:mod:`repro.sim.batch`) consumes, merging streams with vectorized
+        cumulative sums instead of per-event scheduling.  The default
+        implementation wraps :meth:`next_batches` (list and array carry
+        the identical float64 values); samplers whose bulk NumPy draws are
+        stream-equivalent override it to skip the list round-trip.
+        """
+        gaps, sizes = self.next_batches(n)
+        return (
+            np.asarray(gaps, dtype=np.float64),
+            None if sizes is None else np.asarray(sizes, dtype=np.int64),
+        )
 
     def iter_batches(self, horizon_us: float) -> Iterator[Tuple[float, int]]:
         """Yield ``(absolute_time_us, batch_size)`` up to a horizon."""
@@ -134,6 +160,13 @@ class PoissonArrivals(ArrivalProcess):
         if n <= 0:
             raise ValueError("n must be positive")
         return self._rng.exponential(self._mean_gap_us, n).tolist(), None
+
+    def next_batches_array(self, n: int) -> ArrivalArrayChunk:
+        """Vectorized array pregeneration (same draws as
+        :meth:`next_batches`, without the ``tolist`` round-trip)."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        return self._rng.exponential(self._mean_gap_us, n), None
 
 
 @dataclass(frozen=True)

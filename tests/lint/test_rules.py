@@ -14,11 +14,13 @@ from repro.lint.rules import run_file_rules
 from repro.lint.suppressions import is_suppressed, suppressed_codes
 
 
-def lint_source(source, *, result_affecting=True, rng_exempt=False):
+def lint_source(source, *, result_affecting=True, rng_exempt=False,
+                hot_path=False):
     source = textwrap.dedent(source)
     findings = run_file_rules("snippet.py", source,
                               result_affecting=result_affecting,
-                              rng_exempt=rng_exempt)
+                              rng_exempt=rng_exempt,
+                              hot_path=hot_path)
     supp = suppressed_codes(source)
     return [f for f in findings if not is_suppressed(supp, f.line, f.code)]
 
@@ -313,6 +315,58 @@ class TestRPR006:
                 return list(pool.map(lambda x: x, xs))
         """, result_affecting=False)
         assert codes(out) == ["RPR006"]
+
+
+# ----------------------------------------------------------------------
+# RPR007 — no per-event scalar dispatch in batched hot-path modules
+# ----------------------------------------------------------------------
+class TestRPR007:
+    def test_scalar_model_call_fires_in_hot_path(self):
+        out = lint_source("""
+            def dispatch(model, state):
+                return model.component_penalty_us(state)
+        """, hot_path=True)
+        assert codes(out) == ["RPR007"]
+        assert "component_penalty_us" in out[0].message
+
+    def test_per_packet_scheduling_fires_in_hot_path(self):
+        out = lint_source("""
+            def arrival(sim, fn, pkt):
+                sim.schedule_call(0.0, fn, pkt)
+        """, hot_path=True)
+        assert codes(out) == ["RPR007"]
+
+    def test_metrics_hook_fires_in_hot_path(self):
+        out = lint_source("""
+            def record(metrics, pkt):
+                metrics.on_completion(pkt)
+        """, hot_path=True)
+        assert codes(out) == ["RPR007"]
+
+    def test_batch_apis_are_clean_in_hot_path(self):
+        assert lint_source("""
+            def fold(model, metrics, code, stream, thread, shared, cols):
+                pen = model.component_penalties_array(
+                    code, stream, thread, shared)
+                metrics.extend_columns(*cols)
+                metrics.fold_batch_counts(1, 1, 0, 0)
+                return pen
+        """, hot_path=True) == []
+
+    def test_same_calls_are_clean_outside_hot_path(self):
+        # The scalar engine's per-event calls are its job, not a finding.
+        assert lint_source("""
+            def dispatch(model, sim, fn, state, pkt):
+                sim.schedule_call(0.0, fn, pkt)
+                return model.component_penalty_us(state)
+        """, hot_path=False) == []
+
+    def test_suppression_comment_is_honored(self):
+        out = lint_source("""
+            def edge(sim, fn, pkt):
+                sim.schedule_call(0.0, fn, pkt)  # repro-lint: ignore[RPR007] fold-back edge
+        """, hot_path=True)
+        assert out == []
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,336 @@
+"""Property tests: the batched execution paths equal the scalar ones.
+
+Three layers, matching the batching architecture (``docs/PERFORMANCE.md``):
+
+- model: ``component_penalty_us_batch`` vs per-state scalar calls,
+- engine: ``run_until_batched`` vs ``run_until`` (including
+  same-timestamp runs and callbacks that schedule at the current time),
+- system: full runs under ``REPRO_ENGINE=batched`` vs ``scalar``,
+  compared on summaries, metrics columns, queue/backlog state and model
+  counters — over randomized workloads and over an adversarial
+  all-streams-tied deterministic workload that forces the exact
+  cross-stream-tie merge fallback (``_merge_with_push_order``).
+
+Equality is asserted exactly (``==``, no tolerance): the batched engine's
+contract is bit-identity, not approximation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.cache.hierarchy import sgi_challenge_hierarchy
+from repro.core.exec_model import COLD, ComponentState, ExecutionTimeModel
+from repro.core.params import PAPER_COMPOSITION, PAPER_COSTS
+from repro.sim import batch
+from repro.sim.engine import Simulator
+from repro.sim.system import NetworkProcessingSystem, SystemConfig
+from repro.workloads.arrivals import DeterministicSpec, PoissonSpec
+from repro.workloads.traffic import FixedSize, TrafficSpec
+
+# ----------------------------------------------------------------------
+# Model layer
+# ----------------------------------------------------------------------
+
+#: Module-level model (function-scoped fixtures are not reset between
+#: hypothesis examples; the model's caches are part of the contract).
+_MODEL = ExecutionTimeModel(
+    PAPER_COSTS, PAPER_COMPOSITION, sgi_challenge_hierarchy()
+)
+
+_refs = st.one_of(
+    st.just(0.0),
+    st.just(COLD),
+    st.floats(min_value=0.0, max_value=1e8, allow_nan=False),
+)
+
+_states = st.builds(
+    ComponentState,
+    code_refs=_refs,
+    stream_refs=_refs,
+    thread_refs=_refs,
+    shared_invalidated=st.booleans(),
+)
+
+
+class TestPenaltyBatchEqualsScalar:
+    @given(states=st.lists(_states, min_size=1, max_size=64))
+    @settings(max_examples=150, deadline=None)
+    def test_batch_matches_scalar_bitwise(self, states):
+        scalar = [_MODEL.component_penalty_us(s) for s in states]
+        batched = _MODEL.component_penalty_us_batch(states)
+        assert batched.shape == (len(states),)
+        for got, want in zip(batched.tolist(), scalar):
+            assert got == want  # exact: no tolerance
+
+    @given(states=st.lists(_states, min_size=1, max_size=32))
+    @settings(max_examples=50, deadline=None)
+    def test_exec_times_batch_matches_scalar(self, states):
+        code = np.array([s.code_refs for s in states])
+        stream = np.array([s.stream_refs for s in states])
+        thread = np.array([s.thread_refs for s in states])
+        shared = np.array([s.shared_invalidated for s in states])
+        batched = _MODEL.exec_times_batch(
+            code, stream, thread, shared, locking=True, extra_us=1.5,
+        )
+        for i, s in enumerate(states):
+            want = _MODEL.execution_time_us(s, locking=True, extra_us=1.5)
+            assert batched[i] == want
+
+
+# ----------------------------------------------------------------------
+# Engine layer
+# ----------------------------------------------------------------------
+
+_times = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=1, max_size=40,
+)
+
+
+def _run_logged(method_name, times, horizon, chain_at_same_time):
+    """Schedule one logging callback per time; run; return observables.
+
+    When ``chain_at_same_time`` is set, every fired event schedules one
+    follow-up at the *current* timestamp (delay 0) the first time it
+    fires, exercising the batched loop's same-timestamp peek pickup.
+    """
+    sim = Simulator()
+    log = []
+
+    def make_cb(tag):
+        fired = [False]
+
+        def cb():
+            log.append((sim.now, tag))
+            if chain_at_same_time and not fired[0]:
+                fired[0] = True
+                sim.schedule(0.0, lambda: log.append((sim.now, tag, "chain")))
+
+        return cb
+
+    for i, t in enumerate(times):
+        sim.at(t, make_cb(i))
+    getattr(sim, method_name)(horizon)
+    return log, sim.now, sim.events_processed, sim.pending
+
+
+class TestRunUntilBatchedEqualsRunUntil:
+    @given(times=_times, chain=st.booleans())
+    @settings(max_examples=100, deadline=None)
+    def test_same_order_clock_and_counts(self, times, chain):
+        horizon = 50.0
+        scalar = _run_logged("run_until", times, horizon, chain)
+        batched = _run_logged("run_until_batched", times, horizon, chain)
+        assert scalar == batched
+
+    @given(
+        base=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        dup=st.integers(min_value=2, max_value=12),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_exact_timestamp_ties_fire_in_schedule_order(self, base, dup):
+        # All events share one exact float timestamp: the batched loop
+        # must drain them as one run, in scheduling (seq) order.
+        times = [base] * dup
+        scalar = _run_logged("run_until", times, base + 1.0, False)
+        batched = _run_logged("run_until_batched", times, base + 1.0, False)
+        assert scalar == batched
+        log = batched[0]
+        assert [tag for (_t, tag) in log] == list(range(dup))
+
+
+# ----------------------------------------------------------------------
+# System layer
+# ----------------------------------------------------------------------
+
+def _system_state(system, summary):
+    """Deep observable state of a finished run (exact-comparable)."""
+    m = system.metrics
+    m._flush_block()
+    d = system.dispatcher
+    state = {
+        "summary": summary,
+        "cols": (
+            list(m._col_stream), list(m._col_arrival), list(m._col_start),
+            list(m._col_completion), list(m._col_exec),
+            list(m._col_lock_wait), list(m._col_proc),
+        ),
+        "counts": (m.arrivals, m.completions, m.backlog, m.max_backlog),
+        "heap": sorted((t, q) for (t, q, _r) in system.sim._heap),
+        "events": system.sim._events_processed,
+        "now": system.sim._now,
+        "packet_counter": system._packet_counter,
+        "idle": list(d._idle),
+        "model": (
+            system.model._n_fast_calls, system.model._n_analytic_hits,
+            system.model._n_cache_hits, system.model._n_flush_computes,
+        ),
+        "procs": [
+            (p.busy, p._ref_clock, p.nonprotocol_us, p.protocol_busy_us,
+             dict(p._last_touch))
+            for p in system.processors
+        ],
+    }
+    if hasattr(d, "threads"):
+        state["queue"] = [
+            (p.packet_id, p.stream_id, p.arrival_us) for p in d.policy._queue
+        ]
+        state["free_threads"] = list(d.threads._free)
+    else:
+        state["queues"] = [
+            [(p.packet_id, p.stream_id, p.arrival_us) for p in q]
+            for q in d._queues
+        ]
+    return state
+
+
+def _run_both(config_kwargs, monkeypatch_env):
+    states = {}
+    for mode in ("scalar", "batched"):
+        monkeypatch_env.setenv(batch.ENGINE_ENV, mode)
+        system = NetworkProcessingSystem(SystemConfig(**config_kwargs))
+        summary = system.run()
+        states[mode] = _system_state(system, summary)
+    return states
+
+
+_CASES = [
+    ("locking", "mru"),
+    ("locking", "fcfs"),
+    ("locking", "stream-mru"),
+    ("ips", "ips-mru"),
+    ("ips", "ips-wired"),
+]
+
+
+@pytest.mark.parametrize("paradigm,policy", _CASES)
+def test_full_system_batched_equals_scalar(paradigm, policy, monkeypatch):
+    """Poisson workload, both engines, deep state equality."""
+    traffic = TrafficSpec(
+        stream_specs=tuple(PoissonSpec(2_500.0) for _ in range(4)),
+        size_model=FixedSize(1024),
+    )
+    states = _run_both(
+        dict(paradigm=paradigm, policy=policy, traffic=traffic,
+             duration_us=120_000.0, warmup_us=20_000.0, seed=3),
+        monkeypatch,
+    )
+    assert states["scalar"] == states["batched"]
+
+
+@pytest.mark.parametrize("paradigm,policy", [
+    ("locking", "mru"), ("ips", "ips-mru"),
+])
+def test_saturated_batched_equals_scalar(paradigm, policy, monkeypatch):
+    """Deep-overload deterministic workload (the benchmark's regime):
+    exercises the bulk-arrival sweep and the end-of-run queue fold."""
+    traffic = TrafficSpec(
+        stream_specs=tuple(
+            DeterministicSpec(12_500.0, phase_us=7.0 * i) for i in range(8)
+        ),
+        size_model=FixedSize(1024),
+    )
+    states = _run_both(
+        dict(paradigm=paradigm, policy=policy, traffic=traffic,
+             duration_us=100_000.0, warmup_us=40_000.0, seed=2),
+        monkeypatch,
+    )
+    assert states["scalar"] == states["batched"]
+
+
+@pytest.mark.parametrize("paradigm,policy", [
+    ("locking", "mru"), ("locking", "fcfs"), ("ips", "ips-wired"),
+])
+def test_exact_cross_stream_ties_batched_equals_scalar(
+    paradigm, policy, monkeypatch,
+):
+    """Every stream arrives at identical float timestamps (equal rate,
+    equal phase): the stable-argsort merge cannot order these, so the
+    pregenerator must fall back to ``_merge_with_push_order`` — the
+    per-event engine's push order — to stay bit-identical."""
+    traffic = TrafficSpec(
+        stream_specs=tuple(
+            DeterministicSpec(1_000.0, phase_us=5.0) for _ in range(6)
+        ),
+        size_model=FixedSize(1024),
+    )
+    states = _run_both(
+        dict(paradigm=paradigm, policy=policy, traffic=traffic,
+             duration_us=80_000.0, warmup_us=10_000.0, seed=4),
+        monkeypatch,
+    )
+    assert states["scalar"] == states["batched"]
+    # The workload genuinely produced cross-stream ties (6 streams share
+    # every timestamp), so the fallback path was the one under test.
+    arrivals = states["batched"]["cols"][1]
+    assert len(arrivals) != len(set(arrivals))
+
+
+@given(
+    paradigm_policy=st.sampled_from(_CASES),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n_streams=st.integers(min_value=1, max_value=6),
+    rate=st.floats(min_value=200.0, max_value=12_000.0),
+    deterministic=st.booleans(),
+    data_touching=st.booleans(),
+)
+@settings(max_examples=12, deadline=None)
+def test_randomized_workloads_batched_equals_scalar(
+    paradigm_policy, seed, n_streams, rate, deterministic, data_touching,
+):
+    """Randomized short workloads across the supported config space."""
+    paradigm, policy = paradigm_policy
+    per_stream = rate / n_streams
+    if deterministic:
+        specs = tuple(
+            DeterministicSpec(per_stream, phase_us=3.0 * i)
+            for i in range(n_streams)
+        )
+    else:
+        specs = tuple(PoissonSpec(per_stream) for _ in range(n_streams))
+    traffic = TrafficSpec(stream_specs=specs, size_model=FixedSize(512))
+    kwargs = dict(
+        paradigm=paradigm, policy=policy, traffic=traffic,
+        duration_us=60_000.0, warmup_us=5_000.0, seed=seed,
+        data_touching=data_touching,
+    )
+    states = {}
+    import os
+    old = os.environ.get(batch.ENGINE_ENV)
+    try:
+        for mode in ("scalar", "batched"):
+            os.environ[batch.ENGINE_ENV] = mode
+            system = NetworkProcessingSystem(SystemConfig(**kwargs))
+            summary = system.run()
+            states[mode] = _system_state(system, summary)
+    finally:
+        if old is None:
+            os.environ.pop(batch.ENGINE_ENV, None)
+        else:
+            os.environ[batch.ENGINE_ENV] = old
+    assert states["scalar"] == states["batched"]
+
+
+def test_unsupported_config_falls_back_to_scalar(monkeypatch):
+    """Configs outside the fused core's support matrix run scalar under
+    auto mode and raise under forced batched mode."""
+    traffic = TrafficSpec(
+        stream_specs=(PoissonSpec(1_000.0),), size_model=FixedSize(1024),
+    )
+    kwargs = dict(paradigm="locking", policy="mru", traffic=traffic,
+                  duration_us=20_000.0, warmup_us=1_000.0, seed=1,
+                  check_invariants=True)
+    monkeypatch.setenv(batch.ENGINE_ENV, "auto")
+    system = NetworkProcessingSystem(SystemConfig(**kwargs))
+    assert batch.unsupported_reason(system) is not None
+    system.run()  # scalar fallback, no error
+    monkeypatch.setenv(batch.ENGINE_ENV, "batched")
+    system = NetworkProcessingSystem(SystemConfig(**kwargs))
+    with pytest.raises(RuntimeError, match="not supported by the fused core"):
+        system.run()
