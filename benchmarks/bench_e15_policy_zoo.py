@@ -1,0 +1,10 @@
+"""Benchmark e15: policy-zoo delay/capacity grids + reordering table.
+
+Regenerates the extension artifact end to end (fast-mode grid) and prints
+the rows/series; run with ``--benchmark-only -s`` to see the tables.
+"""
+
+
+def test_e15_policy_zoo(experiment_bench):
+    result = experiment_bench("e15")
+    assert result.rows

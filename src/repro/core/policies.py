@@ -38,6 +38,22 @@ proposed in the companion TR [17]: wired-stream queues with overflow
 stealing, giving wired-level affinity in steady state and Locking-level
 burst robustness.
 
+**Modern policy zoo** — the schedulers that replaced the paper's designs
+in later NIC/OS stacks, expressed against the same view protocol:
+
+- :class:`FlowSteerPolicy` — Flow-Director-style hash steering: streams
+  hash to per-processor queues; sustained imbalance re-steers a stream to
+  the shortest queue, leaving its already-queued packets behind — the
+  packet-reordering pathology analysed by Wu et al. ("Why Does Flow
+  Director Cause Packet Reordering?").
+- :class:`WorkStealingPolicy` — per-processor queues with idle processors
+  stealing the newest packet from the longest backlogged queue (victim
+  ties broken via the seeded scheduling RNG).
+- :class:`GroupedAffinityPolicy` — cache-aware grouped scheduling:
+  streams hash to processor *groups* and are co-scheduled (MRU within the
+  group) so streams sharing a protocol-stack footprint stay on the same
+  few caches.
+
 Policies interact with the simulator through a narrow *view* protocol
 (documented on :class:`SchedulerView`); they own their queues and are
 stateful per simulation run.
@@ -59,6 +75,9 @@ __all__ = [
     "PerProcessorPoolsPolicy",
     "WiredStreamsPolicy",
     "HybridPolicy",
+    "FlowSteerPolicy",
+    "WorkStealingPolicy",
+    "GroupedAffinityPolicy",
     "IPSPolicy",
     "IPSWiredPolicy",
     "IPSMRUPolicy",
@@ -97,7 +116,20 @@ class SchedulerView(ABC):
 
     @abstractmethod
     def random_choice(self, items: List[int]) -> int:
-        """Uniform choice using the simulation's scheduling RNG stream."""
+        """Uniform choice using the simulation's scheduling RNG stream.
+
+        Draw-order contract (determinism): a singleton ``items`` list is
+        returned *without* consuming a draw — only genuine ties advance
+        the shared scheduling substream.  Because every policy draws from
+        that one substream, a policy making several potentially-random
+        decisions inside a single scheduling step must make them in a
+        fixed, state-independent order so that identically-seeded runs
+        replay the identical draw sequence (the property the batched
+        engine and the parallel sweep runner both rely on).  Example:
+        :class:`WorkStealingPolicy` always resolves its *victim*
+        tie-break before its *thief* tie-break (:meth:`mru_idle`), never
+        the reverse.
+        """
 
     def mru_idle(self) -> int:
         """The idle processor with the most recent protocol activity.
@@ -357,6 +389,205 @@ class HybridPolicy(WiredStreamsPolicy):
 
 
 # ----------------------------------------------------------------------
+# Modern policy zoo (post-paper designs, same interfaces)
+# ----------------------------------------------------------------------
+class FlowSteerPolicy(LockingPolicy):
+    """Flow-Director-style hash steering with rebalance-triggered migration.
+
+    Each stream is steered to a per-processor queue, initially by hash
+    (``stream_id mod N``).  When a packet arrives for a queue that exceeds
+    the shortest queue by more than ``rebalance_threshold`` packets, the
+    stream is *re-steered* to the shortest queue — but packets already
+    queued at the old processor stay put.  The re-steered stream's new
+    packets can therefore complete before its old ones: the out-of-order
+    pathology Wu et al. measured in Intel's Flow Director.  ``resteers``
+    counts the migration events.
+
+    Fully deterministic (consults no RNG), so the fused batched engine
+    runs it natively.
+    """
+
+    name = "flow-steer"
+    per_processor_threads = True
+
+    def __init__(self, rebalance_threshold: int = 1) -> None:
+        super().__init__()
+        if rebalance_threshold < 0:
+            raise ValueError("rebalance_threshold must be >= 0")
+        self.rebalance_threshold = rebalance_threshold
+        self._queues: Dict[int, Deque] = {}
+        self._steer: Dict[int, int] = {}
+        self.resteers = 0
+
+    def attach(self, view: SchedulerView) -> None:
+        super().attach(view)
+        self._queues = {p: deque() for p in range(view.n_processors)}
+        self._steer = {}
+        self.resteers = 0
+
+    def target_processor(self, stream_id: int) -> int:
+        """Current steering target (installing the hash default lazily)."""
+        target = self._steer.get(stream_id)
+        if target is None:
+            target = stream_id % self.view.n_processors
+            self._steer[stream_id] = target
+        return target
+
+    def on_arrival(self, packet) -> None:
+        target = self.target_processor(packet.stream_id)
+        queues = self._queues
+        shortest = min(queues, key=lambda p: (len(queues[p]), p))
+        if len(queues[target]) > len(queues[shortest]) + self.rebalance_threshold:
+            target = shortest
+            self._steer[packet.stream_id] = shortest
+            self.resteers += 1
+        queues[target].append(packet)
+
+    def next_dispatch(self) -> Optional[Tuple[int, object]]:
+        for proc in self.view.idle_processors():
+            if self._queues[proc]:
+                return proc, self._queues[proc].popleft()
+        return None
+
+    def queued(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+
+class WorkStealingPolicy(LockingPolicy):
+    """Per-processor queues with idle processors stealing from the longest.
+
+    Packets join the queue of their stream's last processor (hash default
+    before first service).  An idle processor first serves its own queue;
+    with nothing local, it steals the *newest* packet from the longest
+    queue holding more than ``steal_threshold`` packets (LIFO stealing —
+    the cache-friendly end analysed by Gu et al.'s work-stealing
+    cache-complexity bounds; the queue owner keeps draining the old,
+    in-order end).  Victim ties break via the seeded scheduling RNG, and
+    — per the :meth:`SchedulerView.random_choice` draw-order contract —
+    the victim draw always precedes the thief's :meth:`~SchedulerView.mru_idle`
+    draw.  ``steals`` counts the stolen dispatches.
+
+    Not fused: falls back to the scalar engine deterministically.
+    """
+
+    name = "work-steal"
+    per_processor_threads = True
+
+    def __init__(self, steal_threshold: int = 1) -> None:
+        super().__init__()
+        if steal_threshold < 1:
+            raise ValueError("steal_threshold must be >= 1")
+        self.steal_threshold = steal_threshold
+        self._queues: Dict[int, Deque] = {}
+        self.steals = 0
+
+    def attach(self, view: SchedulerView) -> None:
+        super().attach(view)
+        self._queues = {p: deque() for p in range(view.n_processors)}
+        self.steals = 0
+
+    def home_processor(self, stream_id: int) -> int:
+        last = self.view.stream_last_processor(stream_id)
+        if last is not None:
+            return last
+        return stream_id % self.view.n_processors
+
+    def on_arrival(self, packet) -> None:
+        self._queues[self.home_processor(packet.stream_id)].append(packet)
+
+    def next_dispatch(self) -> Optional[Tuple[int, object]]:
+        idle = self.view.idle_processors()
+        if not idle:
+            return None
+        queues = self._queues
+        for proc in idle:
+            if queues[proc]:
+                return proc, queues[proc].popleft()
+        # Every idle processor's own queue is empty: steal.  Victims are
+        # the longest queues strictly above the threshold; the victim
+        # tie-break draw precedes the thief tie-break draw (see
+        # SchedulerView.random_choice).
+        best_len = self.steal_threshold
+        victims: List[int] = []
+        for p in range(self.view.n_processors):
+            n = len(queues[p])
+            if n > best_len:
+                best_len = n
+                victims = [p]
+            elif victims and n == best_len:
+                victims.append(p)
+        if not victims:
+            return None
+        victim = victims[0] if len(victims) == 1 else self.view.random_choice(victims)
+        thief = self.view.mru_idle()
+        self.steals += 1
+        return thief, queues[victim].pop()
+
+    def queued(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+
+class GroupedAffinityPolicy(LockingPolicy):
+    """Cache-aware grouped scheduling: co-schedule streams per group.
+
+    Processors are partitioned into ``n_groups`` groups (processor ``p``
+    belongs to group ``p mod G``) and streams hash to groups
+    (``stream_id mod G``), so the streams sharing a group — and hence a
+    shared protocol-stack working set — are co-scheduled on the same few
+    caches.  Within a group, dispatch is MRU-idle (ties via the scheduling
+    RNG), concentrating the group footprint like :class:`MRUPolicy` does
+    globally.  ``n_groups`` is clamped to the processor count;
+    ``n_groups == n_processors`` degenerates to
+    :class:`WiredStreamsPolicy` decision for decision.
+
+    Fused natively by the batched engine.
+    """
+
+    name = "grouped"
+    per_processor_threads = True
+
+    def __init__(self, n_groups: int = 2) -> None:
+        super().__init__()
+        if n_groups < 1:
+            raise ValueError("n_groups must be >= 1")
+        self.n_groups = n_groups
+        self._n_eff = n_groups
+        self._queues: List[Deque] = []
+
+    def attach(self, view: SchedulerView) -> None:
+        super().attach(view)
+        self._n_eff = min(self.n_groups, view.n_processors)
+        self._queues = [deque() for _ in range(self._n_eff)]
+
+    @property
+    def effective_groups(self) -> int:
+        return self._n_eff
+
+    def group_of(self, stream_id: int) -> int:
+        return stream_id % self._n_eff
+
+    def on_arrival(self, packet) -> None:
+        self._queues[packet.stream_id % self._n_eff].append(packet)
+
+    def next_dispatch(self) -> Optional[Tuple[int, object]]:
+        idle = self.view.idle_processors()
+        if not idle:
+            return None
+        n_eff = self._n_eff
+        for g, q in enumerate(self._queues):
+            if not q:
+                continue
+            members = [p for p in idle if p % n_eff == g]
+            if not members:
+                continue
+            return _mru_idle(self.view, members), q.popleft()
+        return None
+
+    def queued(self) -> int:
+        return sum(len(q) for q in self._queues)
+
+
+# ----------------------------------------------------------------------
 # IPS-paradigm policies
 # ----------------------------------------------------------------------
 class IPSPolicy(ABC):
@@ -411,6 +642,9 @@ LOCKING_POLICIES: Dict[str, Callable[[], LockingPolicy]] = {
     "pools": PerProcessorPoolsPolicy,
     "wired-streams": WiredStreamsPolicy,
     "hybrid": HybridPolicy,
+    "flow-steer": FlowSteerPolicy,
+    "work-steal": WorkStealingPolicy,
+    "grouped": GroupedAffinityPolicy,
 }
 
 IPS_POLICIES: Dict[str, Callable[[], IPSPolicy]] = {

@@ -191,7 +191,7 @@ def find_capacity(
 # ----------------------------------------------------------------------
 EXPERIMENT_IDS: Tuple[str, ...] = (
     "e01", "e02", "e03", "e04", "e05", "e06", "e07",
-    "e08", "e09", "e10", "e11", "e12", "e13", "e14",
+    "e08", "e09", "e10", "e11", "e12", "e13", "e14", "e15",
 )
 
 #: Ablation studies of the reconstructed parameters (DESIGN.md §4).
@@ -219,6 +219,7 @@ _MODULES = {
     "e12": "e12_scalability",
     "e13": "e13_burstiness",
     "e14": "e14_data_touching",
+    "e15": "e15_policy_zoo",
 }
 
 

@@ -1,0 +1,162 @@
+"""E15 — Modern scheduling-policy zoo: delay, capacity, and reordering.
+
+The paper's policies predate two mechanisms that dominate modern parallel
+network processing: NIC-level hash steering (Flow Director / RSS) and
+work stealing.  This experiment re-runs the paper's delay and capacity
+grids (the E06-E14 methodology) over the modernized locking-policy zoo —
+``flow-steer``, ``work-steal`` and ``grouped`` alongside the paper's
+``mru`` and ``wired-streams`` — and adds the metric the paper never
+needed: **intra-stream packet reordering**.  Affinity in the 1995 design
+is reorder-free by construction (a stream's packets serialize through
+one protocol stack); steering and stealing trade that guarantee for
+load balance, and the reordering table quantifies the price (cf. Wu,
+Wolf & Franklin on Flow Director out-of-order pathologies).
+
+Three falsifiable expectations encoded in the notes/meta:
+
+1. ``wired-streams`` (and ``grouped`` with as many groups as
+   processors) never reorders and never migrates;
+2. ``flow-steer`` with an aggressive rebalance threshold reorders —
+   nonzero ``out_of_order`` at high load — because re-steering moves
+   queued streams between processors;
+3. every policy is reorder-free on a single processor.
+
+Status: extension experiment (not a paper artifact); methodology reuses
+the E08/E09 grids so the zoo curves are directly comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..analysis.tables import format_series, format_table
+from ..core.params import PlatformConfig
+from ..runner import get_runner
+from ..sim.system import SystemConfig
+from ..workloads.traffic import TrafficSpec
+from .base import ExperimentResult, PolicySpec, delay_vs_rate_sweep, find_capacity
+
+EXPERIMENT_ID = "e15"
+TITLE = "Policy zoo: delay, capacity, and reordering for modern schedulers"
+
+#: Headline delay/capacity policies: the paper's best two plus the zoo.
+POLICIES: Dict[str, PolicySpec] = {
+    "locking-mru": ("locking", "mru"),
+    "locking-wired": ("locking", "wired-streams"),
+    "flow-steer": ("locking", "flow-steer"),
+    "work-steal": ("locking", "work-steal"),
+    "grouped": ("locking", "grouped"),
+}
+
+#: Reordering detail covers the full registry (exact registry names).
+REORDERING_POLICIES: Dict[str, PolicySpec] = {
+    "fcfs": ("locking", "fcfs"),
+    "mru": ("locking", "mru"),
+    "stream-mru": ("locking", "stream-mru"),
+    "pools": ("locking", "pools"),
+    "wired-streams": ("locking", "wired-streams"),
+    "hybrid": ("locking", "hybrid"),
+    "flow-steer": ("locking", "flow-steer"),
+    "work-steal": ("locking", "work-steal"),
+    "grouped": ("locking", "grouped"),
+    "ips-wired": ("ips", "ips-wired"),
+    "ips-mru": ("ips", "ips-mru"),
+}
+
+N_STREAMS = 16
+
+
+def run(fast: bool = True, seed: int = 1, **_) -> ExperimentResult:
+    base = SystemConfig(
+        traffic=TrafficSpec.homogeneous_poisson(N_STREAMS, 1000.0),
+        duration_us=300_000 if fast else 1_500_000,
+        warmup_us=50_000 if fast else 250_000,
+        seed=seed,
+    )
+    if fast:
+        rate_grid = (2_000, 10_000, 22_000, 34_000, 42_000)
+    else:
+        rate_grid = (1_000, 2_000, 4_000, 8_000, 12_000, 16_000, 22_000,
+                     28_000, 34_000, 38_000, 42_000, 46_000)
+    rows, series = delay_vs_rate_sweep(base, POLICIES, rate_grid, N_STREAMS)
+
+    # --- capacity (E09 methodology) for the zoo vs the paper's best.
+    cap_rows = []
+    capacities: Dict[str, float] = {}
+    for label in ("locking-wired", "flow-steer", "work-steal", "grouped"):
+        paradigm, policy = POLICIES[label]
+
+        def make(rate: float, paradigm=paradigm, policy=policy) -> SystemConfig:
+            return base.with_(
+                traffic=TrafficSpec.homogeneous_poisson(N_STREAMS, rate),
+                paradigm=paradigm, policy=policy,
+            )
+
+        cap = find_capacity(make, low_pps=5_000, high_pps=80_000,
+                            iterations=4 if fast else 10)
+        capacities[label] = cap
+        cap_rows.append({"policy": label, "capacity_pps": round(cap)})
+
+    # --- reordering detail at a mid-range load, full registry.
+    mid_rate = 30_000
+    traffic = TrafficSpec.homogeneous_poisson(N_STREAMS, mid_rate)
+    reorder_configs = [
+        base.with_(traffic=traffic, paradigm=paradigm, policy=policy)
+        for paradigm, policy in REORDERING_POLICIES.values()
+    ]
+    # Control: flow-steer on one processor must be reorder-free.
+    reorder_configs.append(base.with_(
+        traffic=traffic, paradigm="locking", policy="flow-steer",
+        platform=PlatformConfig(n_processors=1),
+    ))
+    summaries = get_runner().run_many(reorder_configs, label="reordering")
+    reorder_rows = []
+    labels = list(REORDERING_POLICIES) + ["flow-steer"]
+    n_procs = [base.platform.n_processors] * len(REORDERING_POLICIES) + [1]
+    for label, procs, s in zip(labels, n_procs, summaries):
+        row: Dict[str, object] = {"policy": label, "n_processors": procs}
+        row.update(s.reordering_row())
+        reorder_rows.append(row)
+
+    text = format_series(
+        [r["rate_pps"] for r in rows], series, x_label="rate_pps",
+        title="Mean packet delay (µs); inf = saturated", precision=1,
+    )
+    from ..analysis.plot import ascii_plot
+    text += "\n\n" + ascii_plot(
+        [r["rate_pps"] for r in rows], series, x_label="rate_pps",
+        y_label="mean delay (us)", title="Policy zoo delay curves",
+    )
+    text += "\n\n" + format_table(
+        cap_rows, title=f"Maximum sustainable aggregate rate ({N_STREAMS} streams)"
+    )
+    text += "\n\n" + format_table(
+        reorder_rows,
+        title=f"Intra-stream reordering at {mid_rate} pps (full registry)",
+    )
+
+    by_label = {(r["policy"], r["n_processors"]): r for r in reorder_rows}
+    wired_row = by_label[("wired-streams", base.platform.n_processors)]
+    steer_row = by_label[("flow-steer", base.platform.n_processors)]
+    uni_row = by_label[("flow-steer", 1)]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows + cap_rows + reorder_rows,
+        text=text,
+        notes=(
+            "Affinity by wiring is reorder-free "
+            f"(wired out_of_order={wired_row['out_of_order']}); hash "
+            "steering buys load balance with reordering (flow-steer "
+            f"out_of_order={steer_row['out_of_order']}); one processor "
+            f"cannot reorder (flow-steer@1proc={uni_row['out_of_order']})."
+        ),
+        meta={
+            "capacities": capacities,
+            "mid_rate_pps": mid_rate,
+            "wired_reorder_free": wired_row["out_of_order"] == 0
+            and wired_row["migrations"] == 0,
+            "flow_steer_reorders": steer_row["out_of_order"] > 0,
+            "uniprocessor_reorder_free": uni_row["out_of_order"] == 0,
+        },
+    )

@@ -45,7 +45,8 @@ __all__ = [
 ]
 
 #: Bump when the on-disk entry layout changes.
-_FORMAT = 1
+#: 2: reordering/migration metrics added to SimulationSummary.
+_FORMAT = 2
 
 #: Subdirectory (of the cache root) holding quarantined entries.
 _QUARANTINE = "quarantine"
@@ -78,9 +79,9 @@ def summary_from_dict(data: dict) -> SimulationSummary:
     kwargs = dict(data)
     kwargs["delay_ci_us"] = tuple(kwargs["delay_ci_us"])
     kwargs["utilization_per_proc"] = tuple(kwargs["utilization_per_proc"])
-    kwargs["per_stream_mean_delay_us"] = {
-        int(k): v for k, v in kwargs["per_stream_mean_delay_us"].items()
-    }
+    for field in ("per_stream_mean_delay_us", "ooo_depth_counts",
+                  "per_stream_out_of_order", "per_stream_migrations"):
+        kwargs[field] = {int(k): v for k, v in kwargs[field].items()}
     return SimulationSummary(**kwargs)
 
 

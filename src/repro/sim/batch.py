@@ -54,10 +54,14 @@ metrics).
 **Support matrix.**  The fused loop replicates exact semantics only for
 configurations it was proven against: Poisson/deterministic arrivals,
 fixed packet sizes, no churn, no trace, no invariant checking, and the
-policies ``mru``/``fcfs``/``stream-mru`` (Locking, one coarse lock) and
-``ips-mru``/``ips-wired`` (IPS).  Anything else falls back to the scalar
-engine — silently under ``REPRO_ENGINE=auto`` (the default), loudly
-under ``REPRO_ENGINE=batched``.
+policies ``mru``/``fcfs``/``stream-mru`` (Locking, one coarse lock,
+shared thread pool), ``flow-steer``/``grouped`` (Locking, one coarse
+lock, per-processor threads and queues — see ``_run_locking_pools``) and
+``ips-mru``/``ips-wired`` (IPS).  Anything else — notably the
+``work-steal`` policy, whose victim/thief draw interleaving has no
+proven fused replication — falls back to the scalar engine: silently
+under ``REPRO_ENGINE=auto`` (the default), loudly under
+``REPRO_ENGINE=batched``.
 """
 
 from __future__ import annotations
@@ -75,6 +79,8 @@ import numpy as np
 from ..core.exec_model import COLD
 from ..core.policies import (
     FCFSPolicy,
+    FlowSteerPolicy,
+    GroupedAffinityPolicy,
     IPSMRUPolicy,
     IPSWiredPolicy,
     MRUPolicy,
@@ -120,6 +126,9 @@ def engine_mode() -> str:
 
 
 _LOCKING_POLICIES = (MRUPolicy, FCFSPolicy, StreamMRUPolicy)
+#: Locking policies with per-processor threads and per-processor (or
+#: per-group) queues, fused by ``_run_locking_pools``.
+_LOCKING_POOL_POLICIES = (FlowSteerPolicy, GroupedAffinityPolicy)
 _IPS_POLICIES = (IPSMRUPolicy, IPSWiredPolicy)
 _ARRIVAL_SPECS = (PoissonSpec, DeterministicSpec)
 
@@ -154,7 +163,8 @@ def unsupported_reason(system: "NetworkProcessingSystem") -> Optional[str]:
         return "expected arrival count too large to pregenerate"
     policy = system.dispatcher.policy
     if cfg.paradigm == "locking":
-        if type(policy) not in _LOCKING_POLICIES:
+        if (type(policy) not in _LOCKING_POLICIES
+                and type(policy) not in _LOCKING_POOL_POLICIES):
             return f"locking policy {policy.name!r} is not fused"
         if system.dispatcher.lock.n_locks != 1:
             return "layered locks pipeline per-packet reservations"
@@ -296,10 +306,12 @@ def run_fused(system: "NetworkProcessingSystem") -> None:
     if gc_was_enabled:
         gc.disable()
     try:
-        if system.config.paradigm == "locking":
-            _run_locking(system, m_times, m_sids, counts)
-        else:
+        if system.config.paradigm != "locking":
             _run_ips(system, m_times, m_sids, counts)
+        elif type(system.dispatcher.policy) in _LOCKING_POOL_POLICIES:
+            _run_locking_pools(system, m_times, m_sids, counts)
+        else:
+            _run_locking(system, m_times, m_sids, counts)
     finally:
         if gc_was_enabled:
             gc.enable()
@@ -394,6 +406,7 @@ def _run_locking(
     n_analytic = 0
     n_cache = 0
     n_flush = 0
+    migrations = 0
 
     if fast_ok:
         split1, c01, slope1, u11, lp1 = model._fast_l1
@@ -590,7 +603,10 @@ def _run_locking(
                 clock = ref_clock[p]
                 d = clock - code_touch[p]
                 code_refs = d if d > 0.0 else 0.0
-                if stream_lp[s] != p:
+                lp_s = stream_lp[s]
+                if lp_s != p:
+                    if lp_s >= 0:
+                        migrations += 1
                     stream_refs = COLD_
                 else:
                     d = clock - stream_touch[p][s]
@@ -732,7 +748,10 @@ def _run_locking(
                 # the scalar no-op branch after _complete set accrued=now).
                 d = clock - code_touch[p]
                 code_refs = d if d > 0.0 else 0.0
-                if stream_lp[s2] != p:
+                lp_s2 = stream_lp[s2]
+                if lp_s2 != p:
+                    if lp_s2 >= 0:
+                        migrations += 1
                     stream_refs = COLD_
                 else:
                     d = clock - stream_touch[p][s2]
@@ -839,6 +858,7 @@ def _run_locking(
     model._n_analytic_hits += n_analytic
     model._n_cache_hits += n_cache
     model._n_flush_computes += n_flush
+    dispatcher.migrations += migrations
 
     skeys = dispatcher._stream_keys
     for s in first_completion_order:
@@ -910,6 +930,635 @@ def _run_locking(
 
 
 # ----------------------------------------------------------------------
+# Locking paradigm, per-processor-queue policies (flow-steer, grouped)
+# ----------------------------------------------------------------------
+def _run_locking_pools(
+    system: "NetworkProcessingSystem",
+    m_times: List[float],
+    m_sids: List[int],
+    counts: List[int],
+) -> None:
+    """Fused loop for :class:`FlowSteerPolicy` / :class:`GroupedAffinityPolicy`.
+
+    Both policies keep per-processor (flow-steer) or per-group (grouped)
+    queues and run with processor-bound threads (``tid == proc``, so the
+    shared-pool preference scan of ``_run_locking`` collapses to
+    ``free.remove(p)``/``free.append(p)`` — exactly the scalar
+    per-processor :class:`~repro.sim.entities.ThreadPool` history).  The
+    structural invariant making the fusion exact: **a nonempty queue
+    implies its owning processor (flow-steer) / every processor of its
+    group (grouped) is busy** — arrivals whose final target is idle
+    dispatch immediately (the target's queue is empty, so the new packet
+    is the head), and a completion can only refill its own processor
+    (every other idle processor's queue is empty), so the completion
+    path consults no RNG.  The only RNG use in the whole loop is the
+    grouped policy's MRU tie-break among a group's idle members at
+    arrival, replicated draw for draw from ``_mru_idle``.  Flow-steer's
+    rebalance check runs on every arrival; it can never trigger toward
+    an idle processor's (empty) queue, so re-steers only move *queued*
+    streams — the Flow Director reordering pathology.
+    """
+    cfg = system.config
+    dispatcher = system.dispatcher
+    model = system.model
+    policy = dispatcher.policy
+    n_procs = cfg.platform.n_processors
+    n_streams = cfg.traffic.n_streams
+    duration_us = cfg.duration_us
+
+    pk_flow = type(policy) is FlowSteerPolicy
+    if pk_flow:
+        n_queues = n_procs
+        threshold = policy.rebalance_threshold
+        steer = [-1] * n_streams
+        resteers = 0
+        n_eff = 1  # unused
+    else:
+        n_eff = policy._n_eff
+        n_queues = n_eff
+        threshold = 0  # unused
+        steer = []  # unused
+        resteers = 0  # unused
+
+    COLD_ = COLD
+    fast_ok = model._fast_l1 is not None
+    pen_cold = model._pen_cold
+    w_shared = model._w_shared
+    w_code = model._w_code
+    w_stream = model._w_stream
+    w_thread = model._w_thread
+    t_warm = model._t_warm
+    dispatch_c = model._dispatch_us
+    lock_oh = model._lock_oh
+    extra_c = cfg.fixed_overhead_us
+    cache = model._penalty_cache
+    cache_get = cache.get
+    cache_max = model._PENALTY_CACHE_MAX
+    model_pen1 = model._pen1
+    data_touching = cfg.data_touching
+    dt_const = (
+        model.costs.data_touching_us(system._fixed_size)
+        if data_touching else 0.0
+    )
+    size_bytes = system._fixed_size
+    refs_per_us = cfg.platform.references_per_us
+    v_intensity = cfg.nonprotocol_intensity
+    cs_us = dispatcher._lock_cs_us
+    sched_int = system.rngs.scheduling.integers
+    log10 = math.log10
+    expm1 = math.expm1
+
+    n_calls = 0
+    n_analytic = 0
+    n_cache = 0
+    n_flush = 0
+    migrations = 0
+
+    if fast_ok:
+        split1, c01, slope1, u11, lp1 = model._fast_l1
+        split2, c02, slope2, u12, lp2 = model._fast_l2
+        delta1 = model._delta1
+        delta2 = model._delta2
+
+        def flush(refs: float) -> float:
+            """Two-level flush math of ExecutionTimeModel._pen1, verbatim
+            (cache maintenance included; counters folded by the caller)."""
+            r = refs * split1
+            u = r * u11 if r < 1.0 else 10.0 ** (c01 + slope1 * log10(r))
+            if u > r:
+                u = r
+            f = -expm1(u * lp1)
+            f1 = 1.0 if f > 1.0 else (0.0 if f < 0.0 else f)
+            r = refs * split2
+            u = r * u12 if r < 1.0 else 10.0 ** (c02 + slope2 * log10(r))
+            if u > r:
+                u = r
+            f = -expm1(u * lp2)
+            f2 = 1.0 if f > 1.0 else (0.0 if f < 0.0 else f)
+            value = f1 * delta1 + f2 * delta2
+            if len(cache) >= cache_max:
+                cache.clear()
+            cache[refs] = value
+            return value
+
+    def pen_of(refs: float) -> float:
+        """Non-fast-path fallback (associative cache levels): cache probe
+        here, everything else delegated to the model."""
+        nonlocal n_cache
+        hit = cache_get(refs)
+        if hit is not None:
+            n_cache += 1
+            return hit
+        return model_pen1(refs)
+
+    # --- processor state (parallel lists; -inf touch sentinels)
+    busy = [False] * n_procs
+    ref_clock = [0.0] * n_procs
+    accrued = [0.0] * n_procs
+    np_us = [0.0] * n_procs
+    pbusy_us = [0.0] * n_procs
+    last_end = [_NEVER] * n_procs
+    epoch_seen = [-1] * n_procs
+    code_touch = [_NEVER] * n_procs
+    stream_touch = [[_NEVER] * n_streams for _ in range(n_procs)]
+    # Per-processor threads: tid == p always, so one touch cell per
+    # processor replaces the shared pool's per-thread table.
+    thread_touch = [_NEVER] * n_procs
+    epoch = 0
+    idle_mask = (1 << n_procs) - 1
+
+    # --- per-processor thread pool (tid == p; -1 = never released here)
+    free = list(range(n_procs - 1, -1, -1))
+    tlp = [-1] * n_procs
+
+    stream_lp = [-1] * n_streams
+    first_completion_order: List[int] = []
+
+    lock_free_at = 0.0
+    lock_total_wait_us = 0.0
+    lock_total_hold_us = 0.0
+    lock_acqs = 0
+    lock_contended = 0
+
+    queues: List[Deque[Tuple[float, int, int]]] = [
+        deque() for _ in range(n_queues)
+    ]
+    comp_heap: List[tuple] = []
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    done: List[tuple] = []
+    done_append = done.append
+
+    rem = list(counts)
+    next_stamp = [-1] * n_streams
+    seq = 0
+    for s in range(n_streams):
+        if rem[s]:
+            next_stamp[s] = seq
+            seq += 1
+
+    ai = 0
+    n_merged = len(m_times)
+    m_times.append(math.inf)  # sentinel: loop needs no bounds check
+    m_sids.append(0)
+    backlog = 0
+    max_backlog = 0
+    INF = math.inf
+
+    while True:
+        at = m_times[ai]
+        if comp_heap:
+            head = comp_heap[0]
+            ct = head[0]
+            if at < ct:
+                take_arrival = True
+            elif ct < at:
+                if ct > duration_us:
+                    break
+                take_arrival = False
+            else:
+                take_arrival = next_stamp[m_sids[ai]] < head[1]
+        else:
+            if at == INF:
+                break
+            take_arrival = True
+
+        if take_arrival:
+            # ---------------- arrival event ----------------
+            if not idle_mask:
+                # Every processor is busy: no dispatch is possible, but
+                # the policy's enqueue step (including flow-steer's
+                # rebalance test, which consults no RNG) still runs per
+                # arrival, exactly as the scalar on_arrival path does.
+                j = bisect_left(m_times, ct, ai)
+                if j == ai:
+                    j = ai + 1  # tie with the completion, won on stamp
+                for i in range(ai, j):
+                    s = m_sids[i]
+                    if pk_flow:
+                        tgt = steer[s]
+                        if tgt < 0:
+                            tgt = s % n_procs
+                            steer[s] = tgt
+                        short_len = len(queues[0])
+                        for q in range(1, n_procs):
+                            lq = len(queues[q])
+                            if lq < short_len:
+                                short_len = lq
+                        if len(queues[tgt]) > short_len + threshold:
+                            for q in range(n_procs):
+                                if len(queues[q]) == short_len:
+                                    tgt = q
+                                    break
+                            steer[s] = tgt
+                            resteers += 1
+                        queues[tgt].append((m_times[i], s, i))
+                    else:
+                        queues[s % n_eff].append((m_times[i], s, i))
+                    rem_s = rem[s] - 1
+                    rem[s] = rem_s
+                    if rem_s:
+                        next_stamp[s] = seq
+                        seq += 1
+                backlog += j - ai
+                if backlog > max_backlog:
+                    max_backlog = backlog
+                ai = j
+                continue
+            s = m_sids[ai]
+            now = at
+            pid = ai
+            ai += 1
+            backlog += 1
+            if backlog > max_backlog:
+                max_backlog = backlog
+            # --- policy enqueue + dispatch decision
+            p = -1
+            if pk_flow:
+                tgt = steer[s]
+                if tgt < 0:
+                    tgt = s % n_procs
+                    steer[s] = tgt
+                short_len = len(queues[0])
+                for q in range(1, n_procs):
+                    lq = len(queues[q])
+                    if lq < short_len:
+                        short_len = lq
+                if len(queues[tgt]) > short_len + threshold:
+                    for q in range(n_procs):
+                        if len(queues[q]) == short_len:
+                            tgt = q
+                            break
+                    steer[s] = tgt
+                    resteers += 1
+                if idle_mask >> tgt & 1:
+                    # Idle target ⇒ its queue is empty (invariant): the
+                    # new packet dispatches without touching the deque.
+                    p = tgt
+                else:
+                    queues[tgt].append((at, s, pid))
+            else:
+                g = s % n_eff
+                qg = queues[g]
+                if qg:
+                    # Nonempty group queue ⇒ no idle group member.
+                    qg.append((at, s, pid))
+                else:
+                    # MRU among the group's idle members, draw for draw
+                    # as _mru_idle: tie candidates accumulate in
+                    # ascending order, RNG only for genuine ties.
+                    best_t = _NEVER
+                    best: List[int] = []
+                    for q in range(n_procs):
+                        if idle_mask >> q & 1 and q % n_eff == g:
+                            tq = last_end[q]
+                            if tq > best_t:
+                                best_t = tq
+                                best = [q]
+                            elif tq == best_t:
+                                best.append(q)
+                    if not best:
+                        qg.append((at, s, pid))
+                    else:
+                        p = (best[0] if len(best) == 1
+                             else best[int(sched_int(0, len(best)))])
+            if p >= 0:
+                # --- inlined _start_service (per-processor thread pool:
+                # acquire is free.remove(p), preference scan not needed)
+                free.remove(p)
+                dt = now - accrued[p]
+                if dt > 0.0:
+                    ref_clock[p] += dt * refs_per_us * v_intensity
+                    np_us[p] += dt
+                    accrued[p] = now
+                elif dt < -1e-9:
+                    raise ValueError(f"time went backwards: {now} < {accrued[p]}")
+                clock = ref_clock[p]
+                d = clock - code_touch[p]
+                code_refs = d if d > 0.0 else 0.0
+                lp_s = stream_lp[s]
+                if lp_s != p:
+                    if lp_s >= 0:
+                        migrations += 1
+                    stream_refs = COLD_
+                else:
+                    d = clock - stream_touch[p][s]
+                    stream_refs = d if d > 0.0 else 0.0
+                if tlp[p] == p:
+                    d = clock - thread_touch[p]
+                    thread_refs = d if d > 0.0 else 0.0
+                else:
+                    thread_refs = COLD_
+                n_calls += 1
+                if fast_ok:
+                    if code_refs == 0.0:
+                        n_analytic += 1
+                        pc = 0.0
+                    elif code_refs == COLD_:
+                        n_analytic += 1
+                        pc = pen_cold
+                    else:
+                        pc = cache_get(code_refs)
+                        if pc is None:
+                            n_flush += 1
+                            pc = flush(code_refs)
+                        else:
+                            n_cache += 1
+                    if stream_refs == code_refs:
+                        ps = pc
+                    elif stream_refs == 0.0:
+                        n_analytic += 1
+                        ps = 0.0
+                    elif stream_refs == COLD_:
+                        n_analytic += 1
+                        ps = pen_cold
+                    else:
+                        ps = cache_get(stream_refs)
+                        if ps is None:
+                            n_flush += 1
+                            ps = flush(stream_refs)
+                        else:
+                            n_cache += 1
+                    if thread_refs == code_refs:
+                        pt = pc
+                    elif thread_refs == stream_refs:
+                        pt = ps
+                    elif thread_refs == 0.0:
+                        n_analytic += 1
+                        pt = 0.0
+                    elif thread_refs == COLD_:
+                        n_analytic += 1
+                        pt = pen_cold
+                    else:
+                        pt = cache_get(thread_refs)
+                        if pt is None:
+                            n_flush += 1
+                            pt = flush(thread_refs)
+                        else:
+                            n_cache += 1
+                else:
+                    pc = pen_of(code_refs)
+                    ps = pc if stream_refs == code_refs else pen_of(stream_refs)
+                    if thread_refs == code_refs:
+                        pt = pc
+                    elif thread_refs == stream_refs:
+                        pt = ps
+                    else:
+                        pt = pen_of(thread_refs)
+                if epoch > epoch_seen[p]:
+                    pen_code = w_shared * pen_cold + (1.0 - w_shared) * pc
+                else:
+                    pen_code = pc
+                penalty = w_code * pen_code + w_stream * ps + w_thread * pt
+                t_exec = t_warm + penalty + dispatch_c + extra_c
+                t_exec += lock_oh
+                if data_touching:
+                    t_exec += dt_const
+                w = lock_free_at - now
+                if w > 0.0:
+                    lock_wait_us = w
+                    lock_contended += 1
+                else:
+                    lock_wait_us = 0.0
+                lock_free_at = now + lock_wait_us + cs_us
+                lock_total_wait_us += lock_wait_us
+                lock_total_hold_us += cs_us
+                lock_acqs += 1
+                busy[p] = True
+                idle_mask ^= 1 << p
+                heappush(comp_heap, (now + (lock_wait_us + t_exec), seq, p, s,
+                                     now, now, t_exec, lock_wait_us, p, pid))
+                seq += 1
+            rem_s = rem[s] - 1
+            rem[s] = rem_s
+            if rem_s:
+                next_stamp[s] = seq
+                seq += 1
+        else:
+            # ---------------- completion event ----------------
+            heappop(comp_heap)
+            done_append(head)
+            now = head[0]
+            p = head[2]
+            s = head[3]
+            ex = head[6]
+            epoch += 1
+            clock = ref_clock[p] + ex * refs_per_us
+            ref_clock[p] = clock
+            accrued[p] = now
+            code_touch[p] = clock
+            stream_touch[p][s] = clock
+            thread_touch[p] = clock
+            pbusy_us[p] += ex
+            last_end[p] = now
+            epoch_seen[p] = epoch
+            backlog -= 1
+            tlp[p] = p  # release: _last_proc[p] = p ...
+            if stream_lp[s] < 0:
+                first_completion_order.append(s)
+            stream_lp[s] = p
+            qp = queues[p if pk_flow else p % n_eff]
+            if qp:
+                # Only p can refill (every other idle processor's queue
+                # is empty by the invariant), so no RNG is consulted; the
+                # scalar release-append + acquire-remove cancel out, so
+                # the free list is untouched.
+                a2, s2, pid2 = qp.popleft()
+                # dt = now - accrued[p] == 0.0 here: no accrual.
+                d = clock - code_touch[p]
+                code_refs = d if d > 0.0 else 0.0
+                lp_s2 = stream_lp[s2]
+                if lp_s2 != p:
+                    if lp_s2 >= 0:
+                        migrations += 1
+                    stream_refs = COLD_
+                else:
+                    d = clock - stream_touch[p][s2]
+                    stream_refs = d if d > 0.0 else 0.0
+                # tlp[p] == p (just released): thread stack warm here.
+                d = clock - thread_touch[p]
+                thread_refs = d if d > 0.0 else 0.0
+                n_calls += 1
+                if fast_ok:
+                    if code_refs == 0.0:
+                        n_analytic += 1
+                        pc = 0.0
+                    elif code_refs == COLD_:
+                        n_analytic += 1
+                        pc = pen_cold
+                    else:
+                        pc = cache_get(code_refs)
+                        if pc is None:
+                            n_flush += 1
+                            pc = flush(code_refs)
+                        else:
+                            n_cache += 1
+                    if stream_refs == code_refs:
+                        ps = pc
+                    elif stream_refs == 0.0:
+                        n_analytic += 1
+                        ps = 0.0
+                    elif stream_refs == COLD_:
+                        n_analytic += 1
+                        ps = pen_cold
+                    else:
+                        ps = cache_get(stream_refs)
+                        if ps is None:
+                            n_flush += 1
+                            ps = flush(stream_refs)
+                        else:
+                            n_cache += 1
+                    if thread_refs == code_refs:
+                        pt = pc
+                    elif thread_refs == stream_refs:
+                        pt = ps
+                    elif thread_refs == 0.0:
+                        n_analytic += 1
+                        pt = 0.0
+                    elif thread_refs == COLD_:
+                        n_analytic += 1
+                        pt = pen_cold
+                    else:
+                        pt = cache_get(thread_refs)
+                        if pt is None:
+                            n_flush += 1
+                            pt = flush(thread_refs)
+                        else:
+                            n_cache += 1
+                else:
+                    pc = pen_of(code_refs)
+                    ps = pc if stream_refs == code_refs else pen_of(stream_refs)
+                    if thread_refs == code_refs:
+                        pt = pc
+                    elif thread_refs == stream_refs:
+                        pt = ps
+                    else:
+                        pt = pen_of(thread_refs)
+                if epoch > epoch_seen[p]:
+                    pen_code = w_shared * pen_cold + (1.0 - w_shared) * pc
+                else:
+                    pen_code = pc
+                penalty = w_code * pen_code + w_stream * ps + w_thread * pt
+                t_exec = t_warm + penalty + dispatch_c + extra_c
+                t_exec += lock_oh
+                if data_touching:
+                    t_exec += dt_const
+                w = lock_free_at - now
+                if w > 0.0:
+                    lock_wait_us = w
+                    lock_contended += 1
+                else:
+                    lock_wait_us = 0.0
+                lock_free_at = now + lock_wait_us + cs_us
+                lock_total_wait_us += lock_wait_us
+                lock_total_hold_us += cs_us
+                lock_acqs += 1
+                # busy[p] stays True.
+                heappush(comp_heap, (now + (lock_wait_us + t_exec), seq, p, s2,
+                                     a2, now, t_exec, lock_wait_us, p, pid2))
+                seq += 1
+            else:
+                busy[p] = False
+                idle_mask |= 1 << p
+                free.append(p)
+
+    # ------------------------------------------------------------------
+    # Fold back into the live objects
+    # ------------------------------------------------------------------
+    n_comp_fired = len(done)
+    sim = system.sim
+    sim._seq = seq
+    sim._events_processed += n_merged + n_comp_fired
+    sim._now = duration_us if duration_us > sim._now else sim._now
+
+    model._n_fast_calls += n_calls
+    model._n_analytic_hits += n_analytic
+    model._n_cache_hits += n_cache
+    model._n_flush_computes += n_flush
+    dispatcher.migrations += migrations
+
+    skeys = dispatcher._stream_keys
+    for s in first_completion_order:
+        skeys[s] = ("stream", s)
+        dispatcher._stream_last_proc[s] = stream_lp[s]
+    thread_keys = dispatcher._thread_keys
+    procs = system.processors
+    for p in range(n_procs):
+        proc = procs[p]
+        proc.busy = busy[p]
+        proc._ref_clock = ref_clock[p]
+        proc._accrued_until = accrued[p]
+        proc.nonprotocol_us = np_us[p]
+        proc.protocol_busy_us = pbusy_us[p]
+        proc.last_protocol_end = last_end[p]
+        proc.protocol_epoch_seen = epoch_seen[p]
+        touch = proc._last_touch
+        v = code_touch[p]
+        if v != _NEVER:
+            touch[_CODE_KEY] = v
+        row = stream_touch[p]
+        for s in range(n_streams):
+            v = row[s]
+            if v != _NEVER:
+                touch[skeys[s]] = v
+        v = thread_touch[p]
+        if v != _NEVER:
+            touch[thread_keys[p]] = v
+    dispatcher.protocol_epoch = epoch
+    dispatcher._idle[:] = [q for q in range(n_procs) if idle_mask >> q & 1]
+
+    pool = dispatcher.threads
+    pool._free[:] = free
+    pool_last = pool._last_proc
+    for t in range(n_procs):
+        pool_last[t] = tlp[t] if tlp[t] >= 0 else None
+
+    lock0 = dispatcher.lock.locks[0]
+    lock0._free_at = lock_free_at
+    lock0.total_wait_us = lock_total_wait_us
+    lock0.total_hold_us = lock_total_hold_us
+    lock0.acquisitions = lock_acqs
+    lock0.contended = lock_contended
+
+    records = dispatcher._completion_records
+    sim_heap = sim._heap
+    for entry in comp_heap:
+        ctime, stamp, p, s, arr_t, sstart, ex, lw, tid, pid = entry
+        pkt = Packet(pid, s, arr_t, size_bytes)
+        pkt.service_start_us = sstart
+        pkt.exec_time_us = ex
+        pkt.lock_wait_us = lw
+        pkt.processor_id = p
+        pkt.thread_id = tid
+        procs[p].current_packet = pkt
+        pool._busy[tid] = p
+        heappush(sim_heap, (ctime, stamp, records[p]))
+
+    if pk_flow:
+        psteer = policy._steer
+        for s in range(n_streams):
+            if steer[s] >= 0:
+                psteer[s] = steer[s]
+        policy.resteers = resteers
+        pqueues = policy._queues
+        for q in range(n_procs):
+            dst = pqueues[q]
+            for a, s, pid in queues[q]:
+                dst.append(Packet(pid, s, a, size_bytes))
+    else:
+        gqueues = policy._queues
+        for g in range(n_eff):
+            dst = gqueues[g]
+            for a, s, pid in queues[g]:
+                dst.append(Packet(pid, s, a, size_bytes))
+
+    system._packet_counter = n_merged
+    _fold_metrics_rows(system, done, 7)
+    system.metrics.fold_batch_counts(n_merged, n_comp_fired,
+                                     backlog, max_backlog)
+
+
+# ----------------------------------------------------------------------
 # IPS paradigm
 # ----------------------------------------------------------------------
 def _run_ips(
@@ -959,6 +1608,7 @@ def _run_ips(
     n_analytic = 0
     n_cache = 0
     n_flush = 0
+    migrations = 0
 
     if fast_ok:
         split1, c01, slope1, u11, lp1 = model._fast_l1
@@ -1158,7 +1808,10 @@ def _run_ips(
                     clock = ref_clock[p]
                     d = clock - code_touch[p]
                     code_refs = d if d > 0.0 else 0.0
-                    if stream_lp[s] != p:
+                    lp_s = stream_lp[s]
+                    if lp_s != p:
+                        if lp_s >= 0:
+                            migrations += 1
                         stream_refs = COLD_
                     else:
                         d = clock - stream_touch[p][s]
@@ -1293,7 +1946,10 @@ def _run_ips(
                 # dt == 0.0: accrued[p] was just set to now.
                 d = clock - code_touch[p]
                 code_refs = d if d > 0.0 else 0.0
-                if stream_lp[s2] != p:
+                lp_s2 = stream_lp[s2]
+                if lp_s2 != p:
+                    if lp_s2 >= 0:
+                        migrations += 1
                     stream_refs = COLD_
                 else:
                     d = clock - stream_touch[p][s2]
@@ -1388,6 +2044,7 @@ def _run_ips(
     model._n_analytic_hits += n_analytic
     model._n_cache_hits += n_cache
     model._n_flush_computes += n_flush
+    dispatcher.migrations += migrations
 
     skeys = dispatcher._stream_keys
     for s in first_completion_order:

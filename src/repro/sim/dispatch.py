@@ -89,6 +89,9 @@ class BaseDispatcher(SchedulerView):
         self._stream_keys: Dict[int, Tuple[str, int]] = {}
         #: monotone count of completed protocol executions, system-wide.
         self.protocol_epoch: int = 0
+        #: dispatches whose processor differs from the stream's previous
+        #: one (a stream's first service is placement, not migration).
+        self.migrations: int = 0
         #: Idle processor ids, kept sorted ascending — the same order the
         #: historical per-query scan produced.
         self._idle: List[int] = [p.proc_id for p in system.processors]
@@ -253,7 +256,10 @@ class LockingDispatcher(BaseDispatcher):
             d = clock - last
             code_refs = d if d > 0.0 else 0.0
         stream_id = packet.stream_id
-        if self._stream_last_proc.get(stream_id) != proc_id:
+        last_sp = self._stream_last_proc.get(stream_id)
+        if last_sp != proc_id:
+            if last_sp is not None:
+                self.migrations += 1
             stream_refs = COLD
         else:
             # The stream completed here before, so its key is interned.
@@ -484,7 +490,10 @@ class IPSDispatcher(BaseDispatcher):
             d = clock - last
             code_refs = d if d > 0.0 else 0.0
         stream_id = packet.stream_id
-        if self._stream_last_proc.get(stream_id) != proc_id:
+        last_sp = self._stream_last_proc.get(stream_id)
+        if last_sp != proc_id:
+            if last_sp is not None:
+                self.migrations += 1
             stream_refs = COLD
         else:
             # The stream completed here before, so its key is interned.

@@ -63,6 +63,36 @@ class SimulationSummary:
     max_backlog: int
     final_backlog: int
     per_stream_mean_delay_us: Dict[int, float] = field(default_factory=dict)
+    # Reordering metrics (defaulted: summaries predating the policy zoo —
+    # e.g. cached pickles — still unpickle and compare cleanly).
+    out_of_order_total: int = 0
+    migrations_total: int = 0
+    ooo_depth_counts: Dict[int, int] = field(default_factory=dict)
+    per_stream_out_of_order: Dict[int, int] = field(default_factory=dict)
+    per_stream_migrations: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def reordered_fraction(self) -> float:
+        """Share of recorded packets completing out of order."""
+        return self.out_of_order_total / self.n_packets if self.n_packets else 0.0
+
+    @property
+    def max_ooo_depth(self) -> int:
+        """Deepest sequence gap observed (0 = fully in order)."""
+        return max(self.ooo_depth_counts) if self.ooo_depth_counts else 0
+
+    def reordering_row(self) -> Dict[str, float]:
+        """Flat dict of the reordering metrics for table assembly.
+
+        Kept separate from :meth:`row` so existing golden tables keep
+        their exact column set.
+        """
+        return {
+            "out_of_order": self.out_of_order_total,
+            "ooo_fraction": self.reordered_fraction,
+            "max_ooo_depth": self.max_ooo_depth,
+            "migrations": self.migrations_total,
+        }
 
     @property
     def mean_utilization(self) -> float:
@@ -266,8 +296,25 @@ class MetricsCollector:
         utilization_per_proc: Tuple[float, ...],
         offered_rate_pps: float,
         n_batches: int = 20,
+        migrations: Optional[int] = None,
     ) -> SimulationSummary:
-        """Build the run summary (delays in µs, rates in packets/second)."""
+        """Build the run summary (delays in µs, rates in packets/second).
+
+        ``migrations`` is the engine-counted stream-migration total
+        (dispatches whose processor differs from the stream's previous
+        one, warmup included).  When ``None`` it falls back to the count
+        reconstructed from the recorded (post-warmup) rows.
+
+        Reordering is computed from the recorded columns, whose row order
+        is completion order in both engines — so the metrics agree across
+        engines by construction.  A packet's *sequence number* is its
+        arrival rank within its stream (ties rank in completion order, so
+        simultaneous batch arrivals never count as reordered); a packet is
+        **out of order** when a later sequence number of the same stream
+        already completed, and its **depth** is the TCP-reassembly-style
+        gap ``max(seq already completed) - seq`` (Wu et al.'s Flow
+        Director pathology measure).
+        """
         self._flush_block()
         if not self._col_stream:
             nan = math.nan
@@ -298,6 +345,11 @@ class MetricsCollector:
         stream_ids = np.array(self._col_stream)
         for sid in np.unique(stream_ids):
             per_stream[int(sid)] = float(delays_us[stream_ids == sid].mean())
+        (ooo_total, depth_counts, per_stream_ooo,
+         row_migrations, per_stream_mig) = self._reordering(
+            stream_ids, arrivals_us,
+            np.array(self._col_start), np.array(self._col_proc),
+        )
         return SimulationSummary(
             n_packets=len(delays_us),
             duration_us=duration_us,
@@ -315,4 +367,89 @@ class MetricsCollector:
             max_backlog=self.max_backlog,
             final_backlog=self._backlog,
             per_stream_mean_delay_us=per_stream,
+            out_of_order_total=ooo_total,
+            migrations_total=row_migrations if migrations is None else migrations,
+            ooo_depth_counts=depth_counts,
+            per_stream_out_of_order=per_stream_ooo,
+            per_stream_migrations=per_stream_mig,
         )
+
+    @staticmethod
+    def _reordering(
+        stream_ids: np.ndarray,
+        arrivals_us: np.ndarray,
+        starts_us: np.ndarray,
+        proc_ids: np.ndarray,
+    ) -> Tuple[int, Dict[int, int], Dict[int, int], int, Dict[int, int]]:
+        """Vectorized reordering/migration metrics over the recorded rows.
+
+        Row index is completion order (both engines append rows in
+        completion-event firing order), so "already completed" is simply
+        "earlier row".  Fully NumPy — no per-row Python loop — to keep
+        :meth:`summarize` out of the hot-path benchmark's way.
+
+        Returns ``(out_of_order_total, depth_counts, per_stream_ooo,
+        migrations_total, per_stream_migrations)``; the per-stream dicts
+        hold only nonzero entries.
+        """
+        n = len(stream_ids)
+        if n == 0:
+            return 0, {}, {}, 0, {}
+        # --- sequence numbers: arrival rank within stream -------------
+        # Stable sort by arrival (ties keep completion order), then a
+        # stable group-by-stream on top: rows end up grouped per stream,
+        # arrival-ordered within the group.
+        by_arrival = np.argsort(arrivals_us, kind="stable")
+        ga = by_arrival[np.argsort(stream_ids[by_arrival], kind="stable")]
+        streams_a = stream_ids[ga]
+        new_group_a = np.empty(n, dtype=bool)
+        new_group_a[0] = True
+        np.not_equal(streams_a[1:], streams_a[:-1], out=new_group_a[1:])
+        group_start = np.maximum.accumulate(
+            np.where(new_group_a, np.arange(n), 0)
+        )
+        seq = np.empty(n, dtype=np.int64)
+        seq[ga] = np.arange(n) - group_start
+        # --- out-of-order depth in completion order -------------------
+        # Stable group-by-stream of the original (completion-ordered)
+        # rows, then a segmented running max of seq: offsetting each
+        # group by group_index * n makes one global maximum.accumulate
+        # respect the group boundaries (n > every seq value).
+        gc = np.argsort(stream_ids, kind="stable")
+        streams_c = stream_ids[gc]
+        seq_c = seq[gc]
+        new_group_c = np.empty(n, dtype=bool)
+        new_group_c[0] = True
+        np.not_equal(streams_c[1:], streams_c[:-1], out=new_group_c[1:])
+        group_idx = np.cumsum(new_group_c) - 1
+        run_max = (
+            np.maximum.accumulate(seq_c + group_idx * n) - group_idx * n
+        )
+        # Exclusive running max: the packet itself excluded; a group's
+        # first packet can never be late.
+        prev_max = np.empty(n, dtype=np.int64)
+        prev_max[1:] = run_max[:-1]
+        prev_max[new_group_c] = seq_c[new_group_c]
+        depth_c = prev_max - seq_c  # > 0 iff out of order
+        late = depth_c > 0
+        ooo_total = int(np.count_nonzero(late))
+        depth_counts: Dict[int, int] = {}
+        per_stream_ooo: Dict[int, int] = {}
+        if ooo_total:
+            for d, c in zip(*np.unique(depth_c[late], return_counts=True)):
+                depth_counts[int(d)] = int(c)
+            for s, c in zip(*np.unique(streams_c[late], return_counts=True)):
+                per_stream_ooo[int(s)] = int(c)
+        # --- migrations: processor changes in service-start order -----
+        by_start = np.argsort(starts_us, kind="stable")
+        gs = by_start[np.argsort(stream_ids[by_start], kind="stable")]
+        streams_s = stream_ids[gs]
+        procs_s = proc_ids[gs]
+        same_stream = streams_s[1:] == streams_s[:-1]
+        moved = same_stream & (procs_s[1:] != procs_s[:-1])
+        migrations_total = int(np.count_nonzero(moved))
+        per_stream_mig: Dict[int, int] = {}
+        if migrations_total:
+            for s, c in zip(*np.unique(streams_s[1:][moved], return_counts=True)):
+                per_stream_mig[int(s)] = int(c)
+        return ooo_total, depth_counts, per_stream_ooo, migrations_total, per_stream_mig

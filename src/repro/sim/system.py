@@ -378,7 +378,8 @@ class NetworkProcessingSystem:
             self.sim.run_until(self.config.duration_us)
         if self.invariants is not None:
             self.invariants.at_end(
-                self.metrics, self.dispatcher.queued(), self.processors
+                self.metrics, self.dispatcher.queued(), self.processors,
+                dispatcher_migrations=self.dispatcher.migrations,
             )
         duration_us = self.config.duration_us
         utilization = tuple(p.utilization(duration_us) for p in self.processors)
@@ -389,6 +390,7 @@ class NetworkProcessingSystem:
             duration_us=duration_us,
             utilization_per_proc=utilization,
             offered_rate_pps=offered,
+            migrations=self.dispatcher.migrations,
         )
 
 

@@ -42,7 +42,7 @@ it can be wired into :mod:`repro.sim` without import cycles.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Protocol
+from typing import Dict, Iterable, Optional, Protocol
 
 
 class _PacketLike(Protocol):
@@ -50,6 +50,7 @@ class _PacketLike(Protocol):
     imports nothing from the rest of the package to stay cycle-free)."""
 
     packet_id: int
+    stream_id: int
     arrival_us: float
     service_start_us: float
     lock_wait_us: float
@@ -90,7 +91,13 @@ class InvariantChecker:
         self.arrivals: int = 0
         self.completions: int = 0
         self.in_flight: int = 0
+        self.dispatches: int = 0
+        self.migrations: int = 0
         self._clock_us: float = 0.0
+        #: stream id -> processor that last *completed* it (mirrors the
+        #: dispatcher's migration bookkeeping, which also updates at
+        #: completion — so the two migration counts must agree exactly).
+        self._stream_last_proc: Dict[int, int] = {}
         #: processor id -> end of its current/last booked busy interval.
         self._busy_until: Dict[int, float] = {}
         #: processor id -> packet id currently in service.
@@ -132,6 +139,10 @@ class InvariantChecker:
     def on_service_start(self, proc_id: int, packet: _PacketLike, now_us: float,
                          lock_wait_us: float, exec_time_us: float) -> None:
         self.checks += 1
+        self.dispatches += 1
+        last_sp = self._stream_last_proc.get(packet.stream_id)
+        if last_sp is not None and last_sp != proc_id:
+            self.migrations += 1
         if packet.arrival_us > now_us + self.epsilon_us:
             self._fail(
                 f"causality: packet {packet.packet_id} starts service at "
@@ -173,6 +184,7 @@ class InvariantChecker:
                 f"processor {proc_id} completed packet {packet.packet_id} "
                 f"but was serving {serving}"
             )
+        self._stream_last_proc[packet.stream_id] = proc_id
         eps = self.epsilon_us
         if not (packet.arrival_us <= packet.service_start_us + eps
                 and packet.service_start_us <= now_us + eps):
@@ -215,9 +227,25 @@ class InvariantChecker:
     # End-of-run cross-checks
     # ------------------------------------------------------------------
     def at_end(self, metrics: _MetricsLike, dispatcher_queued: int,
-               processors: Iterable[_ProcessorLike]) -> None:
-        """Conservation against the independent metrics/dispatcher state."""
+               processors: Iterable[_ProcessorLike],
+               dispatcher_migrations: Optional[int] = None) -> None:
+        """Conservation against the independent metrics/dispatcher state.
+
+        ``dispatcher_migrations`` (when given) is the dispatcher's own
+        migration counter; it must equal the checker's independent count.
+        """
         self.checks += 1
+        if self.migrations > self.dispatches:
+            self._fail(
+                f"conservation: {self.migrations} migrations exceed "
+                f"{self.dispatches} dispatches"
+            )
+        if (dispatcher_migrations is not None
+                and dispatcher_migrations != self.migrations):
+            self._fail(
+                f"migration accounting: dispatcher counted "
+                f"{dispatcher_migrations}, checker counted {self.migrations}"
+            )
         if self.arrivals != metrics.arrivals:
             self._fail(
                 f"conservation: checker saw {self.arrivals} arrivals, "
@@ -248,4 +276,6 @@ class InvariantChecker:
             "arrivals": self.arrivals,
             "completions": self.completions,
             "in_flight": self.in_flight,
+            "dispatches": self.dispatches,
+            "migrations": self.migrations,
         }

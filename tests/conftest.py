@@ -2,14 +2,24 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.core.params import PAPER_COMPOSITION, PAPER_COSTS
 from repro.cache.hierarchy import sgi_challenge_hierarchy
 from repro.core.exec_model import ExecutionTimeModel
 from repro.sim.system import SystemConfig
 from repro.workloads.traffic import TrafficSpec
+
+# CI runs property suites with a fixed, reproducible profile: derandomized
+# (the example sequence is a function of the test, not of a timestamp) and
+# without per-example deadlines (shared runners have noisy clocks).
+# Select with HYPOTHESIS_PROFILE=ci; the default profile is untouched.
+hypothesis_settings.register_profile("ci", deadline=None, derandomize=True)
+hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture

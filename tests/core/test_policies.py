@@ -10,6 +10,8 @@ from repro.core.policies import (
     IPS_POLICIES,
     LOCKING_POLICIES,
     FCFSPolicy,
+    FlowSteerPolicy,
+    GroupedAffinityPolicy,
     HybridPolicy,
     IPSMRUPolicy,
     IPSWiredPolicy,
@@ -18,6 +20,7 @@ from repro.core.policies import (
     SchedulerView,
     StreamMRUPolicy,
     WiredStreamsPolicy,
+    WorkStealingPolicy,
     make_ips_policy,
     make_locking_policy,
 )
@@ -242,6 +245,133 @@ class TestIPSPolicies:
         view = FakeView()
         view.idle = []
         assert IPSMRUPolicy().select_processor(0, view, None) is None
+
+
+class TestFlowSteer:
+    def test_hash_default_steering(self):
+        pol, view = attach(FlowSteerPolicy())
+        pol.on_arrival(FakePacket(6, packet_id=1))  # 6 % 4 -> proc 2
+        proc, pkt = pol.next_dispatch()
+        assert proc == 2 and pkt.packet_id == 1
+        assert pol.target_processor(6) == 2
+
+    def test_rebalance_moves_stream_and_counts(self):
+        pol, view = attach(FlowSteerPolicy(rebalance_threshold=1))
+        # Load proc 1 (stream 1's hash target) past the threshold.
+        for i in range(3):
+            pol._queues[1].append(FakePacket(1, packet_id=i))
+        view.idle = []
+        pol.on_arrival(FakePacket(1, packet_id=99))
+        # 3 > 0 (shortest) + 1 -> re-steered to the shortest queue (0).
+        assert pol.resteers == 1
+        assert pol.target_processor(1) == 0
+        assert pol._queues[0][0].packet_id == 99
+        # Old packets stay put: the reordering mechanism.
+        assert [p.packet_id for p in pol._queues[1]] == [0, 1, 2]
+
+    def test_consults_no_rng(self):
+        pol, view = attach(FlowSteerPolicy(rebalance_threshold=0))
+        for i in range(8):
+            pol.on_arrival(FakePacket(i, packet_id=i))
+            pol.next_dispatch()
+        assert view.choices == []
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError, match="rebalance_threshold"):
+            FlowSteerPolicy(rebalance_threshold=-1)
+
+
+class TestWorkStealing:
+    def test_serves_own_queue_before_stealing(self):
+        pol, view = attach(WorkStealingPolicy())
+        view.stream_last[5] = 1
+        pol.on_arrival(FakePacket(5, packet_id=1))
+        proc, pkt = pol.next_dispatch()
+        assert proc == 1 and pkt.packet_id == 1
+        assert pol.steals == 0
+
+    def test_steals_newest_from_longest_queue(self):
+        pol, view = attach(WorkStealingPolicy(steal_threshold=1))
+        view.idle = [0, 1]
+        for i in range(3):  # stream 2 hashes home to busy proc 2
+            pol.on_arrival(FakePacket(2, packet_id=i))
+        proc, pkt = pol.next_dispatch()
+        assert pkt.packet_id == 2  # LIFO: newest end
+        assert pol.steals == 1
+        # The owner's in-order end is intact.
+        assert [p.packet_id for p in pol._queues[2]] == [0, 1]
+
+    def test_victim_draw_precedes_thief_draw(self):
+        class RecordingView(FakeView):
+            def __init__(self, n=4):
+                super().__init__(n)
+                self.draws = []
+
+            def random_choice(self, items):
+                self.draws.append(list(items))
+                return items[0]
+
+        view = RecordingView()
+        pol, view = attach(WorkStealingPolicy(steal_threshold=1), view)
+        view.idle = [0, 1]
+        for i in range(2):
+            pol.on_arrival(FakePacket(2, packet_id=i))  # home: proc 2
+            pol.on_arrival(FakePacket(3, packet_id=i))  # home: proc 3
+        pol.next_dispatch()
+        # Victims 2 and 3 tie at length 2; thieves 0 and 1 tie at -inf.
+        # The draw-order contract fixes victim-first.
+        assert view.draws == [[2, 3], [0, 1]]
+
+    def test_no_steal_below_threshold(self):
+        pol, view = attach(WorkStealingPolicy(steal_threshold=2))
+        view.idle = [0]
+        pol.on_arrival(FakePacket(1, packet_id=1))
+        pol.on_arrival(FakePacket(1, packet_id=2))
+        assert pol.next_dispatch() is None  # 2 queued, not > 2
+        assert pol.queued() == 2
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError, match="steal_threshold"):
+            WorkStealingPolicy(steal_threshold=0)
+
+
+class TestGroupedAffinity:
+    def test_streams_hash_to_groups(self):
+        pol, view = attach(GroupedAffinityPolicy(n_groups=2))
+        pol.on_arrival(FakePacket(3, packet_id=1))  # group 1
+        proc, pkt = pol.next_dispatch()
+        assert proc % 2 == 1 and pkt.packet_id == 1
+
+    def test_mru_within_group(self):
+        pol, view = attach(GroupedAffinityPolicy(n_groups=2))
+        view.last_end = {0: 1.0, 1: 5.0, 2: 9.0, 3: 7.0}
+        pol.on_arrival(FakePacket(0))  # group 0: members 0 and 2
+        proc, _ = pol.next_dispatch()
+        assert proc == 2  # MRU of {0, 2}
+
+    def test_waits_for_group_member(self):
+        pol, view = attach(GroupedAffinityPolicy(n_groups=2))
+        view.idle = [0, 2]  # only group-0 processors idle
+        pol.on_arrival(FakePacket(1))  # group 1
+        assert pol.next_dispatch() is None
+        assert pol.queued() == 1
+
+    def test_group_count_clamped_to_processors(self):
+        pol, view = attach(GroupedAffinityPolicy(n_groups=64))
+        assert pol.effective_groups == view.n_processors
+        assert pol.group_of(9) == 9 % view.n_processors
+
+    def test_n_groups_equal_processors_is_wired(self):
+        pol, view = attach(GroupedAffinityPolicy(n_groups=4))
+        wired, wview = attach(WiredStreamsPolicy())
+        for sid in (0, 5, 10, 7):
+            pol.on_arrival(FakePacket(sid))
+            wired.on_arrival(FakePacket(sid))
+            assert pol.next_dispatch()[0] == wired.next_dispatch()[0]
+
+    def test_rejects_bad_group_count(self):
+        with pytest.raises(ValueError, match="n_groups"):
+            GroupedAffinityPolicy(n_groups=0)
 
 
 class TestRegistries:

@@ -103,14 +103,14 @@ class TestRPR005:
     def test_unregistered_module_fires(self, tmp_path):
         exp = tmp_path / "experiments"
         shutil.copytree(EXPERIMENTS_DIR, exp)
-        (exp / "e15_rogue.py").write_text(
-            'EXPERIMENT_ID = "e15"\nTITLE = "rogue"\n')
+        (exp / "e16_rogue.py").write_text(
+            'EXPERIMENT_ID = "e16"\nTITLE = "rogue"\n')
         findings = check_registry_conformance(exp, exp / "base.py", MANIFEST)
-        assert any(f.code == "RPR005" and "e15_rogue" in f.message
+        assert any(f.code == "RPR005" and "e16_rogue" in f.message
                    and "not registered" in f.message for f in findings)
         # ...and it has no golden either.
         assert any(f.code == "RPR005" and "golden" in f.message
-                   and "'e15'" in f.message for f in findings)
+                   and "'e16'" in f.message for f in findings)
 
     def test_registry_entry_without_module_fires(self, tmp_path):
         exp = tmp_path / "experiments"

@@ -343,6 +343,23 @@ class TestRPR007:
         """, hot_path=True)
         assert codes(out) == ["RPR007"]
 
+    def test_policy_hook_fires_in_hot_path(self):
+        # The fused loops inline policy decisions; calling back into the
+        # scalar per-packet policy objects is the regression under test.
+        out = lint_source("""
+            def refill(dispatcher):
+                return dispatcher.policy.next_dispatch()
+        """, hot_path=True)
+        assert codes(out) == ["RPR007"]
+        assert "next_dispatch" in out[0].message
+
+    def test_ips_policy_hook_fires_in_hot_path(self):
+        out = lint_source("""
+            def place(policy, stack_id, view, last):
+                return policy.select_processor(stack_id, view, last)
+        """, hot_path=True)
+        assert codes(out) == ["RPR007"]
+
     def test_batch_apis_are_clean_in_hot_path(self):
         assert lint_source("""
             def fold(model, metrics, code, stream, thread, shared, cols):

@@ -178,15 +178,34 @@ def _system_state(system, summary):
         ],
     }
     if hasattr(d, "threads"):
-        state["queue"] = [
-            (p.packet_id, p.stream_id, p.arrival_us) for p in d.policy._queue
-        ]
+        pol = d.policy
+        # MRU-family policies keep one shared queue; the zoo policies
+        # keep per-processor (dict) or per-group (list) queues.
+        if hasattr(pol, "_queue"):
+            queues = {"shared": pol._queue}
+        elif isinstance(pol._queues, dict):
+            queues = pol._queues
+        else:
+            queues = dict(enumerate(pol._queues))
+        state["queue"] = {
+            key: [(p.packet_id, p.stream_id, p.arrival_us) for p in q]
+            for key, q in queues.items()
+        }
         state["free_threads"] = list(d.threads._free)
+        state["thread_last_proc"] = dict(d.threads._last_proc)
+        state["migrations"] = d.migrations
+        state["stream_last_proc"] = dict(d._stream_last_proc)
+        for counter in ("resteers", "steals"):
+            if hasattr(pol, counter):
+                state[counter] = getattr(pol, counter)
+        if hasattr(pol, "_steer"):
+            state["steer"] = dict(pol._steer)
     else:
         state["queues"] = [
             [(p.packet_id, p.stream_id, p.arrival_us) for p in q]
             for q in d._queues
         ]
+        state["migrations"] = d.migrations
     return state
 
 
@@ -204,6 +223,8 @@ _CASES = [
     ("locking", "mru"),
     ("locking", "fcfs"),
     ("locking", "stream-mru"),
+    ("locking", "flow-steer"),
+    ("locking", "grouped"),
     ("ips", "ips-mru"),
     ("ips", "ips-wired"),
 ]
@@ -225,7 +246,8 @@ def test_full_system_batched_equals_scalar(paradigm, policy, monkeypatch):
 
 
 @pytest.mark.parametrize("paradigm,policy", [
-    ("locking", "mru"), ("ips", "ips-mru"),
+    ("locking", "mru"), ("locking", "flow-steer"), ("locking", "grouped"),
+    ("ips", "ips-mru"),
 ])
 def test_saturated_batched_equals_scalar(paradigm, policy, monkeypatch):
     """Deep-overload deterministic workload (the benchmark's regime):
@@ -245,7 +267,8 @@ def test_saturated_batched_equals_scalar(paradigm, policy, monkeypatch):
 
 
 @pytest.mark.parametrize("paradigm,policy", [
-    ("locking", "mru"), ("locking", "fcfs"), ("ips", "ips-wired"),
+    ("locking", "mru"), ("locking", "fcfs"), ("locking", "flow-steer"),
+    ("locking", "grouped"), ("ips", "ips-wired"),
 ])
 def test_exact_cross_stream_ties_batched_equals_scalar(
     paradigm, policy, monkeypatch,
@@ -330,6 +353,27 @@ def test_unsupported_config_falls_back_to_scalar(monkeypatch):
     system = NetworkProcessingSystem(SystemConfig(**kwargs))
     assert batch.unsupported_reason(system) is not None
     system.run()  # scalar fallback, no error
+    monkeypatch.setenv(batch.ENGINE_ENV, "batched")
+    system = NetworkProcessingSystem(SystemConfig(**kwargs))
+    with pytest.raises(RuntimeError, match="not supported by the fused core"):
+        system.run()
+
+
+def test_work_steal_falls_back_to_scalar(monkeypatch):
+    """Work stealing is deliberately not fused (its RNG-visible victim
+    scan depends on global queue state): auto mode silently runs the
+    scalar engine, forced batched mode refuses."""
+    traffic = TrafficSpec(
+        stream_specs=tuple(PoissonSpec(4_000.0) for _ in range(2)),
+        size_model=FixedSize(1024),
+    )
+    kwargs = dict(paradigm="locking", policy="work-steal", traffic=traffic,
+                  duration_us=20_000.0, warmup_us=1_000.0, seed=1)
+    monkeypatch.setenv(batch.ENGINE_ENV, "auto")
+    system = NetworkProcessingSystem(SystemConfig(**kwargs))
+    assert "not fused" in batch.unsupported_reason(system)
+    summary = system.run()
+    assert summary.n_packets > 0
     monkeypatch.setenv(batch.ENGINE_ENV, "batched")
     system = NetworkProcessingSystem(SystemConfig(**kwargs))
     with pytest.raises(RuntimeError, match="not supported by the fused core"):

@@ -1,0 +1,183 @@
+"""Oracle tests for the per-stream reordering/migration metrics.
+
+Each trace is hand-worked: rows are fed to the collector in completion
+order (the order both engines append them) and every count and depth is
+asserted against a by-hand derivation, not against the implementation.
+
+Definitions under test (see ``MetricsCollector.summarize``):
+
+- a packet's *sequence number* is its arrival rank within its stream,
+  with arrival ties ranked in completion order (so simultaneous batch
+  arrivals never count as reordered);
+- a packet is *out of order* when a higher sequence number of its stream
+  already completed; its *depth* is ``max(seq completed so far) - seq``;
+- a *migration* is a service start on a different processor than the
+  stream's previous service, counted in service-start order (a stream's
+  first service is placement, not migration).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.metrics import MetricsCollector
+from repro.sim.system import NetworkProcessingSystem
+from repro.verify.invariants import InvariantChecker, InvariantViolation
+
+from ..conftest import fast_config
+
+
+def summarize_rows(rows, warmup_us=0.0, n_procs=2):
+    """Feed ``(stream, arrival, start, completion, proc)`` rows (already
+    in completion order) to a fresh collector and summarize."""
+    mc = MetricsCollector(warmup_us=warmup_us)
+    mc.extend_columns(
+        [r[0] for r in rows],
+        [r[1] for r in rows],
+        [r[2] for r in rows],
+        [r[3] for r in rows],
+        [1.0] * len(rows),          # exec
+        [0.0] * len(rows),          # lock wait
+        [r[4] for r in rows],
+    )
+    mc.fold_batch_counts(len(rows), len(rows), 0, len(rows))
+    return mc.summarize(
+        duration_us=100.0,
+        utilization_per_proc=(0.0,) * n_procs,
+        offered_rate_pps=0.0,
+    )
+
+
+class TestOracleTraces:
+    def test_single_stream_fully_reversed(self):
+        # Stream 7 arrives 0,1,2 (seq 0,1,2) and completes reversed.
+        # Completion-order seqs [2,1,0]: depths 0, 2-1=1, 2-0=2.
+        s = summarize_rows([
+            (7, 2.0, 2.5, 4.0, 1),
+            (7, 1.0, 1.2, 5.0, 0),
+            (7, 0.0, 0.1, 6.0, 0),
+        ])
+        assert s.out_of_order_total == 2
+        assert s.ooo_depth_counts == {1: 1, 2: 1}
+        assert s.per_stream_out_of_order == {7: 2}
+        assert s.max_ooo_depth == 2
+        assert s.reordered_fraction == pytest.approx(2 / 3)
+        # Start order: (0.1, p0), (1.2, p0), (2.5, p1) -> one migration.
+        assert s.migrations_total == 1
+        assert s.per_stream_migrations == {7: 1}
+
+    def test_in_order_interleaved_streams(self):
+        # Two streams complete in arrival order on fixed processors:
+        # nothing is out of order, nothing migrates.
+        s = summarize_rows([
+            (0, 0.0, 0.1, 3.0, 0),
+            (1, 0.5, 0.6, 3.5, 1),
+            (0, 1.0, 3.0, 4.0, 0),
+            (1, 1.5, 3.5, 4.5, 1),
+        ])
+        assert s.out_of_order_total == 0
+        assert s.ooo_depth_counts == {}
+        assert s.per_stream_out_of_order == {}
+        assert s.max_ooo_depth == 0
+        assert s.migrations_total == 0
+        assert s.per_stream_migrations == {}
+
+    def test_simultaneous_batch_arrivals_never_reorder(self):
+        # All three packets of stream 3 arrive at the same instant; ties
+        # take completion order, so seqs are 0,1,2 however they finish —
+        # but hopping 0 -> 1 -> 0 across processors is two migrations.
+        s = summarize_rows([
+            (3, 5.0, 5.1, 6.0, 0),
+            (3, 5.0, 5.2, 7.0, 1),
+            (3, 5.0, 5.3, 8.0, 0),
+        ])
+        assert s.out_of_order_total == 0
+        assert s.ooo_depth_counts == {}
+        assert s.migrations_total == 2
+        assert s.per_stream_migrations == {3: 2}
+
+    def test_one_swap_in_one_stream(self):
+        # Stream 1's two packets complete swapped; stream 0 is clean.
+        s = summarize_rows([
+            (0, 0.0, 0.1, 10.0, 0),
+            (1, 2.0, 2.1, 11.0, 1),
+            (1, 1.0, 1.1, 12.0, 1),
+            (0, 3.0, 10.0, 13.0, 0),
+        ])
+        assert s.out_of_order_total == 1
+        assert s.ooo_depth_counts == {1: 1}
+        assert s.per_stream_out_of_order == {1: 1}
+        assert s.migrations_total == 0
+
+    def test_depth_distribution_one_early_packet(self):
+        # Stream 5, seqs 0..4; the newest (seq 4) completes first, then
+        # the rest in order: depths 4,3,2,1 — the TCP-reassembly gap a
+        # receiver would buffer after one packet jumps the queue.
+        rows = [(5, 4.0, 4.5, 10.0, 0)]
+        rows += [(5, float(i), 10.0 + i, 11.0 + i, 0) for i in range(4)]
+        s = summarize_rows(rows)
+        assert s.out_of_order_total == 4
+        assert s.ooo_depth_counts == {1: 1, 2: 1, 3: 1, 4: 1}
+        assert s.per_stream_out_of_order == {5: 4}
+        assert s.max_ooo_depth == 4
+        assert s.migrations_total == 0
+
+    def test_empty_run_is_reorder_free(self):
+        mc = MetricsCollector()
+        s = mc.summarize(duration_us=10.0, utilization_per_proc=(0.0,),
+                         offered_rate_pps=0.0)
+        assert s.out_of_order_total == 0
+        assert s.ooo_depth_counts == {}
+        assert s.migrations_total == 0
+        assert s.reordered_fraction == 0.0
+        assert s.max_ooo_depth == 0
+
+    def test_reordering_row_columns(self):
+        s = summarize_rows([(0, 0.0, 0.1, 1.0, 0)])
+        row = s.reordering_row()
+        assert set(row) == {"out_of_order", "ooo_fraction",
+                            "max_ooo_depth", "migrations"}
+
+    def test_engine_migration_total_overrides_row_count(self):
+        # The dispatcher counts migrations over the whole run (warmup
+        # included); summarize must prefer it over the row-derived count.
+        mc = MetricsCollector(warmup_us=0.0)
+        mc.extend_columns([0], [0.0], [0.1], [1.0], [1.0], [0.0], [0])
+        s = mc.summarize(duration_us=10.0, utilization_per_proc=(0.0,),
+                         offered_rate_pps=0.0, migrations=5)
+        assert s.migrations_total == 5
+        assert s.per_stream_migrations == {}  # rows alone show none
+
+
+class TestConservationInvariant:
+    def test_migrations_cannot_exceed_dispatches(self):
+        checker = InvariantChecker()
+        checker.dispatches = 1
+        checker.migrations = 2
+        with pytest.raises(InvariantViolation, match="migrations exceed"):
+            checker.at_end(_FakeMetrics(), 0, [])
+
+    def test_dispatcher_count_must_match_checker(self):
+        checker = InvariantChecker()
+        with pytest.raises(InvariantViolation, match="migration accounting"):
+            checker.at_end(_FakeMetrics(), 0, [], dispatcher_migrations=3)
+
+    @pytest.mark.parametrize("policy", ["flow-steer", "work-steal",
+                                        "grouped", "mru"])
+    def test_full_run_upholds_conservation(self, policy):
+        system = NetworkProcessingSystem(
+            fast_config(policy=policy, check_invariants=True,
+                        duration_us=40_000.0, warmup_us=5_000.0)
+        )
+        summary = system.run()
+        inv = system.invariants.summary()
+        assert inv["migrations"] <= inv["dispatches"]
+        assert inv["migrations"] == system.dispatcher.migrations
+        # The summary carries the engine total, not the row-derived one.
+        assert summary.migrations_total == system.dispatcher.migrations
+
+
+class _FakeMetrics:
+    arrivals = 0
+    completions = 0
+    in_flight = 0

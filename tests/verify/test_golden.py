@@ -163,3 +163,30 @@ def test_checked_in_goldens_are_intact():
         entry, error = golden._load_golden(path)
         assert entry is not None, f"{path.name}: {error}"
         assert manifest[path.stem] == entry["sha256"]
+
+
+def test_every_registered_policy_appears_in_a_golden():
+    """Coverage gate: each policy in the registries is pinned by at least
+    one committed golden (E15's reordering table names the full registry
+    in its ``policy`` column), so adding a policy without extending the
+    golden suite fails here rather than going unregressed."""
+    from repro.core.policies import IPS_POLICIES, LOCKING_POLICIES
+
+    directory = golden.default_goldens_dir()
+    covered = set()
+    for path in sorted(directory.glob("e*.json")):
+        entry, _error = golden._load_golden(path)
+        assert entry is not None
+        for row in entry["rows"]:
+            value = row.get("policy")
+            if isinstance(value, str):
+                covered.add(value)
+    registered = set(LOCKING_POLICIES) | {
+        n for n in IPS_POLICIES if n != "ips-random"
+    }
+    missing = {
+        name for name in registered
+        if name not in covered
+        and not any(name in label for label in covered)
+    }
+    assert not missing, f"policies with no golden coverage: {sorted(missing)}"
