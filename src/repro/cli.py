@@ -197,7 +197,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_lint = sub.add_parser(
         "lint", help="run the domain-specific static-analysis pass "
-                     "(RPR001..RPR006; see docs/LINTING.md)")
+                     "(RPR001..RPR011; see docs/LINTING.md)")
     p_lint.add_argument("paths", nargs="*", metavar="PATH",
                         help="files/directories to lint (default: the "
                              "installed repro package)")
@@ -206,6 +206,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "(e.g. RPR001,RPR003)")
     p_lint.add_argument("--ignore", default=None, metavar="CODES",
                         help="comma-separated rule codes to skip")
+    p_lint.add_argument("--format", choices=("text", "github"),
+                        default="text", dest="fmt",
+                        help="output style: human-readable report or "
+                             "GitHub Actions ::error annotations")
     p_lint.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
 
@@ -370,7 +374,9 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from .lint import RULES, lint_paths, parse_code_list, render_report
+    from .lint import (
+        RULES, lint_paths, parse_code_list, render_github, render_report,
+    )
 
     if args.list_rules:
         for code, summary in sorted(RULES.items()):
@@ -384,7 +390,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         return 2
     paths = [Path(p) for p in args.paths] if args.paths else None
     findings = lint_paths(paths, select=select, ignore=ignore)
-    print(render_report(findings))
+    render = render_github if args.fmt == "github" else render_report
+    print(render(findings))
     return 1 if findings else 0
 
 

@@ -25,12 +25,16 @@ from pathlib import Path
 from typing import Tuple
 
 __all__ = [
+    "BLESSED_RNG_CLASS",
+    "CONFIG_CLASSES",
     "FORBIDDEN_WALLCLOCK",
     "HOT_PATH_BATCH_RELPATHS",
     "HOT_PATH_SCALAR_CALLS",
     "NUMPY_RANDOM_PREFIX",
     "RESULT_AFFECTING_PREFIXES",
+    "RNG_DRAW_METHODS",
     "RNG_EXEMPT_RELPATHS",
+    "SCALAR_PATH_RELPATHS",
     "TIME_WORDS",
     "UNIT_SUFFIXES",
     "UNITLESS_SUFFIXES",
@@ -156,6 +160,47 @@ UNITLESS_SUFFIXES: Tuple[str, ...] = (
     "_flag",
     "_id",
     "_ids",
+)
+
+
+#: Package-relative paths of the *scalar* engine path for the RPR008
+#: config-read parity rule: the modules whose per-packet behaviour the
+#: fused batched engine must reproduce bit for bit.  A ``SystemConfig``/
+#: params field read (directly or through a provenance-carrying instance
+#: binding) in any of these must also be read by ``sim/batch.py`` or be
+#: declared batch-irrelevant there.
+SCALAR_PATH_RELPATHS: Tuple[str, ...] = (
+    "sim/engine.py",
+    "sim/dispatch.py",
+    "sim/locks.py",
+    "core/exec_model.py",
+    "core/policies.py",
+)
+
+#: Config dataclasses whose field reads RPR008 tracks across the two
+#: engines.  ``SystemConfig`` is the run's identity; the params classes
+#: are the knobs it aggregates (``costs``/``composition``/``platform``).
+CONFIG_CLASSES: Tuple[str, ...] = (
+    "SystemConfig",
+    "ProtocolCosts",
+    "FootprintComposition",
+    "PlatformConfig",
+)
+
+#: The one class allowed to derive generators from the run seed
+#: (``sim/rng.py``).  Any value flowing out of an instance of it is a
+#: blessed generator for RPR009.
+BLESSED_RNG_CLASS = "RandomStreams"
+
+#: ``numpy.random.Generator`` method names that consume entropy.  A call
+#: of one of these in result-affecting code is an RPR009 draw site whose
+#: receiver must trace back to :data:`BLESSED_RNG_CLASS` (or to an
+#: explicitly RPR001-suppressed construction).
+RNG_DRAW_METHODS: Tuple[str, ...] = (
+    "integers", "random", "choice", "shuffle", "permutation", "permuted",
+    "exponential", "uniform", "normal", "standard_normal", "lognormal",
+    "poisson", "geometric", "binomial", "gamma", "beta", "pareto",
+    "weibull", "zipf", "standard_exponential", "standard_gamma", "bytes",
 )
 
 

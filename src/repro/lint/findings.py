@@ -31,6 +31,18 @@ RULES: Dict[str, str] = {
     "RPR007": "hot-path: per-event scalar dispatch (per-packet model call, "
               "metrics hook or calendar insertion) inside a batched hot-path "
               "module; use the batch APIs",
+    "RPR008": "engine parity: a SystemConfig/params field read in the scalar "
+              "path is never read by the fused batched engine and is not "
+              "declared in _BATCH_IRRELEVANT_FIELDS",
+    "RPR009": "rng provenance: a random draw in result-affecting code does "
+              "not trace back to the blessed sim/rng.py derivation point, or "
+              "an RNG-consuming policy has neither a fused batched path nor "
+              "a _SCALAR_FALLBACK_POLICIES entry",
+    "RPR010": "metrics parity: the scalar summarize() fold and the batched "
+              "columnar fold-back disagree on the summary schema, or a "
+              "summary key is covered by no golden field",
+    "RPR011": "suppression hygiene: a repro-lint ignore comment no longer "
+              "suppresses any finding",
 }
 
 

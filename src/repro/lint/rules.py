@@ -542,16 +542,19 @@ class HotPathBatchRule(_BaseRule):
 # Driver for one file
 # ----------------------------------------------------------------------
 def run_file_rules(path: str, source: str, *, result_affecting: bool,
-                   rng_exempt: bool, hot_path: bool = False) -> List[Finding]:
-    """Parse ``source`` and run every per-file rule; syntax errors become a
-    single pseudo-finding so a broken file fails loudly rather than
-    silently passing."""
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [Finding(path=path, line=exc.lineno or 1,
-                        col=(exc.offset or 1) - 1, code="RPR000",
-                        message=f"syntax error: {exc.msg}")]
+                   rng_exempt: bool, hot_path: bool = False,
+                   tree: Optional[ast.Module] = None) -> List[Finding]:
+    """Run every per-file rule; syntax errors become a single
+    pseudo-finding so a broken file fails loudly rather than silently
+    passing.  ``tree`` lets the engine pass an already-parsed AST so each
+    file is parsed exactly once across all rules."""
+    if tree is None:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return [Finding(path=path, line=exc.lineno or 1,
+                            col=(exc.offset or 1) - 1, code="RPR000",
+                            message=f"syntax error: {exc.msg}")]
     imports = ImportTable(tree)
     findings: List[Finding] = []
     rule_classes: List[type] = [DeterminismRule, OrderingRule, UnitsRule,

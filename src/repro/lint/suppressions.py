@@ -10,6 +10,11 @@ immediately above.  The bracket must name the code(s) being suppressed
 suppressions stay auditable.  Everything after the bracket is the
 human-readable justification (required by convention; see
 ``docs/LINTING.md`` for the suppression policy).
+
+Two views over the same single tokenize pass: :func:`suppression_sites`
+keeps each physical comment distinct (the RPR011 unused-suppression view),
+and :func:`codes_by_line`/:func:`suppressed_codes` flatten sites into the
+line -> codes map the filtering step consumes.
 """
 
 from __future__ import annotations
@@ -17,26 +22,38 @@ from __future__ import annotations
 import io
 import re
 import tokenize
-from typing import Dict, FrozenSet
+from typing import Dict, FrozenSet, Iterable, List, NamedTuple
 
-__all__ = ["suppressed_codes", "is_suppressed"]
+__all__ = ["suppressed_codes", "suppression_sites", "codes_by_line",
+           "is_suppressed", "SuppressionSite"]
 
 _PATTERN = re.compile(r"#\s*repro-lint:\s*ignore\[([A-Z0-9,\s]+)\]")
 
 
-def suppressed_codes(source: str) -> Dict[int, FrozenSet[str]]:
-    """Map line number -> codes suppressed on that line.
+class SuppressionSite(NamedTuple):
+    """One physical ``ignore[...]`` comment: where it sits, what codes it
+    names, and which source lines it covers (its own line, plus the next
+    line when it is a standalone comment)."""
+
+    line: int
+    codes: FrozenSet[str]
+    covered_lines: FrozenSet[int]
+
+
+def suppression_sites(source: str) -> List[SuppressionSite]:
+    """Every suppression comment in ``source`` as a :class:`SuppressionSite`.
 
     A standalone suppression comment (no code on its line) also covers the
     next line, so multi-code or long-reason suppressions can sit above the
     statement they annotate.
     """
-    out: Dict[int, FrozenSet[str]] = {}
-    standalone: Dict[int, FrozenSet[str]] = {}
+    sites: List[SuppressionSite] = []
+    if "repro-lint" not in source:
+        return sites  # skip tokenizing the (common) suppression-free file
     try:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
     except (tokenize.TokenError, IndentationError, SyntaxError):
-        return out
+        return sites
     code_lines = {
         t.start[0]
         for t in tokens
@@ -55,12 +72,26 @@ def suppressed_codes(source: str) -> Dict[int, FrozenSet[str]]:
         if not codes:
             continue
         line = tok.start[0]
-        out[line] = out.get(line, frozenset()) | codes
-        if line not in code_lines:
-            standalone[line] = codes
-    for line, codes in standalone.items():
-        out[line + 1] = out.get(line + 1, frozenset()) | codes
+        covered = {line} if line in code_lines else {line, line + 1}
+        sites.append(SuppressionSite(line=line, codes=codes,
+                                     covered_lines=frozenset(covered)))
+    return sites
+
+
+def codes_by_line(
+    sites: Iterable[SuppressionSite],
+) -> Dict[int, FrozenSet[str]]:
+    """Flatten sites into the line -> suppressed-codes map."""
+    out: Dict[int, FrozenSet[str]] = {}
+    for site in sites:
+        for line in site.covered_lines:
+            out[line] = out.get(line, frozenset()) | site.codes
     return out
+
+
+def suppressed_codes(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number -> codes suppressed on that line."""
+    return codes_by_line(suppression_sites(source))
 
 
 def is_suppressed(suppressions: Dict[int, FrozenSet[str]],

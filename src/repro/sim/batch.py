@@ -72,7 +72,7 @@ import math
 import os
 from bisect import bisect_left
 from collections import deque
-from typing import TYPE_CHECKING, Deque, List, Optional, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -131,6 +131,32 @@ _LOCKING_POLICIES = (MRUPolicy, FCFSPolicy, StreamMRUPolicy)
 _LOCKING_POOL_POLICIES = (FlowSteerPolicy, GroupedAffinityPolicy)
 _IPS_POLICIES = (IPSMRUPolicy, IPSWiredPolicy)
 _ARRIVAL_SPECS = (PoissonSpec, DeterministicSpec)
+
+#: RPR008 parity ledger: config fields the scalar path reads that this
+#: engine deliberately never reads, mapped to the reason.  Kept empty on
+#: purpose — every scalar-path knob is currently either read here
+#: directly or reached through a provenance-carrying binding
+#: (``system.model``, ``system.dispatcher.lock``, ...).  Add an entry
+#: (``"SystemConfig.field": "why"``) only with a real justification; the
+#: linter rejects stale or reasonless entries.
+_BATCH_IRRELEVANT_FIELDS: Dict[str, str] = {}
+
+#: RPR009 fallback ledger: registered RNG-consuming policies that have no
+#: fused loop here and instead run on the scalar engine (via
+#: :func:`unsupported_reason` returning "... is not fused").  The linter
+#: requires every RNG-consuming registry policy to appear either in the
+#: fused tuples above or in this dict with a reason.
+_SCALAR_FALLBACK_POLICIES: Dict[str, str] = {
+    "HybridPolicy": (
+        "hybrid wired/MRU switching re-evaluates residency per packet; "
+        "kept on the scalar engine until a fused variant is profiled"
+    ),
+    "WorkStealingPolicy": (
+        "stealing inspects victim queues at completion time; the "
+        "documented random_choice draw-order contract pins it to the "
+        "scalar engine"
+    ),
+}
 
 
 def unsupported_reason(system: "NetworkProcessingSystem") -> Optional[str]:

@@ -21,6 +21,28 @@ from .entities import Packet
 
 __all__ = ["PacketRecord", "MetricsCollector", "SimulationSummary"]
 
+#: RPR010 coverage ledger: summary-table keys (from ``row()`` /
+#: ``reordering_row()``) that no golden field pins, mapped to the reason
+#: they stay unpinned.  Anything produced but neither golden-covered nor
+#: listed here is an unchecked metric and fails lint.
+_GOLDEN_UNCOVERED_KEYS = {
+    "n_packets": (
+        "redundant with throughput_pps x duration; goldens pin the rate"
+    ),
+    "mean_queueing_us": (
+        "derived as mean_delay - mean_exec, both of which are "
+        "golden-pinned; pinning the difference would double-count noise"
+    ),
+    "p95_delay_us": (
+        "tail percentile is too seed-sensitive at golden run lengths; "
+        "the mean and throughput pin the distribution's mass"
+    ),
+    "utilization": (
+        "algebraically determined by throughput_pps and mean_exec_us "
+        "(both pinned) and the processor count"
+    ),
+}
+
 
 @dataclass(frozen=True)
 class PacketRecord:

@@ -7,7 +7,14 @@ import sys
 
 import pytest
 
-from repro.lint import RULES, lint_file, lint_paths, parse_code_list, render_report
+from repro.lint import (
+    RULES,
+    lint_file,
+    lint_paths,
+    parse_code_list,
+    render_github,
+    render_report,
+)
 
 REPO = pathlib.Path(__file__).resolve().parents[2]
 PACKAGE = REPO / "src" / "repro"
@@ -23,7 +30,8 @@ def test_repo_lints_clean():
 
 def test_every_rule_documented():
     assert sorted(RULES) == ["RPR001", "RPR002", "RPR003", "RPR004",
-                             "RPR005", "RPR006", "RPR007"]
+                             "RPR005", "RPR006", "RPR007", "RPR008",
+                             "RPR009", "RPR010", "RPR011"]
     catalogue = (REPO / "docs" / "LINTING.md").read_text()
     for code in RULES:
         assert code in catalogue, f"{code} missing from docs/LINTING.md"
@@ -90,6 +98,77 @@ def test_findings_sorted_and_rendered(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# Suppression hygiene (RPR011)
+# ----------------------------------------------------------------------
+def test_unused_suppression_reported(tmp_path):
+    f = tmp_path / "snippet.py"
+    f.write_text("x = 1  # repro-lint: ignore[RPR001] nothing to silence\n")
+    findings = lint_file(f)
+    assert [x.code for x in findings] == ["RPR011"]
+    assert "ignore[RPR001]" in findings[0].message
+
+
+def test_used_suppression_not_reported(tmp_path):
+    f = tmp_path / "snippet.py"
+    f.write_text(
+        "import time\n"
+        "t = time.time()  # repro-lint: ignore[RPR001] test fixture\n")
+    assert lint_file(f) == []
+
+
+def test_standalone_suppression_covers_next_line(tmp_path):
+    f = tmp_path / "snippet.py"
+    f.write_text(
+        "import time\n"
+        "# repro-lint: ignore[RPR001] test fixture\n"
+        "t = time.time()\n")
+    assert lint_file(f) == []
+
+
+def test_unused_suppression_via_lint_paths(tmp_path):
+    f = tmp_path / "snippet.py"
+    f.write_text("x = 1  # repro-lint: ignore[RPR002] stale\n")
+    assert [x.code for x in lint_paths([f])] == ["RPR011"]
+    # Selecting an unrelated rule must not surface the RPR011.
+    assert lint_paths([f], select=frozenset({"RPR001"})) == []
+
+
+# ----------------------------------------------------------------------
+# GitHub annotation output
+# ----------------------------------------------------------------------
+def test_render_github_format(tmp_path):
+    f = tmp_path / "snippet.py"
+    f.write_text("import random\n")
+    findings = lint_paths([f])
+    out = render_github(findings)
+    assert out.startswith("::error file=")
+    assert ",line=1," in out and "title=RPR001" in out
+    assert render_github([]) == "::notice::repro lint: all clean"
+
+
+def test_render_github_escapes_newlines():
+    from repro.lint import Finding
+    finding = Finding(path="a.py", line=2, col=0, code="RPR001",
+                      message="bad%stuff\nsecond line")
+    out = render_github([finding])
+    assert "\n" not in out
+    assert "%25" in out and "%0A" in out
+
+
+def test_render_github_paths_repo_relative():
+    findings = lint_paths([PACKAGE / "sim" / "rng.py"],
+                          select=frozenset({"RPR001"}))
+    # rng.py is exempt, so fabricate via a real package file finding-free
+    # run: just check the path translation helper on a synthetic finding.
+    from repro.lint import Finding
+    finding = Finding(path=str(PACKAGE / "sim" / "rng.py"), line=1, col=0,
+                      code="RPR001", message="m")
+    out = render_github([finding])
+    assert "file=src/repro/sim/rng.py," in out
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
 # CLI surface
 # ----------------------------------------------------------------------
 def run_cli(*argv):
@@ -112,6 +191,14 @@ def test_cli_lint_findings_exit_one(tmp_path, capsys):
 def test_cli_lint_unknown_code_exits_two(tmp_path, capsys):
     assert run_cli("lint", "--select", "RPR999") == 2
     assert "RPR999" in capsys.readouterr().err
+
+
+def test_cli_lint_github_format(tmp_path, capsys):
+    f = tmp_path / "snippet.py"
+    f.write_text("import random\n")
+    assert run_cli("lint", "--format", "github", str(f)) == 1
+    out = capsys.readouterr().out
+    assert out.startswith("::error file=")
 
 
 def test_cli_list_rules(capsys):

@@ -1,0 +1,202 @@
+"""Mutation-style coverage for the cross-engine parity rules.
+
+Each test copies the real package, seeds exactly the defect class the rule
+exists to catch (a fused read deleted, an untraceable RNG draw, a summary
+key nobody pins), and asserts the rule fires naming the defect — plus a
+true-negative per rule showing declarations and suppressions both silence
+it cleanly.
+"""
+
+import pathlib
+import shutil
+
+import pytest
+
+from repro.lint import lint_paths
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+PACKAGE = REPO / "src" / "repro"
+
+
+@pytest.fixture()
+def pkg(tmp_path):
+    copy = tmp_path / "repro"
+    shutil.copytree(PACKAGE, copy)
+    return copy
+
+
+def run_lint(pkg):
+    return lint_paths([pkg], package_root=pkg, repo_root=REPO)
+
+
+def edit(path, old, new, count=None):
+    source = path.read_text()
+    found = source.count(old)
+    assert found, f"mutation anchor {old!r} not found in {path.name}"
+    if count is not None:
+        assert found == count
+    path.write_text(source.replace(old, new))
+
+
+# ----------------------------------------------------------------------
+# RPR008 — config-read parity
+# ----------------------------------------------------------------------
+class TestConfigReadParity:
+    def test_deleted_fused_read_fires(self, pkg):
+        # The fused engine stops reading fixed_overhead_us: the scalar
+        # dispatcher still charges it, so the engines would drift.
+        edit(pkg / "sim" / "batch.py", "cfg.fixed_overhead_us", "0.0")
+        rpr008 = [f for f in run_lint(pkg) if f.code == "RPR008"]
+        assert len(rpr008) == 1
+        assert "SystemConfig.fixed_overhead_us" in rpr008[0].message
+        assert "dispatch.py" in rpr008[0].path
+
+    def test_declared_irrelevant_field_is_clean(self, pkg):
+        edit(pkg / "sim" / "batch.py", "cfg.fixed_overhead_us", "0.0")
+        edit(pkg / "sim" / "batch.py",
+             "_BATCH_IRRELEVANT_FIELDS: Dict[str, str] = {}",
+             '_BATCH_IRRELEVANT_FIELDS: Dict[str, str] = {\n'
+             '    "SystemConfig.fixed_overhead_us": "charged at fold-back",\n'
+             '}')
+        assert [f for f in run_lint(pkg) if f.code == "RPR008"] == []
+
+    def test_suppression_silences_the_anchor(self, pkg):
+        edit(pkg / "sim" / "batch.py", "cfg.fixed_overhead_us", "0.0")
+        edit(pkg / "sim" / "dispatch.py",
+             "self._extra_us = system.fixed_overhead_us",
+             "self._extra_us = system.fixed_overhead_us"
+             "  # repro-lint: ignore[RPR008] test fixture", count=1)
+        assert [f for f in run_lint(pkg) if f.code == "RPR008"] == []
+
+    def test_stale_declaration_fires(self, pkg):
+        # Declaring a field the batched engine *does* read is a lie the
+        # rule must reject, not a no-op.
+        edit(pkg / "sim" / "batch.py",
+             "_BATCH_IRRELEVANT_FIELDS: Dict[str, str] = {}",
+             '_BATCH_IRRELEVANT_FIELDS: Dict[str, str] = {\n'
+             '    "SystemConfig.duration_us": "never needed",\n'
+             '}')
+        rpr008 = [f for f in run_lint(pkg) if f.code == "RPR008"]
+        assert len(rpr008) == 1
+        assert "stale" in rpr008[0].message
+        assert "SystemConfig.duration_us" in rpr008[0].message
+
+    def test_missing_declaration_dict_fires(self, pkg):
+        edit(pkg / "sim" / "batch.py",
+             "_BATCH_IRRELEVANT_FIELDS: Dict[str, str] = {}", "", count=1)
+        rpr008 = [f for f in run_lint(pkg) if f.code == "RPR008"]
+        assert any("must declare _BATCH_IRRELEVANT_FIELDS" in f.message
+                   for f in rpr008)
+
+
+# ----------------------------------------------------------------------
+# RPR009 — RNG provenance + policy fallback coverage
+# ----------------------------------------------------------------------
+class TestRngProvenance:
+    def test_untraceable_draw_fires(self, pkg):
+        # A draw whose receiver never traces to RandomStreams: classic
+        # "private warm-up generator" drift hazard.
+        edit(pkg / "sim" / "dispatch.py",
+             "    def random_choice",
+             "    def warm_choice(self, items):\n"
+             "        return items[int(self._warm_rng.integers(0, 2))]\n"
+             "\n"
+             "    def random_choice", count=1)
+        rpr009 = [f for f in run_lint(pkg) if f.code == "RPR009"]
+        assert len(rpr009) == 1
+        assert ".integers()" in rpr009[0].message
+        assert "dispatch.py" in rpr009[0].path
+
+    def test_suppressed_draw_is_clean(self, pkg):
+        edit(pkg / "sim" / "dispatch.py",
+             "    def random_choice",
+             "    def warm_choice(self, items):\n"
+             "        return items[int(self._warm_rng.integers(0, 2))]"
+             "  # repro-lint: ignore[RPR009] test fixture\n"
+             "\n"
+             "    def random_choice", count=1)
+        assert [f for f in run_lint(pkg) if f.code == "RPR009"] == []
+
+    def test_undeclared_fallback_policy_fires(self, pkg):
+        # Drop HybridPolicy from the fallback ledger: an RNG-consuming
+        # registered policy with neither a fused path nor a declaration.
+        batch = pkg / "sim" / "batch.py"
+        source = batch.read_text()
+        start = source.index('    "HybridPolicy"')
+        end = source.index("),", start) + 3
+        batch.write_text(source[:start] + source[end:])
+        rpr009 = [f for f in run_lint(pkg) if f.code == "RPR009"]
+        assert len(rpr009) == 1
+        assert "HybridPolicy" in rpr009[0].message
+        assert "policies.py" in rpr009[0].path
+
+    def test_contradictory_fallback_declaration_fires(self, pkg):
+        # Declaring a policy that IS fused is a stale ledger entry.
+        edit(pkg / "sim" / "batch.py",
+             '    "HybridPolicy": (',
+             '    "MRUPolicy": "pretend",\n    "HybridPolicy": (', count=1)
+        rpr009 = [f for f in run_lint(pkg) if f.code == "RPR009"]
+        assert len(rpr009) == 1
+        assert "contradictory" in rpr009[0].message
+        assert "MRUPolicy" in rpr009[0].message
+
+
+# ----------------------------------------------------------------------
+# RPR010 — metrics schema parity
+# ----------------------------------------------------------------------
+class TestMetricsSchemaParity:
+    def test_unpinned_summary_key_fires(self, pkg):
+        edit(pkg / "sim" / "metrics.py",
+             '"n_packets": self.n_packets,',
+             '"n_packets": self.n_packets,\n'
+             '            "p50_delay_us": 0.0,', count=1)
+        rpr010 = [f for f in run_lint(pkg) if f.code == "RPR010"]
+        assert len(rpr010) == 1
+        assert "p50_delay_us" in rpr010[0].message
+
+    def test_declared_uncovered_key_is_clean(self, pkg):
+        edit(pkg / "sim" / "metrics.py",
+             '"n_packets": self.n_packets,',
+             '"n_packets": self.n_packets,\n'
+             '            "p50_delay_us": 0.0,', count=1)
+        edit(pkg / "sim" / "metrics.py",
+             '_GOLDEN_UNCOVERED_KEYS = {',
+             '_GOLDEN_UNCOVERED_KEYS = {\n'
+             '    "p50_delay_us": "median too seed-sensitive to pin",',
+             count=1)
+        assert [f for f in run_lint(pkg) if f.code == "RPR010"] == []
+
+    def test_suppressed_key_is_clean(self, pkg):
+        edit(pkg / "sim" / "metrics.py",
+             '"n_packets": self.n_packets,',
+             '"n_packets": self.n_packets,\n'
+             '            "p50_delay_us": 0.0,', count=1)
+        edit(pkg / "sim" / "metrics.py",
+             "    def row(self)",
+             "    # repro-lint: ignore[RPR010] test fixture\n"
+             "    def row(self)", count=1)
+        assert [f for f in run_lint(pkg) if f.code == "RPR010"] == []
+
+    def test_dropped_column_extend_fires(self, pkg):
+        # The batched fold-back forgets one column: scalar and batched
+        # summaries would silently diverge on exec-time stats.
+        edit(pkg / "sim" / "metrics.py",
+             "        self._col_exec.extend(execs_us)\n", "", count=1)
+        rpr010 = [f for f in run_lint(pkg) if f.code == "RPR010"]
+        assert any("extend different columns" in f.message for f in rpr010)
+        assert any("_col_exec" in f.message for f in rpr010)
+
+    def test_dropped_counter_fold_fires(self, pkg):
+        edit(pkg / "sim" / "metrics.py",
+             "        self.completions += n_completions\n", "", count=1)
+        rpr010 = [f for f in run_lint(pkg) if f.code == "RPR010"]
+        assert any("mutate different counters" in f.message for f in rpr010)
+
+    def test_stale_golden_declaration_fires(self, pkg):
+        edit(pkg / "sim" / "metrics.py",
+             '_GOLDEN_UNCOVERED_KEYS = {',
+             '_GOLDEN_UNCOVERED_KEYS = {\n'
+             '    "no_such_key": "never produced",', count=1)
+        rpr010 = [f for f in run_lint(pkg) if f.code == "RPR010"]
+        assert len(rpr010) == 1
+        assert "stale" in rpr010[0].message and "no_such_key" in rpr010[0].message
