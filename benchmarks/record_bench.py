@@ -1,7 +1,8 @@
-"""Record hot-path benchmark results into ``BENCH_hotpath.json``.
+"""Record benchmark results into ``BENCH_hotpath.json`` / ``BENCH_sweep.json``.
 
-Writes the repo-root trajectory file that tracks simulator throughput
-PR-over-PR::
+Writes the repo-root trajectory files that track simulator throughput
+(``BENCH_hotpath.json``) and sweep-executor throughput
+(``BENCH_sweep.json``) PR-over-PR::
 
     PYTHONPATH=src python benchmarks/record_bench.py
 
@@ -26,6 +27,11 @@ The file has five sections:
     ``run_simulation`` loop over the same sweep — the hardening tax,
     budgeted at < 2% (``docs/ROBUSTNESS.md``).
 
+``BENCH_sweep.json`` records the execution-backend comparison (serial vs
+pool vs warm on the E06-style replicated session, best of 5, cold
+cache) — the acceptance trajectory for the affinity-aware sweep executor
+(``docs/PERFORMANCE.md``), gated in CI by ``bench_runner.py --check``.
+
 Numbers are machine-relative: re-record on the machine whose numbers you
 want to compare, and treat cross-machine deltas as noise.  CI only
 enforces a conservative absolute floor (see ``bench_hotpath.py --check``).
@@ -39,7 +45,7 @@ import sys
 from typing import Any, Dict
 
 from bench_hotpath import BENCH_JSON, WORKLOADS, report
-from bench_runner import measure_overhead
+from bench_runner import SWEEP_JSON, compare_backends, measure_overhead
 
 #: Frozen pre-overhaul reference (commit af16703, same machine/workload
 #: as the initial "current" recording).  Kept in-code so a fresh
@@ -79,13 +85,27 @@ BASELINE_PR4: Dict[str, Any] = {
 
 
 def current_commit() -> str:
+    """Short hash of HEAD, with a ``-dirty`` suffix for uncommitted edits.
+
+    Recordings are usually taken *before* the PR's final commit exists,
+    so a bare ``rev-parse HEAD`` stamps the parent commit and silently
+    misattributes the numbers (BENCH_hotpath.json once recorded the seed
+    commit for a post-overhaul measurement).  The suffix makes a
+    mid-work recording self-describing: ``<hash>-dirty`` means "HEAD
+    plus the working tree this PR was about to commit".
+    """
     try:
-        return subprocess.run(
+        head = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
             capture_output=True, text=True, check=True,
         ).stdout.strip()
     except (OSError, subprocess.CalledProcessError):
         return "unknown"
+    return f"{head}-dirty" if status else head
 
 
 def main(repeats: int = 5) -> int:
@@ -119,6 +139,17 @@ def main(repeats: int = 5) -> int:
         print(f"[record_bench] {case}: {speedup}x vs PR-4 scalar core")
     print(f"[record_bench] runner overhead: {overhead['overhead_pct']}% "
           f"(raw {overhead['raw_s']}s vs hardened {overhead['runner_s']}s)")
+
+    sweep: Dict[str, Any] = {
+        "commit": current_commit(),
+        "note": ("execution-backend comparison: E06-style replicated "
+                 "session, best of 5, cold cache"),
+        **compare_backends(repeats=repeats),
+    }
+    SWEEP_JSON.write_text(json.dumps(sweep, indent=2, sort_keys=True) + "\n")
+    print(f"[record_bench] wrote {SWEEP_JSON}")
+    print(f"[record_bench] warm vs pool: {sweep['warm_vs_pool']}x "
+          f"(target >= 3x), warm vs serial: {sweep['warm_vs_serial']}x")
     return 0
 
 

@@ -92,6 +92,13 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
         help="worker processes for sweep fan-out (0 = serial, the default; "
              "-1 = one per CPU)")
     parser.add_argument(
+        "--backend", choices=("serial", "pool", "warm"), default="warm",
+        help="execution engine for --jobs > 1: 'warm' keeps persistent "
+             "affinity-routed workers alive across sweeps (default), "
+             "'pool' spawns a process pool per sweep, 'serial' forces "
+             "in-process execution; results are bit-identical across "
+             "backends (see docs/RUNNER.md)")
+    parser.add_argument(
         "--no-cache", action="store_true",
         help="bypass the persistent result cache")
     parser.add_argument(
@@ -191,13 +198,18 @@ def build_parser() -> argparse.ArgumentParser:
                           help="fault-plan seed (same seed = same faults)")
     p_faults.add_argument("--jobs", type=int, default=2, metavar="N",
                           help="worker processes for the parallel scenarios")
+    p_faults.add_argument("--backend", choices=("serial", "pool", "warm"),
+                          default="warm",
+                          help="execution engine for the parallel scenarios; "
+                               "'warm' also runs the warm-specific scenarios "
+                               "(worker-cache loss, queue stealing)")
     p_faults.add_argument("--workdir", default=None, metavar="PATH",
                           help="scratch directory for the scenarios' "
                                "caches/journals (default: a temp dir)")
 
     p_lint = sub.add_parser(
         "lint", help="run the domain-specific static-analysis pass "
-                     "(RPR001..RPR011; see docs/LINTING.md)")
+                     "(RPR001..RPR012; see docs/LINTING.md)")
     p_lint.add_argument("paths", nargs="*", metavar="PATH",
                         help="files/directories to lint (default: the "
                              "installed repro package)")
@@ -244,6 +256,7 @@ def _make_runner(args: argparse.Namespace) -> SweepRunner:
     return SweepRunner(
         jobs=jobs, cache=cache,
         check_invariants=getattr(args, "check_invariants", False),
+        backend=getattr(args, "backend", "warm"),
         timeout_s=getattr(args, "timeout", None),
         retries=getattr(args, "retries", 0),
         resume=getattr(args, "resume", False),
@@ -251,6 +264,7 @@ def _make_runner(args: argparse.Namespace) -> SweepRunner:
 
 
 def _print_runner_summary(runner: SweepRunner) -> None:
+    runner.close()  # retire persistent warm workers before reporting
     print(f"[runner] {runner.stats.summary_line(runner.jobs_label())}")
 
 
@@ -335,18 +349,18 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 
     if args.workdir is not None:
         results = run_fault_suite(Path(args.workdir), jobs=args.jobs,
-                                  seed=args.seed)
+                                  seed=args.seed, backend=args.backend)
     else:
         with tempfile.TemporaryDirectory(prefix="repro-faults-") as tmp:
             results = run_fault_suite(Path(tmp), jobs=args.jobs,
-                                      seed=args.seed)
+                                      seed=args.seed, backend=args.backend)
     width = max(len(r.name) for r in results)
     for r in results:
         status = "PASS" if r.ok else "FAIL"
         print(f"{status}  {r.name:<{width}}  {r.detail}")
     failed = sum(1 for r in results if not r.ok)
     print(f"[faults] {len(results) - failed}/{len(results)} scenarios passed "
-          f"(seed={args.seed}, jobs={args.jobs})")
+          f"(seed={args.seed}, jobs={args.jobs}, backend={args.backend})")
     return 1 if failed else 0
 
 

@@ -5,7 +5,7 @@
 (RPR001–003, RPR006, and RPR007 on hot-path batch modules) against the
 cached ASTs, and — when the lint targets include ``sim/system.py`` (i.e.
 the package itself is being linted, not an isolated fixture) — runs the
-project-level cross-checks (RPR004–005) and the interprocedural
+project-level cross-checks (RPR004–005, RPR012) and the interprocedural
 flow-analysis rules (RPR008–010) as well, reusing the same cache.  Inline
 suppression comments then filter everything uniformly, any suppression
 comment that stopped matching a finding is reported as RPR011, and
@@ -34,7 +34,11 @@ from .flow import (
     check_metrics_schema_parity,
     check_rng_provenance,
 )
-from .project import check_cache_key_conformance, check_registry_conformance
+from .project import (
+    check_cache_key_conformance,
+    check_registry_conformance,
+    check_warm_state_ledger,
+)
 from .rules import run_file_rules
 from .suppressions import (
     SuppressionSite,
@@ -217,6 +221,8 @@ def lint_paths(
                 root / "sim" / "metrics.py",
                 root / "sim" / "batch.py",
                 repo / "tests" / "goldens"))
+        if _wanted("RPR012"):
+            raw.extend(check_warm_state_ledger(root / "runner" / "backends"))
 
     findings: List[Finding] = []
     for f in raw:

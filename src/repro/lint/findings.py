@@ -43,6 +43,10 @@ RULES: Dict[str, str] = {
               "summary key is covered by no golden field",
     "RPR011": "suppression hygiene: a repro-lint ignore comment no longer "
               "suppresses any finding",
+    "RPR012": "warm-state ledger: a module-level mutable cache in "
+              "runner/backends/ must be registered in _WARM_LEDGER with a "
+              "reason and cleared by reset_warm_state(), so every piece of "
+              "state a warm worker can carry across tasks is auditable",
 }
 
 

@@ -1,5 +1,5 @@
-"""Project-level rules: RPR004 (cache-key hygiene) and RPR005
-(registry/golden conformance).
+"""Project-level rules: RPR004 (cache-key hygiene), RPR005
+(registry/golden conformance), and RPR012 (warm-state ledger).
 
 Unlike the per-file rules, these checks read *several* artifacts and
 cross-check them:
@@ -38,6 +38,7 @@ from .findings import Finding
 __all__ = [
     "check_cache_key_conformance",
     "check_registry_conformance",
+    "check_warm_state_ledger",
     "system_config_fields",
 ]
 
@@ -252,4 +253,139 @@ def check_registry_conformance(experiments_dir: Path, base_py: Path,
             manifest_path, None,
             f"golden manifest entry {eid!r} has no experiment module",
             "RPR005"))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# RPR012 — warm-state ledger
+# ----------------------------------------------------------------------
+#: Constructor names whose module-level calls create mutable containers.
+_MUTABLE_CTORS = frozenset({
+    "dict", "list", "set", "deque", "defaultdict", "OrderedDict", "Counter",
+})
+
+#: Globals exempt from the ledger: the ledger itself, and Python metadata.
+_LEDGER_NAME = "_WARM_LEDGER"
+_RESET_NAME = "reset_warm_state"
+
+
+def _is_mutable_value(node: ast.expr) -> bool:
+    """Whether an assigned value is a mutable container at module level."""
+    if isinstance(node, (ast.Dict, ast.List, ast.Set,
+                         ast.DictComp, ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None)
+        return name in _MUTABLE_CTORS
+    return False
+
+
+def check_warm_state_ledger(backends_dir: Path) -> List[Finding]:
+    """RPR012: every module-level mutable container in ``runner/backends/``
+    must be (a) registered in ``_WARM_LEDGER`` with a non-empty reason
+    string and (b) referenced by ``reset_warm_state()``.
+
+    Warm workers deliberately hold state across tasks; this ledger keeps
+    that set *closed*: a new cache cannot be added without declaring why
+    cross-task reuse is result-safe and wiring it into the reset path.
+    Stale ledger entries (naming no surviving global) are flagged too.
+    """
+    findings: List[Finding] = []
+    mutable_globals: Dict[str, Finding] = {}
+    ledger: Dict[str, Optional[str]] = {}
+    ledger_lines: Dict[str, Finding] = {}
+    ledger_home: Optional[Path] = None
+    reset_names: Set[str] = set()
+    reset_found = False
+
+    for module in sorted(backends_dir.glob("*.py")):
+        tree = _parse(module)
+        if tree is None:
+            continue
+        for node in tree.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node.name == _RESET_NAME:
+                reset_found = True
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Name):
+                        reset_names.add(sub.id)
+                continue
+            if value is None:
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                name = target.id
+                if name == _LEDGER_NAME:
+                    ledger_home = module
+                    if isinstance(value, ast.Dict):
+                        for key, reason in zip(value.keys, value.values):
+                            if not (isinstance(key, ast.Constant)
+                                    and isinstance(key.value, str)):
+                                continue
+                            text = (reason.value
+                                    if isinstance(reason, ast.Constant)
+                                    and isinstance(reason.value, str)
+                                    else None)
+                            ledger[key.value] = text
+                            ledger_lines[key.value] = _finding(
+                                module, key, "", "RPR012")
+                    continue
+                if name.startswith("__") and name.endswith("__"):
+                    continue
+                if _is_mutable_value(value):
+                    mutable_globals[name] = _finding(module, node, "", "RPR012")
+
+    if not mutable_globals and not ledger:
+        return findings
+
+    for name, anchor in sorted(mutable_globals.items()):
+        if name not in ledger:
+            findings.append(Finding(
+                path=anchor.path, line=anchor.line, col=anchor.col,
+                code="RPR012",
+                message=f"module-level mutable cache {name!r} is not "
+                        f"registered in {_LEDGER_NAME}; warm workers carry "
+                        "it across tasks — declare why that is result-safe "
+                        f"and clear it in {_RESET_NAME}()"))
+            continue
+        reason = ledger[name]
+        if not reason or not reason.strip():
+            anchor = ledger_lines.get(name, anchor)
+            findings.append(Finding(
+                path=anchor.path, line=anchor.line, col=anchor.col,
+                code="RPR012",
+                message=f"{_LEDGER_NAME} entry {name!r} needs a non-empty "
+                        "reason string explaining why cross-task reuse is "
+                        "result-safe"))
+        if name not in reset_names:
+            findings.append(Finding(
+                path=anchor.path, line=anchor.line, col=anchor.col,
+                code="RPR012",
+                message=f"ledger-registered cache {name!r} is never "
+                        f"referenced inside {_RESET_NAME}(); the reset "
+                        "path must clear every registered cache"))
+
+    for name in sorted(set(ledger) - set(mutable_globals)):
+        anchor = ledger_lines[name]
+        findings.append(Finding(
+            path=anchor.path, line=anchor.line, col=anchor.col,
+            code="RPR012",
+            message=f"stale {_LEDGER_NAME} entry {name!r} names no "
+                    "module-level mutable cache in runner/backends/; "
+                    "delete it so the ledger stays honest"))
+
+    if mutable_globals and not reset_found and ledger_home is not None:
+        findings.append(_finding(
+            ledger_home, None,
+            f"runner/backends/ holds mutable module state but defines no "
+            f"{_RESET_NAME}() to clear it", "RPR012"))
     return findings

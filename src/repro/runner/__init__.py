@@ -27,6 +27,14 @@ See ``docs/RUNNER.md`` for the cache key scheme and invalidation rules,
 and ``docs/ROBUSTNESS.md`` for the failure taxonomy and resume workflow.
 """
 
+from .affinity import AffinityScheduler, affinity_key, workload_family
+from .backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    WarmOptions,
+    make_backend,
+    reset_warm_state,
+)
 from .cache import CacheStats, ResultCache, default_cache_dir
 from .checkpoint import CheckpointJournal, sweep_id
 from .faults import (
@@ -49,8 +57,11 @@ from .runner import (
 )
 
 __all__ = [
+    "AffinityScheduler",
+    "BACKEND_NAMES",
     "CacheStats",
     "CheckpointJournal",
+    "ExecutionBackend",
     "FAULT_KINDS",
     "FailureReport",
     "FaultPlan",
@@ -62,13 +73,18 @@ __all__ = [
     "SweepRunner",
     "TaskTimeout",
     "UncacheableConfig",
+    "WarmOptions",
+    "affinity_key",
     "canonicalize",
     "code_version",
     "config_key",
     "default_cache_dir",
     "get_runner",
+    "make_backend",
+    "reset_warm_state",
     "run_fault_suite",
     "set_runner",
     "sweep_id",
     "use_runner",
+    "workload_family",
 ]

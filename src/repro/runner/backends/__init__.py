@@ -1,0 +1,51 @@
+"""Pluggable sweep-execution backends.
+
+``serial`` runs in-process (the bit-identity reference), ``pool`` is the
+per-batch ``ProcessPoolExecutor`` fan-out, and ``warm`` keeps persistent
+affinity-routed workers alive across batches.  All three fold results
+through the same :class:`~repro.runner.runner.SweepRunner` machinery
+(cache, checkpoint journal, retries), so backend choice can never change
+results — only wall-clock.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .base import BatchState, ExecutionBackend
+from .pool import PoolBackend
+from .serial import SerialBackend
+from .warm import WarmBackend, WarmOptions, reset_warm_state
+
+if TYPE_CHECKING:
+    pass
+
+__all__ = [
+    "BACKEND_NAMES",
+    "BatchState",
+    "ExecutionBackend",
+    "PoolBackend",
+    "SerialBackend",
+    "WarmBackend",
+    "WarmOptions",
+    "make_backend",
+    "reset_warm_state",
+]
+
+#: Valid ``--backend`` choices (immutable on purpose: a registry dict
+#: here would itself be module-level mutable state under RPR012).
+BACKEND_NAMES = ("serial", "pool", "warm")
+
+
+def make_backend(name: str,
+                 warm_options: Optional[WarmOptions] = None,
+                 ) -> ExecutionBackend:
+    """Instantiate the named backend (``warm_options`` applies to warm)."""
+    if name == "serial":
+        return SerialBackend()
+    if name == "pool":
+        return PoolBackend()
+    if name == "warm":
+        return WarmBackend(warm_options)
+    raise ValueError(
+        f"unknown backend {name!r}; expected one of {BACKEND_NAMES}")

@@ -1,0 +1,187 @@
+"""Process-pool execution: one executor submit per task attempt.
+
+This is the pre-warm behaviour, preserved verbatim: a fresh
+:class:`~concurrent.futures.ProcessPoolExecutor` per batch, one pickled
+config out and one pickled summary back per task, a parent-side hard
+watchdog for wedged workers, broken-pool respawn with lost-task requeue,
+and serial degradation after ``max_pool_failures`` respawns.  It remains
+selectable (``--backend pool``) as the conservative fallback and as the
+baseline the warm backend's ``BENCH_sweep.json`` speedup is measured
+against.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import TYPE_CHECKING, Deque, Dict, Optional, Tuple
+
+from .base import (
+    BatchState,
+    ExecutionBackend,
+    _execute_task,
+    _format_chain,
+    _worker_init,
+    _WorkerOutcome,
+    _WorkerTask,
+)
+
+if TYPE_CHECKING:
+    from ..runner import SweepRunner
+
+__all__ = ["PoolBackend"]
+
+
+class PoolBackend(ExecutionBackend):
+    """Fan tasks out over a per-batch ``ProcessPoolExecutor``."""
+
+    name = "pool"
+
+    @staticmethod
+    def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+        """Forcibly retire a pool (used for wedged/broken pools and
+        interrupt cleanup; hung workers cannot be joined)."""
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+            processes = getattr(pool, "_processes", None) or {}
+            for process in list(processes.values()):
+                try:
+                    process.terminate()
+                except Exception:
+                    pass
+        except Exception:
+            pass
+
+    def run_batch(self, runner: "SweepRunner", batch: BatchState) -> None:
+        configs, keys = batch.configs, batch.keys
+        fault_keys, results = batch.fault_keys, batch.results
+        journal, failures = batch.journal, batch.failures
+        pending: Deque[Tuple[int, int]] = deque((i, 1) for i in batch.work)
+        workers = min(runner.jobs, len(batch.work))
+        hard_s = runner._hard_timeout_s()
+        tick_s = None if hard_s is None else max(0.05, min(0.5, hard_s / 4.0))
+        pool: Optional[ProcessPoolExecutor] = None
+        #: future -> (batch index, attempt, submission monotonic time)
+        in_flight: Dict["Future[_WorkerOutcome]", Tuple[int, int, float]] = {}
+        pool_failures = 0
+
+        def _abandon_pool() -> None:
+            nonlocal pool, pool_failures
+            if pool is not None:
+                self._terminate_pool(pool)
+                pool = None
+            pool_failures += 1
+            runner.stats.pool_respawns += 1
+
+        try:
+            while pending or in_flight:
+                if runner.fail_fast and failures:
+                    return
+                if pool_failures > runner.max_pool_failures:
+                    # Graceful degradation: the pool keeps dying — finish
+                    # the remainder serially in-process.
+                    for future in in_flight:
+                        future.cancel()
+                    in_flight.clear()
+                    while pending:
+                        if runner.fail_fast and failures:
+                            return
+                        i, attempt = pending.popleft()
+                        runner._run_inline(i, attempt, configs, keys,
+                                           fault_keys, results, journal,
+                                           failures)
+                    return
+                if pool is None and pending:
+                    pool = ProcessPoolExecutor(max_workers=workers,
+                                               initializer=_worker_init)
+                while pool is not None and pending and len(in_flight) < workers:
+                    i, attempt = pending.popleft()
+                    task = _WorkerTask(configs[i], fault_keys[i], attempt,
+                                       runner.timeout_s, runner.fault_plan)
+                    future = pool.submit(_execute_task, task)
+                    in_flight[future] = (i, attempt, time.monotonic())
+                if not in_flight:
+                    continue
+
+                done, _ = wait(set(in_flight), timeout=tick_s,
+                               return_when=FIRST_COMPLETED)
+                if not done:
+                    # Watchdog: a worker past the hard deadline is wedged
+                    # beyond its own SIGALRM guard — replace the pool.
+                    if hard_s is None:
+                        continue
+                    now = time.monotonic()
+                    wedged = {f for f, (_, _, t_sub) in in_flight.items()
+                              if now - t_sub > hard_s}
+                    if not wedged:
+                        continue
+                    _abandon_pool()
+                    for future, (i, attempt, t_sub) in list(in_flight.items()):
+                        if future in wedged:
+                            runner.stats.timeouts += 1
+                            runner._retry_or_fail(
+                                i, attempt, "timeout",
+                                "worker unresponsive past the hard deadline; "
+                                "pool replaced", now - t_sub, pending, keys,
+                                failures)
+                        else:
+                            runner._retry_or_fail(
+                                i, attempt, "crash",
+                                "task lost when an unresponsive pool was "
+                                "replaced", now - t_sub, pending, keys,
+                                failures)
+                    in_flight.clear()
+                    continue
+
+                broken = False
+                for future in done:
+                    i, attempt, t_sub = in_flight.pop(future)
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        runner._retry_or_fail(
+                            i, attempt, "crash",
+                            "worker process exited abnormally "
+                            "(BrokenProcessPool)",
+                            time.monotonic() - t_sub, pending, keys, failures)
+                        continue
+                    except KeyboardInterrupt:
+                        raise
+                    except Exception as exc:
+                        runner._retry_or_fail(i, attempt, "error",
+                                              _format_chain(exc),
+                                              time.monotonic() - t_sub,
+                                              pending, keys, failures)
+                        continue
+                    if outcome.ok:
+                        assert outcome.summary is not None
+                        runner._complete(i, outcome.summary, keys[i], results,
+                                         journal)
+                    else:
+                        if outcome.kind == "timeout":
+                            runner.stats.timeouts += 1
+                        runner._retry_or_fail(i, attempt, outcome.kind,
+                                              outcome.error, outcome.elapsed_s,
+                                              pending, keys, failures)
+                if broken:
+                    # The pool is dead: every other in-flight task is lost
+                    # with it.  Requeue only those (completed results are
+                    # already recorded), then respawn.
+                    for future, (i, attempt, t_sub) in list(in_flight.items()):
+                        runner._retry_or_fail(
+                            i, attempt, "crash",
+                            "task lost when the process pool broke",
+                            time.monotonic() - t_sub, pending, keys, failures)
+                    in_flight.clear()
+                    _abandon_pool()
+        except BaseException:
+            if pool is not None:
+                self._terminate_pool(pool)
+                pool = None
+            raise
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)

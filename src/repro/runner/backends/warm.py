@@ -1,0 +1,641 @@
+"""Persistent warm workers with affinity routing and chunked dispatch.
+
+The ``warm`` backend is the paper's affinity argument applied to the
+sweep runner itself.  The ``pool`` backend treats every task like a cold
+cache: each submit pickles a config into whichever worker is free, the
+worker rebuilds the :class:`~repro.core.exec_model.ExecutionTimeModel`
+(penalty caches empty, optional ``REPRO_KERNEL`` JIT recompiled), runs,
+and pickles a ~20-field summary back.  The warm backend instead:
+
+- keeps ``jobs`` worker processes alive for the runner's whole lifetime
+  (state survives *across* ``run_many`` batches);
+- routes tasks to the worker whose process-level caches are already warm
+  for their :func:`~repro.runner.affinity.affinity_key` (MRU routing
+  with fair-share splitting and idle stealing — see
+  :class:`~repro.runner.affinity.AffinityScheduler`);
+- dispatches **chunks** of tasks per IPC round-trip — auto-sized so one
+  chunk costs roughly :attr:`WarmOptions.target_chunk_s` of simulation
+  (measured, not guessed), double-buffered (:data:`_PREFETCH`) so the
+  parent's fold-and-refill never idles a worker — and returns each
+  chunk's results as one packed block (:mod:`repro.runner.columnar`:
+  row layout at dispatcher chunk sizes, columnar numpy matrices for
+  oversized blocks; the crossover is measured, see that module);
+- on the worker, reuses one memoized model per affinity key
+  (:data:`_MODEL_CACHE`) — injection is validated per task and is a pure
+  memoization transplant, so results are bit-identical to cold
+  execution;
+- ships runtime policy registrations with every chunk
+  (:func:`~repro.core.policies.dynamic_policy_entries`): a per-batch
+  pool inherits late registrations (e.g. E11's reference policy) by
+  forking after them, a persistent worker has to be told.
+
+Fault tolerance mirrors the pool backend: per-task SIGALRM deadlines
+inside workers, a parent-side hard watchdog that replaces wedged
+workers, crash detection via pipe EOF with chunk requeue, serial
+degradation after ``max_pool_failures`` respawns, and graceful
+interrupt propagation (a worker-side injected interrupt folds its
+completed prefix into the journal before the parent re-raises).  When a
+:class:`~repro.runner.faults.FaultPlan` is armed, chunks are forced to
+one task so failure attribution stays per-task, exactly matching the
+pool backend's per-future semantics.
+
+Worker-held mutable caches in this package must be registered in
+:data:`_WARM_LEDGER` and cleared by :func:`reset_warm_state` — enforced
+by lint rule RPR012, so no future cache can silently leak state across
+affinity keys.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import time
+import weakref
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing.connection import Connection
+from multiprocessing.connection import wait as _conn_wait
+from multiprocessing.context import BaseContext
+from multiprocessing.process import BaseProcess
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ...core.exec_model import ExecutionTimeModel
+from ...core.policies import dynamic_policy_entries, merge_policy_entries
+from ...sim.system import SystemConfig
+from ..affinity import AffinityScheduler, QueuedTask, affinity_key
+from ..columnar import pack_block, unpack_block
+from .base import (
+    BatchState,
+    ExecutionBackend,
+    _execute_task,
+    _worker_init,
+    _WorkerOutcome,
+    _WorkerTask,
+)
+
+if TYPE_CHECKING:
+    from ..runner import SweepRunner
+
+__all__ = ["WarmBackend", "WarmOptions", "reset_warm_state"]
+
+
+# ----------------------------------------------------------------------
+# Worker-side warm state (lives in the worker process, module level so it
+# survives across chunks; every entry here is governed by RPR012)
+# ----------------------------------------------------------------------
+
+#: Memoized execution-time models, one per affinity key.  Reuse is safe
+#: because a model's only mutable state is a bounded memo table of a
+#: pure function plus observability counters — bit-identical results are
+#: guaranteed by construction and enforced by the determinism suite.
+_MODEL_CACHE: Dict[str, ExecutionTimeModel] = {}
+
+#: Bound on :data:`_MODEL_CACHE` (FIFO eviction): a sweep rarely carries
+#: more than a handful of exec-model parameterizations at once.
+_MODEL_CACHE_MAX = 8
+
+#: Ledger of worker-held mutable caches: global name -> why it is safe
+#: to hold across tasks.  Lint rule RPR012 cross-checks that every
+#: module-level mutable container in ``runner/backends/`` appears here
+#: *and* is cleared by :func:`reset_warm_state`.
+_WARM_LEDGER: Dict[str, str] = {
+    "_MODEL_CACHE": (
+        "per-affinity-key ExecutionTimeModel: penalty memo of a pure "
+        "function + compiled kernel; validated against each task's "
+        "config before use, so reuse can never change results"
+    ),
+}
+
+
+def reset_warm_state() -> None:
+    """Drop every worker-held cache (fresh-process semantics).
+
+    Called on worker start; also the RPR012 anchor: every ledger entry
+    must be cleared here so 'what state can a warm worker carry?' has
+    exactly one auditable answer.
+    """
+    _MODEL_CACHE.clear()
+
+
+def _model_matches(model: ExecutionTimeModel, config: SystemConfig) -> bool:
+    """Whether ``model`` was built from exactly this config's exec-model
+    parameters (defensive per-task check — routing bugs degrade to a
+    cold build, never to wrong results)."""
+    return bool(
+        model.costs == config.costs
+        and model.composition == config.composition
+        and model.hierarchy == config.platform.hierarchy
+    )
+
+
+def _model_for(akey: str, config: SystemConfig) -> ExecutionTimeModel:
+    """The warm model for ``akey``, built (and cached) on first use."""
+    model = _MODEL_CACHE.get(akey)
+    if model is not None and _model_matches(model, config):
+        return model
+    model = ExecutionTimeModel(
+        config.costs, config.composition, config.platform.hierarchy)
+    if len(_MODEL_CACHE) >= _MODEL_CACHE_MAX:
+        _MODEL_CACHE.pop(next(iter(_MODEL_CACHE)))
+    _MODEL_CACHE[akey] = model
+    return model
+
+
+#: meta entry per executed task: (ok, kind, error, elapsed_s)
+_TaskMeta = Tuple[bool, str, str, float]
+
+
+def _run_chunk(akey: str, tasks: Sequence[_WorkerTask],
+               ) -> Tuple[Tuple[_TaskMeta, ...], Dict[str, Any], bool]:
+    """Execute one chunk in this process; returns (meta, block, interrupted).
+
+    Separated from the worker loop so tests can drive the exact
+    chunk-execution path in-process and inspect :data:`_MODEL_CACHE`.
+    """
+    model = _model_for(akey, tasks[0].config)
+    outcomes: List[_WorkerOutcome] = []
+    interrupted = False
+    for task in tasks:
+        use = model if _model_matches(model, task.config) else None
+        try:
+            outcomes.append(_execute_task(task, model=use))
+        except KeyboardInterrupt:
+            interrupted = True
+            break
+    summaries = [o.summary for o in outcomes
+                 if o.ok and o.summary is not None]
+    block = pack_block(summaries)
+    meta = tuple((o.ok, o.kind, o.error, o.elapsed_s) for o in outcomes)
+    return meta, block, interrupted
+
+
+def _warm_worker_main(conn: Connection) -> None:
+    """Worker process entrypoint: serve chunks until 'stop' or EOF.
+
+    Module-level for pickle-safety under spawn contexts (RPR006).
+    SIGINT is ignored so a Ctrl-C in the parent's terminal takes the
+    parent's graceful-shutdown path (checkpoint flush + resume hint)
+    instead of racing worker deaths against it; the parent terminates
+    workers explicitly.
+    """
+    _worker_init()
+    if hasattr(signal, "SIGINT"):
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    reset_warm_state()
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        if msg[0] == "stop":
+            conn.close()
+            return
+        _, chunk_id, akey, tasks, policy_entries = msg
+        # Registry entries the parent gained after this worker spawned
+        # (e.g. E11's runtime-registered ips-random reference policy): a
+        # per-batch pool inherits them by forking late, a persistent
+        # worker must be told or it cannot resolve the policy by name.
+        merge_policy_entries(policy_entries)
+        meta, block, interrupted = _run_chunk(akey, tasks)
+        try:
+            conn.send(("done", chunk_id, meta, block, interrupted))
+        except (BrokenPipeError, OSError):
+            return
+
+
+def _terminate_processes(procs: List[BaseProcess]) -> None:
+    """Finalizer/cleanup helper: hard-stop every listed worker."""
+    for proc in list(procs):
+        try:
+            if proc.is_alive():
+                proc.terminate()
+        except Exception:
+            pass
+    procs.clear()
+
+
+def _mp_context() -> BaseContext:
+    """Fork where available (fast, inherits imports); default elsewhere."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WarmOptions:
+    """Tuning and test levers for the warm backend.
+
+    None of these can affect results — only wall-clock and routing
+    counters (the determinism suite runs adversarial combinations).
+    """
+
+    #: Fixed tasks per chunk (None = auto-size from measured task cost).
+    chunk_tasks: Optional[int] = None
+    #: Routing mode: "affinity" (MRU + fair share + stealing) or
+    #: "scatter" (adversarial round-robin, for determinism tests).
+    route: str = "affinity"
+    #: Auto-sizing target: one chunk should cost about this much wall-clock.
+    target_chunk_s: float = 0.2
+    #: Upper bound on auto-sized chunks.
+    max_chunk_tasks: int = 64
+
+    def __post_init__(self) -> None:
+        if self.chunk_tasks is not None and self.chunk_tasks < 1:
+            raise ValueError("chunk_tasks must be >= 1 (or None = auto)")
+        if self.route not in ("affinity", "scatter"):
+            raise ValueError(f"route must be 'affinity' or 'scatter', "
+                             f"got {self.route!r}")
+        if self.target_chunk_s <= 0:
+            raise ValueError("target_chunk_s must be positive")
+        if self.max_chunk_tasks < 1:
+            raise ValueError("max_chunk_tasks must be >= 1")
+
+
+class _ChunkSizer:
+    """Auto-size chunks from an EMA of measured per-task cost.
+
+    Starts at 1 (a probe), then targets ``target_s`` of work per chunk
+    so IPC overhead amortizes without head-of-line blocking.  The EMA
+    survives across batches — a runner's second sweep starts warm here
+    too.
+    """
+
+    def __init__(self, target_s: float, max_tasks: int) -> None:
+        self._target_s = target_s
+        self._max_tasks = max_tasks
+        self._ema_s: Optional[float] = None
+
+    def observe(self, elapsed_s: Sequence[float]) -> None:
+        for sample in elapsed_s:
+            if self._ema_s is None:
+                self._ema_s = sample
+            else:
+                self._ema_s = 0.5 * self._ema_s + 0.5 * sample
+
+    def size(self) -> int:
+        if self._ema_s is None:
+            return 1
+        per_task = max(self._ema_s, 1e-6)
+        return max(1, min(self._max_tasks, int(self._target_s / per_task)))
+
+
+#: Chunks in flight per worker: one running plus one queued behind it in
+#: the worker's pipe, so finishing a chunk never leaves the worker idle
+#: while the parent wakes up, folds results, and refills — with ~1 ms
+#: tasks that gap is the dominant dispatch overhead.
+_PREFETCH = 2
+
+
+class _WarmWorker:
+    """Parent-side handle of one worker process.
+
+    ``chunks`` is the in-flight queue, oldest first: the worker executes
+    pipe messages in order, so the head entry is the chunk whose results
+    arrive next.
+    """
+
+    __slots__ = ("idx", "process", "conn", "chunks", "t_sub")
+
+    def __init__(self, idx: int, process: BaseProcess, conn: Connection) -> None:
+        self.idx = idx
+        self.process = process
+        self.conn = conn
+        self.chunks: Deque[Tuple[int, List[QueuedTask]]] = deque()
+        self.t_sub = 0.0  # when the worker last became busy / was folded
+
+    def inflight(self) -> int:
+        return sum(len(tasks) for _, tasks in self.chunks)
+
+
+class WarmBackend(ExecutionBackend):
+    """Long-lived affinity-routed workers (see module docstring)."""
+
+    name = "warm"
+
+    def __init__(self, options: Optional[WarmOptions] = None) -> None:
+        self.options = options if options is not None else WarmOptions()
+        self._ctx = _mp_context()
+        self._workers: List[_WarmWorker] = []
+        self._procs: List[BaseProcess] = []      # shared with the finalizer
+        self._sched: Optional[AffinityScheduler] = None
+        self._sizer = _ChunkSizer(self.options.target_chunk_s,
+                                  self.options.max_chunk_tasks)
+        self._chunk_counter = 0
+        self._finalizer = weakref.finalize(
+            self, _terminate_processes, self._procs)
+
+    # ------------------------------------------------------------------
+    # worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, idx: int) -> _WarmWorker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_warm_worker_main, args=(child_conn,),
+            daemon=True, name=f"repro-warm-{idx}")
+        process.start()
+        child_conn.close()
+        self._procs.append(process)
+        return _WarmWorker(idx, process, parent_conn)
+
+    def _ensure_workers(self, n: int) -> None:
+        while len(self._workers) < n:
+            self._workers.append(self._spawn(len(self._workers)))
+
+    def _kill_worker(self, worker: _WarmWorker) -> None:
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        try:
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+                if worker.process.is_alive():  # wedged past SIGTERM
+                    worker.process.kill()
+                    worker.process.join(timeout=1.0)
+        except Exception:
+            pass
+        if worker.process in self._procs:
+            self._procs.remove(worker.process)
+
+    def _respawn(self, worker: _WarmWorker, runner: "SweepRunner") -> None:
+        """Replace a dead/wedged worker with a cold one."""
+        self._kill_worker(worker)
+        fresh = self._spawn(worker.idx)
+        self._workers[worker.idx] = fresh
+        if self._sched is not None:
+            self._sched.mru[worker.idx] = None  # its caches died with it
+        runner.stats.pool_respawns += 1
+
+    def _shutdown(self, graceful: bool) -> None:
+        """Stop every worker (``graceful`` asks idle workers to exit
+        cleanly first; abnormal paths go straight to terminate)."""
+        for worker in self._workers:
+            if graceful and not worker.chunks:
+                try:
+                    worker.conn.send(("stop",))
+                    worker.process.join(timeout=1.0)
+                except (OSError, ValueError):
+                    pass
+            self._kill_worker(worker)
+        self._workers.clear()
+
+    def close(self) -> None:
+        self._shutdown(graceful=True)
+
+    # ------------------------------------------------------------------
+    # batch execution
+    # ------------------------------------------------------------------
+    def _ensure_sched(self, n_workers: int) -> AffinityScheduler:
+        if self._sched is None or self._sched.n_workers != n_workers:
+            self._sched = AffinityScheduler(n_workers,
+                                            route=self.options.route)
+        return self._sched
+
+    def _chunk_cap(self, runner: "SweepRunner") -> Optional[int]:
+        """Fixed chunk size, if any: fault injection forces single-task
+        chunks so failure attribution stays per-task (matching the pool
+        backend's per-future semantics); otherwise the explicit option."""
+        if runner.fault_plan is not None:
+            return 1
+        return self.options.chunk_tasks
+
+    def run_batch(self, runner: "SweepRunner", batch: BatchState) -> None:
+        sched = self._ensure_sched(runner.jobs)
+        stats0 = (sched.stats.routed_affine, sched.stats.steals)
+        sched.assign([
+            QueuedTask(i, 1, affinity_key(batch.configs[i]))
+            for i in batch.work
+        ])
+        fixed_chunk = self._chunk_cap(runner)
+        # Double-buffer dispatch: keep one chunk queued behind the one a
+        # worker is running, so the parent's fold-and-refill latency never
+        # leaves the worker idle.  Fault plans drop to one in flight so a
+        # failure is always attributable to the chunk the parent knows is
+        # running (matching the pool backend's per-future semantics).
+        prefetch = 1 if runner.fault_plan is not None else _PREFETCH
+        hard_s = runner._hard_timeout_s()
+        tick_s = None if hard_s is None else max(0.05, min(0.5, hard_s / 4.0))
+        respawns = 0
+        try:
+            self._ensure_workers(runner.jobs)
+            while True:
+                if runner.fail_fast and batch.failures:
+                    # In-flight chunks are abandoned with their workers:
+                    # a stale result arriving later could corrupt the
+                    # next batch, so failing fast retires the fleet.
+                    self._shutdown(graceful=False)
+                    return
+                if respawns > runner.max_pool_failures:
+                    # Graceful degradation: workers keep dying — finish
+                    # the remainder serially in-process.  Surviving
+                    # workers' in-flight chunks are requeued first (no
+                    # attempt consumed: the parent is killing them, they
+                    # did nothing wrong).
+                    for worker in self._workers:
+                        while worker.chunks:
+                            _, tasks = worker.chunks.popleft()
+                            for t in tasks:
+                                sched.push(t)
+                    self._shutdown(graceful=False)
+                    for t in sched.drain():
+                        if runner.fail_fast and batch.failures:
+                            return
+                        runner._run_inline(t.index, t.attempt, batch.configs,
+                                           batch.keys, batch.fault_keys,
+                                           batch.results, batch.journal,
+                                           batch.failures)
+                    return
+
+                # Breadth-first fill: every worker gets its first chunk
+                # before anyone gets a prefetch top-up, so an idle worker
+                # still sees steal-able work on its peers' queues.  The
+                # spread cap is computed once per pass over pending work
+                # divided across every in-flight slot — recomputing it per
+                # dispatch lets the early workers swallow the whole batch
+                # at level 0, leaving nothing to double-buffer.
+                spread = max(1, -(-sched.pending()
+                                  // (len(self._workers) * prefetch)))
+                for level in range(prefetch):
+                    for worker in self._workers:
+                        if (len(worker.chunks) <= level and sched.pending()
+                                and not (runner.fail_fast
+                                         and batch.failures)):
+                            if not self._dispatch(worker, runner, batch,
+                                                  sched, fixed_chunk,
+                                                  spread):
+                                respawns += 1
+                busy = [w for w in self._workers if w.chunks]
+                if not busy:
+                    if sched.pending() == 0:
+                        return  # batch complete; workers stay warm
+                    continue    # all dispatches failed; respawn path above
+
+                ready = _conn_wait([w.conn for w in busy], timeout=tick_s)
+                now = time.monotonic()
+                if not ready:
+                    if hard_s is None:
+                        continue
+                    for worker in busy:
+                        budget_s = hard_s * worker.inflight() + 1.0
+                        if now - worker.t_sub > budget_s:
+                            # Wedged beyond its own SIGALRM guard.
+                            self._requeue_chunk(
+                                worker, "timeout",
+                                "warm worker unresponsive past the hard "
+                                "deadline; worker replaced",
+                                now, runner, batch, sched)
+                            self._respawn(worker, runner)
+                            respawns += 1
+                    continue
+
+                by_conn = {id(w.conn): w for w in busy}
+                for conn in ready:
+                    worker = by_conn[id(conn)]
+                    try:
+                        msg = worker.conn.recv()
+                    except (EOFError, OSError):
+                        # Worker died mid-chunk (crash/OOM-kill): its
+                        # caches and any unsent results are gone; requeue
+                        # the whole chunk and respawn cold.
+                        self._requeue_chunk(
+                            worker, "crash",
+                            "warm worker process died mid-chunk",
+                            now, runner, batch, sched)
+                        self._respawn(worker, runner)
+                        respawns += 1
+                        continue
+                    self._fold(worker, msg, runner, batch, sched)
+        except BaseException:
+            # Interrupt/unexpected error: in-flight workers may still be
+            # computing — retire them so no stale result can ever land.
+            self._shutdown(graceful=False)
+            raise
+        finally:
+            runner.stats.affinity_hits += \
+                sched.stats.routed_affine - stats0[0]
+            runner.stats.steals += sched.stats.steals - stats0[1]
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, worker: _WarmWorker, runner: "SweepRunner",
+                  batch: BatchState, sched: AffinityScheduler,
+                  fixed_chunk: Optional[int], spread: int) -> bool:
+        """Send the worker its next chunk.  Returns False when the worker
+        turned out to be dead (tasks go back to the queues unconsumed)."""
+        size = fixed_chunk if fixed_chunk is not None else self._sizer.size()
+        size = max(1, min(size, spread))
+        chunk = sched.next_chunk(worker.idx, size)
+        if not chunk:
+            return True
+        tasks = tuple(
+            _WorkerTask(batch.configs[t.index], batch.fault_keys[t.index],
+                        t.attempt, runner.timeout_s, runner.fault_plan)
+            for t in chunk
+        )
+        self._chunk_counter += 1
+        try:
+            worker.conn.send(("run", self._chunk_counter, chunk[0].key,
+                              tasks, dynamic_policy_entries()))
+        except (BrokenPipeError, OSError):
+            # Dead before dispatch: this chunk never left the parent and
+            # any chunks already queued in the pipe died unexecuted with
+            # the worker, so all of them re-queue without consuming an
+            # attempt (the crash path that *does* consume one is a worker
+            # dying mid-chunk, detected at recv).
+            for t in chunk:
+                sched.push(t)
+            while worker.chunks:
+                _, queued = worker.chunks.popleft()
+                for t in queued:
+                    sched.push(t)
+            self._respawn(worker, runner)
+            return False
+        if not worker.chunks:
+            worker.t_sub = time.monotonic()
+        worker.chunks.append((self._chunk_counter, list(chunk)))
+        runner.stats.chunks += 1
+        return True
+
+    def _retry_task(self, t: QueuedTask, kind: str, error: str,
+                    elapsed_s: float, runner: "SweepRunner",
+                    batch: BatchState, sched: AffinityScheduler) -> None:
+        """Warm-side mirror of ``SweepRunner._retry_or_fail``."""
+        if t.attempt <= runner.retries:
+            runner.stats.retries += 1
+            runner._backoff(t.attempt)
+            sched.push(QueuedTask(t.index, t.attempt + 1, t.key))
+        else:
+            runner._fail(t.index, batch.keys[t.index], kind, error,
+                         t.attempt, elapsed_s, batch.failures)
+
+    def _requeue_chunk(self, worker: _WarmWorker, kind: str, error: str,
+                       now: float, runner: "SweepRunner", batch: BatchState,
+                       sched: AffinityScheduler) -> None:
+        """Retire a lost/wedged worker's in-flight chunks into retries.
+
+        Everything queued in the pipe is charged an attempt: the parent
+        cannot know how far into the queue the worker got before it died
+        or wedged, so the conservative accounting treats all of it as a
+        failed attempt (results stay correct either way — a re-run is
+        bit-identical)."""
+        elapsed_s = now - worker.t_sub
+        while worker.chunks:
+            _, chunk = worker.chunks.popleft()
+            for t in chunk:
+                if kind == "timeout":
+                    runner.stats.timeouts += 1
+                self._retry_task(t, kind, error, elapsed_s, runner, batch,
+                                 sched)
+
+    def _fold(self, worker: _WarmWorker, msg: Tuple[Any, ...],
+              runner: "SweepRunner", batch: BatchState,
+              sched: AffinityScheduler) -> None:
+        """Fold one chunk response into results/journal/retries."""
+        tag, chunk_id, meta, block, interrupted = msg
+        if not worker.chunks:
+            raise RuntimeError(
+                f"warm worker protocol violation: unsolicited {tag!r} for "
+                f"chunk {chunk_id}")
+        expected_id, chunk = worker.chunks.popleft()
+        if tag != "done" or chunk_id != expected_id:
+            raise RuntimeError(
+                f"warm worker protocol violation: got {tag!r} for chunk "
+                f"{chunk_id} while expecting {expected_id}")
+        summaries = unpack_block(block)
+        cursor = 0
+        samples: List[float] = []
+        for t, (ok, kind, error, elapsed_s) in zip(chunk, meta):
+            if ok:
+                runner._complete(t.index, summaries[cursor],
+                                 batch.keys[t.index], batch.results,
+                                 batch.journal)
+                cursor += 1
+                samples.append(elapsed_s)
+            else:
+                if kind == "timeout":
+                    runner.stats.timeouts += 1
+                self._retry_task(t, kind, error, elapsed_s, runner, batch,
+                                 sched)
+        self._sizer.observe(samples)
+        if worker.chunks:
+            # The prefetched chunk started the moment the worker sent this
+            # response; restart its watchdog clock from the fold.
+            worker.t_sub = time.monotonic()
+        if interrupted:
+            # The worker stopped at an (injected or delivered) interrupt;
+            # completed work above is already journaled — propagate the
+            # graceful-shutdown path exactly like a serial interrupt.
+            raise KeyboardInterrupt("sweep interrupted in a warm worker")

@@ -158,7 +158,8 @@ def _grid_keys(configs: "List[SystemConfig]") -> List[str]:
     return [config_key(cfg) for cfg in configs]
 
 
-def _scenario_crash_retry(workdir: Path, jobs: int, seed: int) -> ScenarioResult:
+def _scenario_crash_retry(workdir: Path, jobs: int, seed: int,
+                          backend: str) -> ScenarioResult:
     """A crashed worker breaks the pool; the runner respawns it, requeues
     the lost tasks, retries the crasher, and the sweep completes with
     results identical to a fault-free serial run."""
@@ -167,8 +168,8 @@ def _scenario_crash_retry(workdir: Path, jobs: int, seed: int) -> ScenarioResult
     configs = _scenario_grid(6, seed)
     reference = SweepRunner(jobs=0).run_many(configs)
     plan = FaultPlan(seed=seed, crash=0.5, max_faulty_attempts=1)
-    runner = SweepRunner(jobs=max(2, jobs), retries=2, backoff_base_s=0.0,
-                         timeout_s=60.0, fault_plan=plan)
+    runner = SweepRunner(jobs=max(2, jobs), backend=backend, retries=2,
+                         backoff_base_s=0.0, timeout_s=60.0, fault_plan=plan)
     results = runner.run_many(configs)
     crashed = len(plan.affected("crash", _grid_keys(configs)))
     ok = (results == reference and crashed > 0
@@ -181,7 +182,8 @@ def _scenario_crash_retry(workdir: Path, jobs: int, seed: int) -> ScenarioResult
         f"serial reference")
 
 
-def _scenario_hang_timeout(workdir: Path, jobs: int, seed: int) -> ScenarioResult:
+def _scenario_hang_timeout(workdir: Path, jobs: int, seed: int,
+                           backend: str) -> ScenarioResult:
     """A permanently hung task times out on every attempt and is reported
     in a FailureReport; the rest of the sweep still completes — no
     deadlock."""
@@ -193,8 +195,8 @@ def _scenario_hang_timeout(workdir: Path, jobs: int, seed: int) -> ScenarioResul
     keys = _grid_keys(configs)
     plan = FaultPlan(seed=seed, hang=1.0, max_faulty_attempts=None,
                      hang_s=30.0, only_keys=(keys[2],))
-    runner = SweepRunner(jobs=jobs, retries=1, backoff_base_s=0.0,
-                         timeout_s=0.5, fault_plan=plan)
+    runner = SweepRunner(jobs=jobs, backend=backend, retries=1,
+                         backoff_base_s=0.0, timeout_s=0.5, fault_plan=plan)
     t0 = time.perf_counter()
     try:
         runner.run_many(configs)
@@ -214,7 +216,8 @@ def _scenario_hang_timeout(workdir: Path, jobs: int, seed: int) -> ScenarioResul
                           "sweep completed despite a permanently hung task")
 
 
-def _scenario_corrupt_quarantine(workdir: Path, jobs: int, seed: int) -> ScenarioResult:
+def _scenario_corrupt_quarantine(workdir: Path, jobs: int, seed: int,
+                                 backend: str) -> ScenarioResult:
     """Corrupted cache entries are quarantined (moved, never deleted) and
     transparently recomputed; results stay identical."""
     from .cache import ResultCache
@@ -243,7 +246,8 @@ def _scenario_corrupt_quarantine(workdir: Path, jobs: int, seed: int) -> Scenari
         f"recomputed, clean entries re-cached")
 
 
-def _scenario_interrupt_resume(workdir: Path, jobs: int, seed: int) -> ScenarioResult:
+def _scenario_interrupt_resume(workdir: Path, jobs: int, seed: int,
+                               backend: str) -> ScenarioResult:
     """An interrupted sweep leaves a checkpoint journal; ``resume=True``
     replays completed tasks from it and recomputes nothing already done."""
     from .runner import SweepRunner
@@ -276,7 +280,8 @@ def _scenario_interrupt_resume(workdir: Path, jobs: int, seed: int) -> ScenarioR
         f"({0 if ok else 'some'} completed work recomputed)")
 
 
-def _scenario_happy_path_identity(workdir: Path, jobs: int, seed: int) -> ScenarioResult:
+def _scenario_happy_path_identity(workdir: Path, jobs: int, seed: int,
+                                  backend: str) -> ScenarioResult:
     """With injection disabled, the fully hardened runner (timeouts,
     retries, checkpointing, parallel pool) is bit-identical to the plain
     serial reference."""
@@ -285,7 +290,8 @@ def _scenario_happy_path_identity(workdir: Path, jobs: int, seed: int) -> Scenar
 
     configs = _scenario_grid(5, seed)
     reference = SweepRunner(jobs=0).run_many(configs)
-    hardened = SweepRunner(jobs=jobs, cache=ResultCache(workdir / "happy-cache"),
+    hardened = SweepRunner(jobs=jobs, backend=backend,
+                           cache=ResultCache(workdir / "happy-cache"),
                            timeout_s=120.0, retries=2,
                            checkpoint_dir=workdir / "happy-checkpoints")
     results = hardened.run_many(configs)
@@ -293,9 +299,72 @@ def _scenario_happy_path_identity(workdir: Path, jobs: int, seed: int) -> Scenar
           and hardened.stats.retries == 0)
     return ScenarioResult(
         "happy-path-bit-identical", ok,
-        f"hardened runner (timeout+retry+checkpoint, jobs={jobs}) "
+        f"hardened runner (timeout+retry+checkpoint, jobs={jobs}, "
+        f"backend={backend}) "
         f"{'matches' if ok else 'DIVERGED from'} the serial reference "
         f"with zero retries/failures")
+
+
+def _scenario_warm_crash_cache_loss(workdir: Path, jobs: int, seed: int,
+                                    backend: str) -> ScenarioResult:
+    """A crashed warm worker loses its warm caches; the requeued tasks
+    re-run on a cold respawned worker and stay bit-identical — warm
+    state is a pure accelerator, never load-bearing."""
+    from .runner import SweepRunner
+
+    configs = _scenario_grid(8, seed)
+    reference = SweepRunner(jobs=0).run_many(configs)
+    keys = _grid_keys(configs)
+    crash_keys = (keys[1], keys[5])
+    plan = FaultPlan(seed=seed, crash=1.0, max_faulty_attempts=1,
+                     only_keys=crash_keys)
+    runner = SweepRunner(jobs=max(2, jobs), backend="warm", retries=2,
+                         backoff_base_s=0.0, timeout_s=60.0,
+                         fault_plan=plan, max_pool_failures=4)
+    results = runner.run_many(configs)
+    runner.close()
+    ok = (results == reference
+          and runner.stats.pool_respawns >= len(crash_keys)
+          and runner.stats.retries >= len(crash_keys)
+          and runner.stats.failures == 0)
+    return ScenarioResult(
+        "warm-crash-cold-respawn-bit-identical", ok,
+        f"{len(crash_keys)} warm worker crash(es), "
+        f"{runner.stats.pool_respawns} cold respawn(s), "
+        f"{runner.stats.retries} retries; results "
+        f"{'bit-identical to' if results == reference else 'DIVERGED from'} "
+        f"serial reference")
+
+
+def _scenario_warm_hung_queue_stolen(workdir: Path, jobs: int, seed: int,
+                                     backend: str) -> ScenarioResult:
+    """A hung warm worker's queued tasks are stolen by idle peers before
+    any watchdog fires: affinity routing never serializes behind one
+    slow worker, and the slow task itself still completes in place."""
+    from .runner import SweepRunner
+
+    configs = _scenario_grid(8, seed)
+    reference = SweepRunner(jobs=0).run_many(configs)
+    keys = _grid_keys(configs)
+    # Stall only the task at the head of one worker's queue; no timeout
+    # configured, so recovery must come from stealing, not the watchdog.
+    plan = FaultPlan(seed=seed, hang=1.0, max_faulty_attempts=1,
+                     hang_s=2.0, only_keys=(keys[0],))
+    runner = SweepRunner(jobs=max(2, jobs), backend="warm", retries=0,
+                         fault_plan=plan)
+    results = runner.run_many(configs)
+    runner.close()
+    ok = (results == reference
+          and runner.stats.steals >= 1
+          and runner.stats.timeouts == 0
+          and runner.stats.failures == 0)
+    return ScenarioResult(
+        "warm-hung-worker-queue-stolen", ok,
+        f"peers stole {runner.stats.steals} queued task(s) from the hung "
+        f"worker ({runner.stats.timeouts} timeouts, "
+        f"{runner.stats.failures} failures); results "
+        f"{'bit-identical to' if results == reference else 'DIVERGED from'} "
+        f"serial reference")
 
 
 _SCENARIOS = (
@@ -306,18 +375,29 @@ _SCENARIOS = (
     _scenario_happy_path_identity,
 )
 
+#: Extra scenarios exercising warm-backend-specific machinery
+#: (persistent caches, affinity queues); appended when the suite runs
+#: against the warm backend.
+_WARM_SCENARIOS = (
+    _scenario_warm_crash_cache_loss,
+    _scenario_warm_hung_queue_stolen,
+)
 
-def run_fault_suite(workdir: Path, jobs: int = 2,
-                    seed: int = 1) -> List[ScenarioResult]:
+
+def run_fault_suite(workdir: Path, jobs: int = 2, seed: int = 1,
+                    backend: str = "warm") -> List[ScenarioResult]:
     """Run every fault-injection scenario against the real runner.
 
     ``workdir`` holds the scratch caches/journals the scenarios create;
-    the suite is deterministic in ``(jobs, seed)`` and is the CI
-    ``faults`` gate (CLI: ``repro faults``).
+    the suite is deterministic in ``(jobs, seed, backend)`` and is the CI
+    ``faults`` gate (CLI: ``repro faults``).  ``backend`` selects the
+    execution engine for the parallel scenarios; ``"warm"`` additionally
+    runs the warm-specific scenarios (worker-cache loss, queue stealing).
     """
     workdir = Path(workdir)
     workdir.mkdir(parents=True, exist_ok=True)
-    return [scenario(workdir, jobs, seed) for scenario in _SCENARIOS]
+    scenarios = _SCENARIOS + (_WARM_SCENARIOS if backend == "warm" else ())
+    return [scenario(workdir, jobs, seed, backend) for scenario in scenarios]
 
 
 def plan_with(plan: FaultPlan, **overrides: object) -> FaultPlan:

@@ -2,8 +2,8 @@
 
 Every paper artifact is a sweep of *independent* ``run_simulation`` calls
 (one per rate/policy/knob grid point).  :class:`SweepRunner` fans those
-runs out over a process pool while guaranteeing the output is
-**bit-identical** to serial execution:
+runs out over an :class:`~repro.runner.backends.ExecutionBackend` while
+guaranteeing the output is **bit-identical** to serial execution:
 
 - each run carries its own seed inside its :class:`SystemConfig` (the
   common-random-numbers semantics of the sweeps), so results do not depend
@@ -11,10 +11,15 @@ runs out over a process pool while guaranteeing the output is
 - results are returned in the exact order the configs were submitted.
 
 ``jobs=0`` (or 1) is a strict serial fallback executing in-process;
-``jobs=None`` uses one worker per CPU.  A :class:`ResultCache` makes
-re-runs of ``repro all``, the tests, and the benchmarks skip
-already-computed points; identical configs *within* one batch are also
-deduplicated so e.g. a repeated baseline run is simulated once.
+``jobs=None`` uses one worker per CPU.  With ``jobs>1`` the ``backend``
+parameter picks the execution engine: ``"warm"`` (default) keeps
+persistent affinity-routed workers alive across batches, ``"pool"`` is
+the conservative per-batch process pool, ``"serial"`` forces in-process
+execution regardless of ``jobs`` (see :mod:`repro.runner.backends`).
+A :class:`ResultCache` makes re-runs of ``repro all``, the tests, and
+the benchmarks skip already-computed points; identical configs *within*
+one batch are also deduplicated so e.g. a repeated baseline run is
+simulated once.
 
 Fault tolerance (``docs/ROBUSTNESS.md``)
 ----------------------------------------
@@ -23,12 +28,12 @@ process can be interrupted, without throwing away completed work:
 
 - **Timeouts** — ``timeout_s`` bounds each task's wall clock (SIGALRM
   deadline inside the worker, plus a hard parent-side watchdog that
-  replaces a wedged pool), so a hung config is *reported*, never a
-  deadlock.
+  replaces a wedged pool/worker), so a hung config is *reported*, never
+  a deadlock.
 - **Retries** — each failed/timed-out task is retried up to ``retries``
   times with deterministic (seedless, jitter-free) exponential backoff.
-- **Pool recovery** — a :class:`BrokenProcessPool` (worker crash/OOM
-  kill) respawns the pool and requeues only the lost tasks; after
+- **Pool recovery** — a crashed worker (BrokenProcessPool / warm-worker
+  pipe EOF) is respawned and only the lost tasks requeued; after
   ``max_pool_failures`` respawns the runner degrades gracefully to
   serial in-process execution for the remainder.
 - **Checkpoint/resume** — completed tasks are journaled (see
@@ -57,10 +62,6 @@ import signal
 import sys
 import threading
 import time
-import traceback
-from collections import deque
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
@@ -75,10 +76,18 @@ from typing import (
 )
 
 from ..sim.metrics import SimulationSummary
-from ..sim.system import SystemConfig, run_simulation
+from ..sim.system import SystemConfig
+from .backends import (
+    BACKEND_NAMES,
+    BatchState,
+    ExecutionBackend,
+    WarmOptions,
+    make_backend,
+)
+from .backends.base import _execute_task, _WorkerTask
 from .cache import ResultCache
 from .checkpoint import CheckpointJournal, sweep_id
-from .faults import FaultPlan, InjectedFault, TaskTimeout
+from .faults import FaultPlan
 from .keys import UncacheableConfig, config_key
 
 __all__ = [
@@ -90,9 +99,6 @@ __all__ = [
     "set_runner",
     "use_runner",
 ]
-
-#: Exit code used by injected worker crashes (visible in pool diagnostics).
-_CRASH_EXIT_CODE = 73
 
 
 @dataclass
@@ -107,8 +113,11 @@ class RunnerStats:
     retries: int = 0         # re-submissions after a failed attempt
     timeouts: int = 0        # attempts that exceeded the task budget
     failures: int = 0        # tasks that exhausted every attempt
-    pool_respawns: int = 0   # process pools replaced after breaking
+    pool_respawns: int = 0   # worker processes/pools replaced after breaking
     batches: int = 0
+    chunks: int = 0          # warm-backend chunk dispatches
+    affinity_hits: int = 0   # tasks routed to an already-warm worker
+    steals: int = 0          # tasks stolen by idle warm workers
     elapsed_s: float = 0.0   # wall-clock spent inside run_many
 
     def snapshot(self) -> "RunnerStats":
@@ -134,6 +143,9 @@ class RunnerStats:
             parts.append(f"({self.retries} retries, {self.timeouts} timeouts)")
         if self.pool_respawns:
             parts.append(f"({self.pool_respawns} pool respawns)")
+        if self.chunks:
+            parts.append(f"({self.chunks} chunks, {self.affinity_hits} affine,"
+                         f" {self.steals} stolen)")
         if self.failures:
             parts.append(f"[{self.failures} FAILED]")
         parts.append(f"in {self.elapsed_s:.1f}s")
@@ -187,118 +199,6 @@ class SweepExecutionError(RuntimeError):
         super().__init__("\n".join(lines))
 
 
-# ----------------------------------------------------------------------
-# Worker plumbing (module-level => pickle-safe; see lint rule RPR006)
-# ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class _WorkerTask:
-    """Everything one attempt needs, shippable to a worker process."""
-
-    config: SystemConfig
-    fault_key: str           # stable task identity for fault decisions
-    attempt: int             # 1-based
-    timeout_s: Optional[float]
-    plan: Optional[FaultPlan]
-    inline: bool = False     # executing in the parent process (serial path)
-
-
-@dataclass(frozen=True)
-class _WorkerOutcome:
-    """Result of one attempt; failures travel as data, not exceptions."""
-
-    ok: bool
-    summary: Optional[SimulationSummary]
-    kind: str                # "" | "timeout" | "error"
-    error: str
-    elapsed_s: float
-
-
-@contextmanager
-def _deadline(timeout_s: Optional[float]) -> Iterator[None]:
-    """Raise :class:`TaskTimeout` when the block exceeds ``timeout_s``.
-
-    Uses a SIGALRM interval timer, which requires the main thread of a
-    POSIX process — exactly what a pool worker (and the CLI's serial
-    path) is.  Anywhere else the guard degrades to *no* in-band timeout;
-    the parent-side hard watchdog still bounds parallel execution.
-    """
-    usable = (
-        timeout_s is not None and timeout_s > 0
-        and hasattr(signal, "SIGALRM")
-        and threading.current_thread() is threading.main_thread()
-    )
-    if not usable:
-        yield
-        return
-
-    def _on_alarm(signum: int, frame: object) -> None:
-        raise TaskTimeout(f"exceeded the {timeout_s:.3g}s wall-clock budget")
-
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, float(timeout_s))  # type: ignore[arg-type]
-    try:
-        yield
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
-
-
-def _format_chain(exc: BaseException) -> str:
-    """One-line ``repr`` chain of an exception and its cause/context."""
-    parts = []
-    seen: set = set()
-    current: Optional[BaseException] = exc
-    while current is not None and id(current) not in seen:
-        seen.add(id(current))
-        parts.append("".join(
-            traceback.format_exception_only(type(current), current)).strip())
-        current = current.__cause__ or current.__context__
-    return " <- ".join(parts)
-
-
-def _execute_task(task: _WorkerTask) -> _WorkerOutcome:
-    """Worker entrypoint: run one attempt, honouring the fault plan and
-    the task deadline.  Must stay a module-level function (pickled by
-    the process pool — RPR006)."""
-    t0 = time.perf_counter()
-    plan = task.plan
-    try:
-        if plan is not None:
-            if plan.decide("crash", task.fault_key, task.attempt):
-                if task.inline:
-                    # A real crash would kill the caller; simulate it.
-                    raise InjectedFault("injected worker crash (inline mode)")
-                os._exit(_CRASH_EXIT_CODE)
-            if plan.decide("interrupt", task.fault_key, task.attempt):
-                raise KeyboardInterrupt("injected interrupt")
-        with _deadline(task.timeout_s):
-            if plan is not None and \
-                    plan.decide("hang", task.fault_key, task.attempt):
-                time.sleep(plan.hang_s)
-            if plan is not None and \
-                    plan.decide("error", task.fault_key, task.attempt):
-                raise InjectedFault(
-                    f"injected failure for task {task.fault_key[:12]}")
-            summary = run_simulation(task.config)
-        return _WorkerOutcome(True, summary, "", "", time.perf_counter() - t0)
-    except TaskTimeout as exc:
-        return _WorkerOutcome(False, None, "timeout", str(exc),
-                              time.perf_counter() - t0)
-    except KeyboardInterrupt:
-        raise  # graceful-shutdown path, handled by run_many
-    except Exception as exc:
-        return _WorkerOutcome(False, None, "error", _format_chain(exc),
-                              time.perf_counter() - t0)
-
-
-def _worker_init() -> None:
-    """Pool-worker initializer: restore default SIGTERM disposition so a
-    forked worker does not inherit the parent's graceful-shutdown handler
-    (which would turn pool teardown into spurious tracebacks)."""
-    if hasattr(signal, "SIGTERM"):
-        signal.signal(signal.SIGTERM, signal.SIG_DFL)
-
-
 @contextmanager
 def _sigterm_as_interrupt() -> Iterator[None]:
     """Convert SIGTERM into KeyboardInterrupt for the duration of a sweep
@@ -338,6 +238,14 @@ class SweepRunner:
         does not change content keys — but note that cache *hits* skip
         execution entirely, so an invariant-checking gate should run with
         the cache disabled.
+    backend:
+        Execution engine for ``jobs>1``: ``"warm"`` (default; persistent
+        affinity-routed workers), ``"pool"`` (per-batch process pool), or
+        ``"serial"`` (force in-process).  Backend choice can never change
+        results — only wall-clock (``docs/RUNNER.md``).
+    warm_options:
+        Optional :class:`~repro.runner.backends.WarmOptions` tuning the
+        warm backend (chunk size, routing mode).  Ignored by the others.
     timeout_s:
         Per-task wall-clock budget; ``None`` (default) = unbounded.  A
         task over budget is reported as a ``timeout`` failure and retried.
@@ -361,13 +269,16 @@ class SweepRunner:
     fault_plan:
         Optional deterministic fault injector (tests/CI only).
     max_pool_failures:
-        Pool respawns tolerated before degrading to serial execution.
+        Worker/pool respawns tolerated per batch before degrading to
+        serial execution.
     """
 
     def __init__(self, jobs: Optional[int] = 0,
                  cache: Optional[ResultCache] = None,
                  check_invariants: bool = False,
                  *,
+                 backend: str = "warm",
+                 warm_options: Optional[WarmOptions] = None,
                  timeout_s: Optional[float] = None,
                  retries: int = 0,
                  backoff_base_s: float = 0.05,
@@ -385,9 +296,14 @@ class SweepRunner:
             raise ValueError("retries must be >= 0")
         if timeout_s is not None and timeout_s <= 0:
             raise ValueError("timeout_s must be positive (or None)")
+        if backend not in BACKEND_NAMES:
+            raise ValueError(f"unknown backend {backend!r}; expected one "
+                             f"of {BACKEND_NAMES}")
         self.jobs = jobs
         self.cache = cache
         self.check_invariants = check_invariants
+        self.backend = backend
+        self.warm_options = warm_options
         self.timeout_s = timeout_s
         self.retries = retries
         self.backoff_base_s = backoff_base_s
@@ -398,9 +314,43 @@ class SweepRunner:
         self.max_pool_failures = max_pool_failures
         self.hard_timeout_factor = hard_timeout_factor
         self.stats = RunnerStats()
+        self._backends: Dict[str, ExecutionBackend] = {}
 
     #: Upper bound on a single backoff sleep.
     BACKOFF_CAP_S = 2.0
+
+    # ------------------------------------------------------------------
+    # backend plumbing
+    # ------------------------------------------------------------------
+    def _get_backend(self, name: str) -> ExecutionBackend:
+        """The (lazily created, runner-lifetime) backend instance for
+        ``name`` — long-lived so the warm backend's workers survive
+        across batches."""
+        instance = self._backends.get(name)
+        if instance is None:
+            instance = make_backend(name, self.warm_options)
+            self._backends[name] = instance
+        return instance
+
+    def _backend_for(self, n_work: int) -> ExecutionBackend:
+        """Pick the engine for a batch: single-task batches and serial
+        runners always take the in-process reference path."""
+        if self.jobs <= 1 or n_work == 1:
+            return self._get_backend("serial")
+        return self._get_backend(self.backend)
+
+    def close(self) -> None:
+        """Release backend resources (persistent warm workers).  The
+        runner remains usable — backends respawn lazily on demand."""
+        backends, self._backends = self._backends, {}
+        for instance in backends.values():
+            instance.close()
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # keys / checkpoint plumbing
@@ -492,13 +442,10 @@ class SweepRunner:
                 work.append(i)
 
             if work:
+                batch = BatchState(work, configs, keys, fault_keys,
+                                   results, journal, failures)
                 with _sigterm_as_interrupt():
-                    if self.jobs <= 1 or len(work) == 1:
-                        self._execute_serial(work, configs, keys, fault_keys,
-                                             results, journal, failures)
-                    else:
-                        self._execute_parallel(work, configs, keys, fault_keys,
-                                               results, journal, failures)
+                    self._backend_for(len(work)).run_batch(self, batch)
             for i, leader in followers:
                 results[i] = results[leader]
         except KeyboardInterrupt:
@@ -539,7 +486,7 @@ class SweepRunner:
               f"continue without recomputing them", file=sys.stderr)
 
     # ------------------------------------------------------------------
-    # execution engines
+    # completion / retry plumbing shared by every backend
     # ------------------------------------------------------------------
     def _complete(self, i: int, summary: SimulationSummary,
                   key: Optional[str],
@@ -568,6 +515,18 @@ class SweepRunner:
             index=i, key=key, kind=kind, attempts=attempts, error=error,
             elapsed_s=elapsed_s, label=getattr(self, "_label", "")))
 
+    def _retry_or_fail(self, i: int, attempt: int, kind: str, error: str,
+                       elapsed_s: float,
+                       pending: "Deque[Tuple[int, int]]",
+                       keys: Sequence[Optional[str]],
+                       failures: List[FailureReport]) -> None:
+        if attempt <= self.retries:
+            self.stats.retries += 1
+            self._backoff(attempt)
+            pending.append((i, attempt + 1))
+        else:
+            self._fail(i, keys[i], kind, error, attempt, elapsed_s, failures)
+
     def _run_inline(self, i: int, first_attempt: int,
                     configs: Sequence[SystemConfig],
                     keys: Sequence[Optional[str]],
@@ -595,20 +554,6 @@ class SweepRunner:
             self._backoff(attempt)
             attempt += 1
 
-    def _execute_serial(self, work: Sequence[int],
-                        configs: Sequence[SystemConfig],
-                        keys: Sequence[Optional[str]],
-                        fault_keys: Sequence[str],
-                        results: List[Optional[SimulationSummary]],
-                        journal: Optional[CheckpointJournal],
-                        failures: List[FailureReport]) -> None:
-        for i in work:
-            if self.fail_fast and failures:
-                return
-            self._run_inline(i, 1, configs, keys, fault_keys, results,
-                             journal, failures)
-
-    # -- parallel ------------------------------------------------------
     def _hard_timeout_s(self) -> Optional[float]:
         """Parent-side watchdog deadline for one in-flight task: generous
         multiple of the soft budget, so it only fires when a worker is
@@ -616,167 +561,6 @@ class SweepRunner:
         if self.timeout_s is None:
             return None
         return self.timeout_s * self.hard_timeout_factor + 1.0
-
-    @staticmethod
-    def _terminate_pool(pool: ProcessPoolExecutor) -> None:
-        """Forcibly retire a pool (used for wedged/broken pools and
-        interrupt cleanup; hung workers cannot be joined)."""
-        try:
-            pool.shutdown(wait=False, cancel_futures=True)
-            processes = getattr(pool, "_processes", None) or {}
-            for process in list(processes.values()):
-                try:
-                    process.terminate()
-                except Exception:
-                    pass
-        except Exception:
-            pass
-
-    def _retry_or_fail(self, i: int, attempt: int, kind: str, error: str,
-                       elapsed_s: float,
-                       pending: "Deque[Tuple[int, int]]",
-                       keys: Sequence[Optional[str]],
-                       failures: List[FailureReport]) -> None:
-        if attempt <= self.retries:
-            self.stats.retries += 1
-            self._backoff(attempt)
-            pending.append((i, attempt + 1))
-        else:
-            self._fail(i, keys[i], kind, error, attempt, elapsed_s, failures)
-
-    def _execute_parallel(self, work: Sequence[int],
-                          configs: Sequence[SystemConfig],
-                          keys: Sequence[Optional[str]],
-                          fault_keys: Sequence[str],
-                          results: List[Optional[SimulationSummary]],
-                          journal: Optional[CheckpointJournal],
-                          failures: List[FailureReport]) -> None:
-        pending: Deque[Tuple[int, int]] = deque((i, 1) for i in work)
-        workers = min(self.jobs, len(work))
-        hard_s = self._hard_timeout_s()
-        tick_s = None if hard_s is None else max(0.05, min(0.5, hard_s / 4.0))
-        pool: Optional[ProcessPoolExecutor] = None
-        #: future -> (batch index, attempt, submission monotonic time)
-        in_flight: Dict["Future[_WorkerOutcome]", Tuple[int, int, float]] = {}
-        pool_failures = 0
-
-        def _abandon_pool() -> None:
-            nonlocal pool, pool_failures
-            if pool is not None:
-                self._terminate_pool(pool)
-                pool = None
-            pool_failures += 1
-            self.stats.pool_respawns += 1
-
-        try:
-            while pending or in_flight:
-                if self.fail_fast and failures:
-                    return
-                if pool_failures > self.max_pool_failures:
-                    # Graceful degradation: the pool keeps dying — finish
-                    # the remainder serially in-process.
-                    for future in in_flight:
-                        future.cancel()
-                    in_flight.clear()
-                    while pending:
-                        if self.fail_fast and failures:
-                            return
-                        i, attempt = pending.popleft()
-                        self._run_inline(i, attempt, configs, keys, fault_keys,
-                                         results, journal, failures)
-                    return
-                if pool is None and pending:
-                    pool = ProcessPoolExecutor(max_workers=workers,
-                                               initializer=_worker_init)
-                while pool is not None and pending and len(in_flight) < workers:
-                    i, attempt = pending.popleft()
-                    task = _WorkerTask(configs[i], fault_keys[i], attempt,
-                                       self.timeout_s, self.fault_plan)
-                    future = pool.submit(_execute_task, task)
-                    in_flight[future] = (i, attempt, time.monotonic())
-                if not in_flight:
-                    continue
-
-                done, _ = wait(set(in_flight), timeout=tick_s,
-                               return_when=FIRST_COMPLETED)
-                if not done:
-                    # Watchdog: a worker past the hard deadline is wedged
-                    # beyond its own SIGALRM guard — replace the pool.
-                    if hard_s is None:
-                        continue
-                    now = time.monotonic()
-                    wedged = {f for f, (_, _, t_sub) in in_flight.items()
-                              if now - t_sub > hard_s}
-                    if not wedged:
-                        continue
-                    _abandon_pool()
-                    for future, (i, attempt, t_sub) in list(in_flight.items()):
-                        if future in wedged:
-                            self.stats.timeouts += 1
-                            self._retry_or_fail(
-                                i, attempt, "timeout",
-                                "worker unresponsive past the hard deadline; "
-                                "pool replaced", now - t_sub, pending, keys,
-                                failures)
-                        else:
-                            self._retry_or_fail(
-                                i, attempt, "crash",
-                                "task lost when an unresponsive pool was "
-                                "replaced", now - t_sub, pending, keys,
-                                failures)
-                    in_flight.clear()
-                    continue
-
-                broken = False
-                for future in done:
-                    i, attempt, t_sub = in_flight.pop(future)
-                    try:
-                        outcome = future.result()
-                    except BrokenProcessPool:
-                        broken = True
-                        self._retry_or_fail(
-                            i, attempt, "crash",
-                            "worker process exited abnormally "
-                            "(BrokenProcessPool)",
-                            time.monotonic() - t_sub, pending, keys, failures)
-                        continue
-                    except KeyboardInterrupt:
-                        raise
-                    except Exception as exc:
-                        self._retry_or_fail(i, attempt, "error",
-                                            _format_chain(exc),
-                                            time.monotonic() - t_sub,
-                                            pending, keys, failures)
-                        continue
-                    if outcome.ok:
-                        assert outcome.summary is not None
-                        self._complete(i, outcome.summary, keys[i], results,
-                                       journal)
-                    else:
-                        if outcome.kind == "timeout":
-                            self.stats.timeouts += 1
-                        self._retry_or_fail(i, attempt, outcome.kind,
-                                            outcome.error, outcome.elapsed_s,
-                                            pending, keys, failures)
-                if broken:
-                    # The pool is dead: every other in-flight task is lost
-                    # with it.  Requeue only those (completed results are
-                    # already recorded), then respawn.
-                    for future, (i, attempt, t_sub) in list(in_flight.items()):
-                        self._retry_or_fail(
-                            i, attempt, "crash",
-                            "task lost when the process pool broke",
-                            time.monotonic() - t_sub, pending, keys, failures)
-                    in_flight.clear()
-                    _abandon_pool()
-        except BaseException:
-            if pool is not None:
-                self._terminate_pool(pool)
-                pool = None
-            raise
-        finally:
-            if pool is not None:
-                pool.shutdown(wait=False, cancel_futures=True)
 
     # ------------------------------------------------------------------
     def run_one(self, config: SystemConfig) -> SimulationSummary:
@@ -791,6 +575,8 @@ class SweepRunner:
     def jobs_label(self) -> str:
         cache = "cache on" if self.cache is not None else "cache off"
         label = f"jobs={self.jobs}, {cache}"
+        if self.jobs > 1:
+            label += f", backend={self.backend}"
         if self.check_invariants:
             label += ", invariants on"
         if self.timeout_s is not None:

@@ -179,7 +179,8 @@ class SystemConfig:
 class NetworkProcessingSystem:
     """One fully wired simulation instance (single-use: build, run)."""
 
-    def __init__(self, config: SystemConfig) -> None:
+    def __init__(self, config: SystemConfig, *,
+                 model: Optional[ExecutionTimeModel] = None) -> None:
         self.config = config
         self.costs = config.costs
         self.data_touching = config.data_touching
@@ -190,9 +191,25 @@ class NetworkProcessingSystem:
         )
         self.rngs = RandomStreams(config.seed)
         self.metrics = MetricsCollector(warmup_us=config.warmup_us)
-        self.model = ExecutionTimeModel(
-            config.costs, config.composition, config.platform.hierarchy
-        )
+        if model is not None:
+            # Warm-state injection (the warm backend's affinity payoff):
+            # an ExecutionTimeModel's only mutable state memoizes a pure
+            # function of its construction parameters, so reusing one
+            # across runs is bit-identical to building it fresh — but
+            # *only* for the parameters it was built from.  Guard hard.
+            if (model.costs != config.costs
+                    or model.composition != config.composition
+                    or model.hierarchy != config.platform.hierarchy):
+                raise ValueError(
+                    "injected ExecutionTimeModel was built from different "
+                    "exec-model parameters than this config; reusing it "
+                    "would be incorrect"
+                )
+            self.model = model
+        else:
+            self.model = ExecutionTimeModel(
+                config.costs, config.composition, config.platform.hierarchy
+            )
         refs_per_us = config.platform.references_per_us
         self.processors: List[ProcessorState] = [
             ProcessorState(p, refs_per_us, config.nonprotocol_intensity)
@@ -394,6 +411,13 @@ class NetworkProcessingSystem:
         )
 
 
-def run_simulation(config: SystemConfig) -> SimulationSummary:
-    """Convenience wrapper: build and run in one call."""
-    return NetworkProcessingSystem(config).run()
+def run_simulation(config: SystemConfig, *,
+                   model: Optional[ExecutionTimeModel] = None,
+                   ) -> SimulationSummary:
+    """Convenience wrapper: build and run in one call.
+
+    ``model`` optionally injects a pre-built (warm)
+    :class:`ExecutionTimeModel`; it is validated against the config and
+    cannot change results (see :class:`NetworkProcessingSystem`).
+    """
+    return NetworkProcessingSystem(config, model=model).run()

@@ -200,3 +200,65 @@ class TestMetricsSchemaParity:
         rpr010 = [f for f in run_lint(pkg) if f.code == "RPR010"]
         assert len(rpr010) == 1
         assert "stale" in rpr010[0].message and "no_such_key" in rpr010[0].message
+
+
+# ----------------------------------------------------------------------
+# RPR012 — warm-state ledger
+# ----------------------------------------------------------------------
+class TestWarmStateLedger:
+    WARM = pathlib.Path("runner") / "backends" / "warm.py"
+
+    def add_cache(self, pkg, register=None, reset=False):
+        """Seed a new module-level cache in warm.py, optionally with a
+        ledger entry (``register`` = reason string) and a reset hook."""
+        warm = pkg / self.WARM
+        edit(warm, "_MODEL_CACHE_MAX = 8",
+             "_MODEL_CACHE_MAX = 8\n_EXTRA_CACHE: Dict[str, int] = {}",
+             count=1)
+        if register is not None:
+            edit(warm, 'change results"\n    ),\n}',
+                 'change results"\n    ),\n'
+                 f'    "_EXTRA_CACHE": {register!r},\n}}', count=1)
+        if reset:
+            edit(warm, "    _MODEL_CACHE.clear()",
+                 "    _MODEL_CACHE.clear()\n    _EXTRA_CACHE.clear()",
+                 count=1)
+
+    def test_unregistered_cache_fires(self, pkg):
+        self.add_cache(pkg)
+        rpr012 = [f for f in run_lint(pkg) if f.code == "RPR012"]
+        assert len(rpr012) == 1
+        assert "_EXTRA_CACHE" in rpr012[0].message
+        assert "not registered in _WARM_LEDGER" in rpr012[0].message
+        assert "warm.py" in rpr012[0].path
+
+    def test_registered_and_reset_cache_is_clean(self, pkg):
+        self.add_cache(pkg, register="pure memo of a pure function",
+                       reset=True)
+        assert [f for f in run_lint(pkg) if f.code == "RPR012"] == []
+
+    def test_registered_but_never_reset_fires(self, pkg):
+        self.add_cache(pkg, register="pure memo of a pure function",
+                       reset=False)
+        rpr012 = [f for f in run_lint(pkg) if f.code == "RPR012"]
+        assert len(rpr012) == 1
+        assert "never referenced inside reset_warm_state()" in rpr012[0].message
+
+    def test_empty_reason_fires(self, pkg):
+        self.add_cache(pkg, register="", reset=True)
+        rpr012 = [f for f in run_lint(pkg) if f.code == "RPR012"]
+        assert len(rpr012) == 1
+        assert "non-empty reason" in rpr012[0].message
+
+    def test_stale_ledger_entry_fires(self, pkg):
+        edit(pkg / self.WARM, 'change results"\n    ),\n}',
+             'change results"\n    ),\n'
+             '    "_GHOST_CACHE": "long gone",\n}', count=1)
+        rpr012 = [f for f in run_lint(pkg) if f.code == "RPR012"]
+        assert len(rpr012) == 1
+        assert "stale _WARM_LEDGER entry '_GHOST_CACHE'" in rpr012[0].message
+
+    def test_real_package_is_clean(self):
+        from repro.lint.project import check_warm_state_ledger
+        assert check_warm_state_ledger(
+            PACKAGE / "runner" / "backends") == []

@@ -178,14 +178,21 @@ class TestInterruptCheckpoint:
 
 @pytest.mark.slow
 class TestFaultSuite:
-    def test_every_scenario_passes(self, tmp_path):
-        results = run_fault_suite(tmp_path, jobs=2, seed=1)
-        assert [r.name for r in results] == [
+    @pytest.mark.parametrize("backend", ["pool", "warm"])
+    def test_every_scenario_passes(self, tmp_path, backend):
+        results = run_fault_suite(tmp_path, jobs=2, seed=1, backend=backend)
+        expected = [
             "crash-retry-completes",
             "hang-times-out-not-deadlocked",
             "corrupt-entry-quarantined-and-recomputed",
             "interrupt-checkpoint-resume",
             "happy-path-bit-identical",
         ]
+        if backend == "warm":
+            expected += [
+                "warm-crash-cold-respawn-bit-identical",
+                "warm-hung-worker-queue-stolen",
+            ]
+        assert [r.name for r in results] == expected
         failed = [r for r in results if not r.ok]
         assert failed == [], "\n".join(f"{r.name}: {r.detail}" for r in failed)

@@ -136,11 +136,14 @@ class TestParallelDeterminism:
     """``jobs=4`` must reproduce serial output exactly (common random
     numbers: every grid point carries its own seed)."""
 
+    @pytest.mark.parametrize("backend", ["pool", "warm"])
     @pytest.mark.parametrize("eid", ["e06", "e10"])
-    def test_parallel_matches_serial(self, eid):
+    def test_parallel_matches_serial(self, eid, backend):
         serial = run_experiment(eid, fast=True)
-        with use_runner(SweepRunner(jobs=4)):
+        runner = SweepRunner(jobs=4, backend=backend)
+        with use_runner(runner):
             parallel = run_experiment(eid, fast=True)
+        runner.close()
         assert parallel.rows == serial.rows
         assert parallel.text == serial.text
 
