@@ -15,9 +15,12 @@ The second half benchmarks the *execution backends* against each other on
 an E06-style 300-point grid of very short simulations — the regime where
 per-task overhead (process spawn, config pickling, model rebuild, result
 pickling) dominates and the warm backend's persistent workers, chunked
-dispatch and columnar transport pay off.  ``record_bench.py`` records the
-result as ``BENCH_sweep.json``; ``--check`` is the CI perf-smoke gate for
-it (per-backend conservative throughput floors, auto-skipping when the
+dispatch and columnar transport pay off.  The distributed backend rides
+the same comparison so its happy-path tax over the warm fleet (framing,
+leases, heartbeats, the commit gate; docs/DISTRIBUTED.md) is recorded,
+not guessed.  ``record_bench.py`` records the result as
+``BENCH_sweep.json``; ``--check`` is the CI perf-smoke gate for it
+(per-backend conservative throughput floors, auto-skipping when the
 recording is absent).
 
 Runnable three ways::
@@ -184,6 +187,7 @@ MIN_CONFIGS_PER_SEC = {
     "serial": 60.0,
     "pool": 10.0,
     "warm": 50.0,
+    "distributed": 10.0,
 }
 
 #: The headline acceptance ratio recorded by record_bench.py (warm must
@@ -232,7 +236,7 @@ def _same_results(a, b) -> bool:
 
 def compare_backends(repeats: int = 5,
                      duration_us: float = SWEEP_DURATION_US):
-    """serial vs pool vs warm on the E06-style session; returns a report.
+    """serial vs pool vs warm vs distributed on the E06-style session.
 
     Each backend keeps **one runner for all its sessions**, so it is
     measured the way it runs in practice: the warm backend spawns
@@ -251,7 +255,7 @@ def compare_backends(repeats: int = 5,
     """
     batches = backend_sweep_batches(duration_us)
     points = sum(len(b) for b in batches)
-    order = ("serial", "pool", "warm")
+    order = ("serial", "pool", "warm", "distributed")
     runners = {
         backend: SweepRunner(jobs=0 if backend == "serial" else SWEEP_JOBS,
                              backend=backend)
@@ -283,20 +287,37 @@ def compare_backends(repeats: int = 5,
                 "affinity_hits": stats.affinity_hits,
                 "steals": stats.steals,
             }
+            if backend == "distributed":
+                rows[backend]["leases"] = stats.leases
+                rows[backend]["lease_expiries"] = stats.lease_expiries
+                rows[backend]["dup_results"] = stats.dup_results
     finally:
         for runner in runners.values():
             runner.close()
     for backend in order:
         row = rows[backend]
+        extra = ""
+        if backend == "warm":
+            extra = (f"  ({row['chunks']} chunks, {row['affinity_hits']} "
+                     f"affine, {row['steals']} stolen)")
+        elif backend == "distributed":
+            extra = (f"  ({row['leases']} leases, "
+                     f"{row['lease_expiries']} expired, "
+                     f"{row['dup_results']} dups)")
         print(f"[bench_runner] {backend}: {row['best_s']:.3f} s  "
-              f"{row['configs_per_sec']:,.1f} configs/s"
-              + (f"  ({row['chunks']} chunks, {row['affinity_hits']} affine, "
-                 f"{row['steals']} stolen)" if backend == "warm" else ""))
+              f"{row['configs_per_sec']:,.1f} configs/s" + extra)
     warm_vs_pool = rows["warm"]["configs_per_sec"] / rows["pool"]["configs_per_sec"]
     warm_vs_serial = (rows["warm"]["configs_per_sec"]
                       / rows["serial"]["configs_per_sec"])
+    # The distributed backend's happy-path tax vs the warm fleet it
+    # degrades to: how much the network seam (framing, leases,
+    # heartbeats, the commit gate) costs when nothing goes wrong.
+    dist_overhead_pct = (rows["warm"]["configs_per_sec"]
+                         / rows["distributed"]["configs_per_sec"] - 1.0) * 100.0
     print(f"[bench_runner] warm vs pool: {warm_vs_pool:.2f}x, "
           f"warm vs serial: {warm_vs_serial:.2f}x on {os.cpu_count()} CPUs")
+    print(f"[bench_runner] distributed happy-path overhead vs warm: "
+          f"{dist_overhead_pct:+.1f}%")
     return {
         "points": points,
         "batches": len(batches),
@@ -311,6 +332,7 @@ def compare_backends(repeats: int = 5,
         "backends": rows,
         "warm_vs_pool": round(warm_vs_pool, 3),
         "warm_vs_serial": round(warm_vs_serial, 3),
+        "distributed_overhead_vs_warm_pct": round(dist_overhead_pct, 1),
     }
 
 

@@ -28,9 +28,11 @@ The file has five sections:
     budgeted at < 2% (``docs/ROBUSTNESS.md``).
 
 ``BENCH_sweep.json`` records the execution-backend comparison (serial vs
-pool vs warm on the E06-style replicated session, best of 5, cold
-cache) — the acceptance trajectory for the affinity-aware sweep executor
-(``docs/PERFORMANCE.md``), gated in CI by ``bench_runner.py --check``.
+pool vs warm vs distributed on the E06-style replicated session, best of
+5, cold cache) — the acceptance trajectory for the affinity-aware sweep
+executor (``docs/PERFORMANCE.md``) and the distributed backend's
+happy-path overhead vs the warm fleet (``docs/DISTRIBUTED.md``), gated
+in CI by ``bench_runner.py --check``.
 
 Numbers are machine-relative: re-record on the machine whose numbers you
 want to compare, and treat cross-machine deltas as noise.  CI only
@@ -150,6 +152,8 @@ def main(repeats: int = 5) -> int:
     print(f"[record_bench] wrote {SWEEP_JSON}")
     print(f"[record_bench] warm vs pool: {sweep['warm_vs_pool']}x "
           f"(target >= 3x), warm vs serial: {sweep['warm_vs_serial']}x")
+    print(f"[record_bench] distributed overhead vs warm: "
+          f"{sweep['distributed_overhead_vs_warm_pct']:+.1f}%")
     return 0
 
 

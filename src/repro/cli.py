@@ -14,7 +14,15 @@ Commands
     Run every experiment and write its structured rows as
     ``OUTDIR/<id>.csv`` (for plotting outside the terminal).
 ``repro cache [--clear] [--cache-dir P]``
-    Inspect (or clear) the persistent result cache.
+    Inspect (or clear) the persistent result cache, including the
+    quarantine ledger (unreadable entries and mismatched distributed
+    results parked for inspection).
+``repro sweep status [SWEEP_ID] [--checkpoint-dir P]``
+    Inspect checkpointed sweeps: done/pending/failed per journal, plus
+    live worker/lease state when a distributed coordinator is running.
+``repro sweep worker --address HOST:PORT [--transport tcp|file] [--id W]``
+    Join a distributed sweep as an external worker agent
+    (``docs/DISTRIBUTED.md``); exits when the coordinator says stop.
 ``repro verify record [--ids e01 e02] [--seed N] [--goldens DIR] [...]``
     Snapshot experiment outputs as golden JSON files (tests/goldens/).
 ``repro verify check [--ids e01 e02] [--rtol X] [--goldens DIR] [...]``
@@ -24,11 +32,13 @@ Commands
     Run the domain-specific static-analysis pass (determinism, ordering,
     units, cache-key, registry and pickle-safety conformance; rules
     RPR001..RPR006, see ``docs/LINTING.md``); exits non-zero on findings.
-``repro faults [--seed N] [--jobs N] [--workdir P]``
+``repro faults [--seed N] [--jobs N] [--backend B] [--transport T] [...]``
     Run the deterministic fault-injection suite (worker crashes, hangs,
-    cache corruption, interrupts) against the real runner and report
-    PASS/FAIL per scenario (``docs/ROBUSTNESS.md``); exits non-zero on
-    any failure.
+    cache corruption, interrupts — plus network chaos when
+    ``--backend distributed``: dropped/delayed/duplicated frames,
+    partitions, fleet loss) against the real runner and report PASS/FAIL
+    per scenario (``docs/ROBUSTNESS.md``, ``docs/DISTRIBUTED.md``);
+    exits non-zero on any failure.
 ``repro simulate --paradigm locking --policy mru --rate 12000 ...``
     One ad-hoc simulation with a summary printout.
 
@@ -69,11 +79,13 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional
 
 from .analysis.tables import format_kv
 from .experiments.base import ALL_IDS, EXPERIMENT_IDS, load_experiment, run_experiment
 from .runner import (
+    BACKEND_NAMES,
     ResultCache,
     SweepExecutionError,
     SweepRunner,
@@ -92,12 +104,23 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
         help="worker processes for sweep fan-out (0 = serial, the default; "
              "-1 = one per CPU)")
     parser.add_argument(
-        "--backend", choices=("serial", "pool", "warm"), default="warm",
+        "--backend", choices=BACKEND_NAMES, default="warm",
         help="execution engine for --jobs > 1: 'warm' keeps persistent "
              "affinity-routed workers alive across sweeps (default), "
              "'pool' spawns a process pool per sweep, 'serial' forces "
-             "in-process execution; results are bit-identical across "
-             "backends (see docs/RUNNER.md)")
+             "in-process execution, 'distributed' leases task chunks to "
+             "worker agents over a network transport (docs/DISTRIBUTED.md); "
+             "results are bit-identical across backends (see docs/RUNNER.md)")
+    parser.add_argument(
+        "--transport", choices=("tcp", "file"), default="tcp",
+        help="distributed-backend wire: 'tcp' (loopback sockets, default) "
+             "or 'file' (shared-filesystem spool); ignored by other "
+             "backends")
+    parser.add_argument(
+        "--spool-dir", default=None, metavar="PATH",
+        help="spool root for --transport file (default: a private temp "
+             "dir); point external `repro sweep worker` processes at the "
+             "same path")
     parser.add_argument(
         "--no-cache", action="store_true",
         help="bypass the persistent result cache")
@@ -167,6 +190,33 @@ def build_parser() -> argparse.ArgumentParser:
                          help="delete every cached result")
     p_cache.add_argument("--cache-dir", default=None, metavar="PATH")
 
+    p_sweep = sub.add_parser(
+        "sweep", help="inspect checkpointed sweeps / join one as a worker")
+    ssub = p_sweep.add_subparsers(dest="sweep_command", required=True)
+    p_status = ssub.add_parser(
+        "status", help="done/pending/leased/failed state of checkpointed "
+                       "sweeps (live lease detail for running distributed "
+                       "coordinators)")
+    p_status.add_argument("sweep_id", nargs="?", default=None, metavar="SWEEP_ID",
+                          help="sweep identity (prefix ok; default: list "
+                               "every journal)")
+    p_status.add_argument("--checkpoint-dir", default=None, metavar="PATH",
+                          help="journal directory (default: "
+                               "<cache-dir>/checkpoints)")
+    p_status.add_argument("--cache-dir", default=None, metavar="PATH")
+    p_worker = ssub.add_parser(
+        "worker", help="run one external worker agent for a distributed "
+                       "sweep coordinator")
+    p_worker.add_argument("--address", required=True, metavar="ADDR",
+                          help="coordinator address: host:port for tcp, "
+                               "spool directory for file")
+    p_worker.add_argument("--transport", choices=("tcp", "file"),
+                          default="tcp")
+    p_worker.add_argument("--id", default="ext0", metavar="WORKER_ID",
+                          dest="worker_id",
+                          help="worker identity reported to the coordinator "
+                               "(must be unique per agent; default: ext0)")
+
     p_verify = sub.add_parser(
         "verify", help="golden-result regression (record / check)")
     vsub = p_verify.add_subparsers(dest="verify_command", required=True)
@@ -198,18 +248,25 @@ def build_parser() -> argparse.ArgumentParser:
                           help="fault-plan seed (same seed = same faults)")
     p_faults.add_argument("--jobs", type=int, default=2, metavar="N",
                           help="worker processes for the parallel scenarios")
-    p_faults.add_argument("--backend", choices=("serial", "pool", "warm"),
+    p_faults.add_argument("--backend", choices=BACKEND_NAMES,
                           default="warm",
                           help="execution engine for the parallel scenarios; "
                                "'warm' also runs the warm-specific scenarios "
-                               "(worker-cache loss, queue stealing)")
+                               "(worker-cache loss, queue stealing) and "
+                               "'distributed' the network-chaos scenarios "
+                               "(drops, delays, duplicates, partitions, "
+                               "fleet loss)")
+    p_faults.add_argument("--transport", choices=("tcp", "file"),
+                          default="tcp",
+                          help="wire for the distributed scenarios "
+                               "(default: tcp)")
     p_faults.add_argument("--workdir", default=None, metavar="PATH",
                           help="scratch directory for the scenarios' "
                                "caches/journals (default: a temp dir)")
 
     p_lint = sub.add_parser(
         "lint", help="run the domain-specific static-analysis pass "
-                     "(RPR001..RPR012; see docs/LINTING.md)")
+                     "(RPR001..RPR013; see docs/LINTING.md)")
     p_lint.add_argument("paths", nargs="*", metavar="PATH",
                         help="files/directories to lint (default: the "
                              "installed repro package)")
@@ -253,10 +310,19 @@ def _make_runner(args: argparse.Namespace) -> SweepRunner:
     """Build the sweep runner requested by --jobs/--no-cache/--cache-dir."""
     jobs = None if args.jobs is not None and args.jobs < 0 else args.jobs
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    backend = getattr(args, "backend", "warm")
+    distributed_options = None
+    if backend == "distributed":
+        from .runner import DistributedOptions
+
+        distributed_options = DistributedOptions(
+            transport=getattr(args, "transport", "tcp"),
+            spool_dir=getattr(args, "spool_dir", None))
     return SweepRunner(
         jobs=jobs, cache=cache,
         check_invariants=getattr(args, "check_invariants", False),
-        backend=getattr(args, "backend", "warm"),
+        backend=backend,
+        distributed_options=distributed_options,
         timeout_s=getattr(args, "timeout", None),
         retries=getattr(args, "retries", 0),
         resume=getattr(args, "resume", False),
@@ -334,10 +400,12 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         return 0
     print(f"cache dir: {cache.root}")
     print(f"entries:   {len(cache)}")
-    quarantined = cache.quarantined_entries()
-    if quarantined:
-        print(f"quarantined: {quarantined} unreadable entries parked in "
-              f"{cache.quarantine_dir} (see docs/ROBUSTNESS.md)")
+    # Always surfaced, zero included: the quarantine ledger is where both
+    # unreadable cache entries and mismatched distributed results land,
+    # and "0 quarantined" is itself the health signal worth reading.
+    print(f"quarantined: {cache.quarantined_entries()} entries parked in "
+          f"{cache.quarantine_dir} (unreadable cache files and mismatched "
+          f"distributed results; see docs/ROBUSTNESS.md)")
     return 0
 
 
@@ -349,19 +417,101 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 
     if args.workdir is not None:
         results = run_fault_suite(Path(args.workdir), jobs=args.jobs,
-                                  seed=args.seed, backend=args.backend)
+                                  seed=args.seed, backend=args.backend,
+                                  transport=args.transport)
     else:
         with tempfile.TemporaryDirectory(prefix="repro-faults-") as tmp:
             results = run_fault_suite(Path(tmp), jobs=args.jobs,
-                                      seed=args.seed, backend=args.backend)
+                                      seed=args.seed, backend=args.backend,
+                                      transport=args.transport)
     width = max(len(r.name) for r in results)
     for r in results:
         status = "PASS" if r.ok else "FAIL"
         print(f"{status}  {r.name:<{width}}  {r.detail}")
     failed = sum(1 for r in results if not r.ok)
+    wire = (f", transport={args.transport}"
+            if args.backend == "distributed" else "")
     print(f"[faults] {len(results) - failed}/{len(results)} scenarios passed "
-          f"(seed={args.seed}, jobs={args.jobs}, backend={args.backend})")
+          f"(seed={args.seed}, jobs={args.jobs}, backend={args.backend}"
+          f"{wire})")
     return 1 if failed else 0
+
+
+def _sweep_status_dir(args: argparse.Namespace) -> Path:
+    if args.checkpoint_dir is not None:
+        return Path(args.checkpoint_dir)
+    cache_dir = args.cache_dir if args.cache_dir is not None else default_cache_dir()
+    return Path(cache_dir) / "checkpoints"
+
+
+def _print_sweep_entry(path: Path, verbose: bool) -> bool:
+    """One journal's status block; returns False when unreadable."""
+    import json
+
+    from .runner import journal_status
+
+    status = journal_status(path)
+    if status is None:
+        return False
+    done, total = status["done"], status["total"]
+    label = f" [{status['label']}]" if status["label"] else ""
+    print(f"{status['sweep']}{label}: {done}/{total} done")
+    state_path = path.with_name(path.stem + ".state.json")
+    try:
+        live = json.loads(state_path.read_text())
+    except (OSError, ValueError):
+        live = None
+    if live is None:
+        remaining = (total - done
+                     if isinstance(total, int) and isinstance(done, int)
+                     else 0)
+        if remaining > 0:
+            print(f"  no live coordinator; resume with --resume to finish "
+                  f"the remaining {remaining} task(s)")
+        return True
+    workers = live.get("workers") or []
+    leases = live.get("leases") or []
+    print(f"  live {live.get('backend', '?')} coordinator: "
+          f"{live.get('pending', '?')} pending, {len(leases)} leased, "
+          f"{live.get('failed', '?')} failed; "
+          f"{len(workers)} worker(s) registered")
+    if verbose:
+        for lease in leases:
+            tasks = lease.get("tasks", [])
+            print(f"  lease #{lease.get('lease')} -> {lease.get('worker')}: "
+                  f"{len(tasks)} task(s), age {lease.get('age_s', 0):.1f}s, "
+                  f"last beat {lease.get('beat_age_s', 0):.1f}s ago")
+    return True
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.sweep_command == "worker":
+        from .runner import run_worker_agent
+
+        print(f"[worker {args.worker_id}] joining {args.transport} "
+              f"coordinator at {args.address}", file=sys.stderr)
+        run_worker_agent(args.transport, args.address, args.worker_id)
+        return 0
+    directory = _sweep_status_dir(args)
+    journals = sorted(directory.glob("*.jsonl")) if directory.is_dir() else []
+    if args.sweep_id is not None:
+        journals = [p for p in journals if p.stem.startswith(args.sweep_id)]
+        if not journals:
+            print(f"repro sweep status: no journal matching "
+                  f"{args.sweep_id!r} in {directory}", file=sys.stderr)
+            return 1
+    if not journals:
+        print(f"no checkpointed sweeps in {directory} (journals are "
+              f"deleted on clean completion — nothing to resume)")
+        return 0
+    shown = 0
+    for path in journals:
+        shown += 1 if _print_sweep_entry(path, args.sweep_id is not None) else 0
+    if shown == 0:
+        print(f"repro sweep status: no readable journal in {directory}",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -461,6 +611,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_csv(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "verify":
         return _cmd_verify(args)
     if args.command == "lint":

@@ -26,6 +26,7 @@ from typing import Tuple
 
 __all__ = [
     "BLESSED_RNG_CLASS",
+    "CLOCK_SEAM_RELPATHS",
     "CONFIG_CLASSES",
     "FORBIDDEN_WALLCLOCK",
     "HOT_PATH_BATCH_RELPATHS",
@@ -116,6 +117,21 @@ FORBIDDEN_WALLCLOCK: Tuple[str, ...] = (
     "secrets.token_bytes",
     "secrets.token_hex",
     "secrets.randbelow",
+)
+
+#: Package-relative paths of the distributed backend's time-sensitive
+#: core: lease bookkeeping, transport chaos, and the coordinator loop.
+#: These modules must take their time source through the injectable
+#: clock seam (``DistributedOptions.clock`` / the ``LeaseTable`` clock
+#: argument) rather than *calling* wall-clock functions directly —
+#: referencing ``time.monotonic`` as a default value is fine; calling it
+#: inline is not (RPR013).  Direct reads make lease-expiry arithmetic
+#: untestable (tests would have to sleep real seconds) and chaos runs
+#: timing-dependent.
+CLOCK_SEAM_RELPATHS: Tuple[str, ...] = (
+    "runner/backends/distributed.py",
+    "runner/backends/lease.py",
+    "runner/backends/transport.py",
 )
 
 #: Calls resolving under this prefix construct/draw NumPy randomness.

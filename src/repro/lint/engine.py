@@ -20,6 +20,7 @@ from pathlib import Path
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
 
 from .config import (
+    CLOCK_SEAM_RELPATHS,
     HOT_PATH_BATCH_RELPATHS,
     RNG_EXEMPT_RELPATHS,
     default_package_root,
@@ -124,6 +125,7 @@ def _file_findings(parsed: _ParsedFile, relpath: str) -> List[Finding]:
         result_affecting=is_result_affecting(relpath),
         rng_exempt=relpath in RNG_EXEMPT_RELPATHS,
         hot_path=relpath in HOT_PATH_BATCH_RELPATHS,
+        clock_seam=relpath in CLOCK_SEAM_RELPATHS,
         tree=parsed.tree,
     )
 

@@ -47,6 +47,10 @@ RULES: Dict[str, str] = {
               "runner/backends/ must be registered in _WARM_LEDGER with a "
               "reason and cleared by reset_warm_state(), so every piece of "
               "state a warm worker can carry across tasks is auditable",
+    "RPR013": "clock seam: coordinator/lease logic reads the wall clock "
+              "directly instead of taking the injectable clock seam "
+              "(DistributedOptions.clock), so lease expiry becomes "
+              "untestable and chaos runs unreplayable",
 }
 
 

@@ -36,6 +36,14 @@ Matched by attribute/function name (the hot-path modules are few and
 idiomatic, so name matching is precise there); legitimate exceptions
 carry a suppression comment explaining why.
 
+RPR013 protects the distributed backend's injectable clock seam: inside
+the modules listed in ``CLOCK_SEAM_RELPATHS`` (lease bookkeeping,
+transport, coordinator loop), *calling* a wall-clock function directly is
+flagged — lease-expiry arithmetic must flow through the clock passed via
+``DistributedOptions.clock``, so tests can drive time with a fake and
+chaos runs replay without sleeping.  Referencing ``time.monotonic``
+without calling it (the seam's default value) is deliberately allowed.
+
 RPR006 keeps worker entrypoints pickle-safe: anything handed to a
 process pool's ``submit``/``map`` must be a module-level function.  A
 lambda or a function nested inside another function cannot be pickled to
@@ -63,6 +71,7 @@ from .findings import Finding
 
 __all__ = [
     "ImportTable",
+    "ClockSeamRule",
     "DeterminismRule",
     "HotPathBatchRule",
     "OrderingRule",
@@ -539,10 +548,41 @@ class HotPathBatchRule(_BaseRule):
 
 
 # ----------------------------------------------------------------------
+# RPR013 — injectable clock seam in distributed coordinator/lease logic
+# ----------------------------------------------------------------------
+class ClockSeamRule(_BaseRule):
+    """Flag direct wall-clock *calls* inside the distributed backend's
+    time-sensitive modules (``CLOCK_SEAM_RELPATHS``).
+
+    Lease expiry is arithmetic over timestamps; if any of it reads
+    ``time.monotonic()`` inline, unit tests must sleep real seconds to
+    see an expiry and a chaos replay's timing depends on the host.  All
+    time must enter through the injected clock (``DistributedOptions
+    .clock`` / the ``LeaseTable`` clock argument).  Only ``ast.Call``
+    nodes are flagged: passing ``time.monotonic`` *by reference* as the
+    seam's default is the sanctioned idiom.
+    """
+
+    _BANNED = frozenset(FORBIDDEN_WALLCLOCK)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self.imports.resolve(node.func)
+        if resolved is not None and resolved in self._BANNED:
+            self.emit(node, "RPR013",
+                      f"direct wall-clock call {resolved}() in "
+                      "coordinator/lease logic; route time through the "
+                      "injectable clock seam (DistributedOptions.clock) so "
+                      "lease expiry is testable with a fake clock and chaos "
+                      "runs replay without real sleeps")
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
 # Driver for one file
 # ----------------------------------------------------------------------
 def run_file_rules(path: str, source: str, *, result_affecting: bool,
                    rng_exempt: bool, hot_path: bool = False,
+                   clock_seam: bool = False,
                    tree: Optional[ast.Module] = None) -> List[Finding]:
     """Run every per-file rule; syntax errors become a single
     pseudo-finding so a broken file fails loudly rather than silently
@@ -561,6 +601,8 @@ def run_file_rules(path: str, source: str, *, result_affecting: bool,
                                 PickleSafetyRule]
     if hot_path:
         rule_classes.append(HotPathBatchRule)
+    if clock_seam:
+        rule_classes.append(ClockSeamRule)
     for rule_cls in rule_classes:
         rule = rule_cls(path, imports, result_affecting, rng_exempt)
         rule.visit(tree)

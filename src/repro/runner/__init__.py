@@ -30,15 +30,18 @@ and ``docs/ROBUSTNESS.md`` for the failure taxonomy and resume workflow.
 from .affinity import AffinityScheduler, affinity_key, workload_family
 from .backends import (
     BACKEND_NAMES,
+    DistributedOptions,
     ExecutionBackend,
     WarmOptions,
     make_backend,
     reset_warm_state,
 )
+from .backends.distributed import run_worker_agent
 from .cache import CacheStats, ResultCache, default_cache_dir
-from .checkpoint import CheckpointJournal, sweep_id
+from .checkpoint import CheckpointJournal, journal_status, sweep_id
 from .faults import (
     FAULT_KINDS,
+    NETWORK_FAULT_KINDS,
     FaultPlan,
     InjectedFault,
     ScenarioResult,
@@ -61,11 +64,13 @@ __all__ = [
     "BACKEND_NAMES",
     "CacheStats",
     "CheckpointJournal",
+    "DistributedOptions",
     "ExecutionBackend",
     "FAULT_KINDS",
     "FailureReport",
     "FaultPlan",
     "InjectedFault",
+    "NETWORK_FAULT_KINDS",
     "ResultCache",
     "RunnerStats",
     "ScenarioResult",
@@ -80,9 +85,11 @@ __all__ = [
     "config_key",
     "default_cache_dir",
     "get_runner",
+    "journal_status",
     "make_backend",
     "reset_warm_state",
     "run_fault_suite",
+    "run_worker_agent",
     "set_runner",
     "sweep_id",
     "use_runner",

@@ -1,28 +1,32 @@
 """Pluggable sweep-execution backends.
 
 ``serial`` runs in-process (the bit-identity reference), ``pool`` is the
-per-batch ``ProcessPoolExecutor`` fan-out, and ``warm`` keeps persistent
-affinity-routed workers alive across batches.  All three fold results
-through the same :class:`~repro.runner.runner.SweepRunner` machinery
-(cache, checkpoint journal, retries), so backend choice can never change
-results — only wall-clock.
+per-batch ``ProcessPoolExecutor`` fan-out, ``warm`` keeps persistent
+affinity-routed workers alive across batches, and ``distributed`` puts
+the same affinity-routed dispatch behind a network transport — a
+coordinator leasing task chunks to stateless worker agents with
+heartbeat expiry and idempotent commit (``docs/DISTRIBUTED.md``).  All
+four fold results through the same
+:class:`~repro.runner.runner.SweepRunner` machinery (cache, checkpoint
+journal, retries), so backend choice can never change results — only
+wall-clock.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import Optional
 
 from .base import BatchState, ExecutionBackend
+from .distributed import DistributedBackend, DistributedOptions
 from .pool import PoolBackend
 from .serial import SerialBackend
 from .warm import WarmBackend, WarmOptions, reset_warm_state
 
-if TYPE_CHECKING:
-    pass
-
 __all__ = [
     "BACKEND_NAMES",
     "BatchState",
+    "DistributedBackend",
+    "DistributedOptions",
     "ExecutionBackend",
     "PoolBackend",
     "SerialBackend",
@@ -34,18 +38,22 @@ __all__ = [
 
 #: Valid ``--backend`` choices (immutable on purpose: a registry dict
 #: here would itself be module-level mutable state under RPR012).
-BACKEND_NAMES = ("serial", "pool", "warm")
+BACKEND_NAMES = ("serial", "pool", "warm", "distributed")
 
 
 def make_backend(name: str,
                  warm_options: Optional[WarmOptions] = None,
+                 distributed_options: Optional[DistributedOptions] = None,
                  ) -> ExecutionBackend:
-    """Instantiate the named backend (``warm_options`` applies to warm)."""
+    """Instantiate the named backend (``warm_options`` applies to warm,
+    ``distributed_options`` to distributed)."""
     if name == "serial":
         return SerialBackend()
     if name == "pool":
         return PoolBackend()
     if name == "warm":
         return WarmBackend(warm_options)
+    if name == "distributed":
+        return DistributedBackend(distributed_options)
     raise ValueError(
         f"unknown backend {name!r}; expected one of {BACKEND_NAMES}")

@@ -1,0 +1,542 @@
+"""Message transports for the distributed backend, plus the chaos wrapper.
+
+One small message-passing interface, two implementations:
+
+``tcp``
+    The coordinator binds a localhost (or ``--bind`` address) socket and
+    workers connect out — the multi-host path.  Messages travel as
+    length-prefixed, versioned frames (:data:`_HEADER`), so a torn read
+    or a protocol-drifted peer fails loudly as a
+    :class:`TransportError`, never as silent corruption.
+``file``
+    A shared-filesystem spool: each peer has an inbox directory, a send
+    is a write to a staging file followed by an atomic ``os.replace``
+    into the inbox, a receive is a sorted directory listing.  No server,
+    no ports — any filesystem both sides can see (NFS, a shared volume)
+    is a transport.
+
+Both sides are deliberately dumb pipes: delivery order is per-sender
+FIFO, delivery itself is at-least-once *at best* — the lease/commit
+machinery in :mod:`.distributed` owns correctness, the transport owns
+only bytes.  That split is what makes the chaos wrapper honest:
+:class:`ChaosCoordinatorTransport` sits where every message already
+passes (the coordinator's edge) and drops, delays, duplicates, or
+partitions traffic under the same sha256-pure
+:class:`~repro.runner.faults.FaultPlan` that drives task faults, so a
+chaos run replays bit-identically from its seed.
+
+RPR013 applies here: transport code never reads the wall clock.  The
+file spool waits by counted ``time.sleep`` slices and the chaos wrapper
+holds delayed messages for a counted number of polls — both pure
+functions of call counts, not of time.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import selectors
+import socket
+import struct
+import time
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from collections import deque
+
+from ..faults import FaultPlan
+
+__all__ = [
+    "ChaosCoordinatorTransport",
+    "CoordinatorTransport",
+    "FileCoordinator",
+    "FileWorker",
+    "TcpCoordinator",
+    "TcpWorker",
+    "TransportError",
+    "decode_frames",
+    "encode_frame",
+]
+
+#: A protocol message: ``(type, sender_worker_id, ...)`` from workers,
+#: ``(type, ...)`` from the coordinator (the recipient is the address).
+Message = Tuple[Any, ...]
+
+_MAGIC = b"RPRD"
+_VERSION = 1
+#: Frame header: magic, protocol version, payload length (big-endian).
+_HEADER = struct.Struct(">4sBI")
+#: Refuse absurd frames before allocating for them.
+_MAX_FRAME = 64 * 1024 * 1024
+
+#: One slice of a file-spool wait (counted, never clock-measured).
+_SPOOL_POLL_S = 0.02
+
+
+class TransportError(RuntimeError):
+    """The peer is gone or speaking a different protocol."""
+
+
+# ----------------------------------------------------------------------
+# Frame codec (shared by both transports)
+# ----------------------------------------------------------------------
+def encode_frame(message: Message) -> bytes:
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > _MAX_FRAME:  # pragma: no cover - absurd message
+        raise TransportError(f"frame too large: {len(payload)} bytes")
+    return _HEADER.pack(_MAGIC, _VERSION, len(payload)) + payload
+
+
+def decode_frames(buffer: bytearray) -> List[Message]:
+    """Consume every complete frame at the head of ``buffer``.
+
+    Partial trailing bytes stay in the buffer for the next read; a bad
+    magic or version is unrecoverable (the stream cannot be resynced)
+    and raises :class:`TransportError`.
+    """
+    out: List[Message] = []
+    while len(buffer) >= _HEADER.size:
+        magic, version, length = _HEADER.unpack_from(buffer)
+        if magic != _MAGIC:
+            raise TransportError(f"bad frame magic {magic!r}")
+        if version != _VERSION:
+            raise TransportError(
+                f"peer speaks frame version {version}, expected {_VERSION}")
+        if length > _MAX_FRAME:
+            raise TransportError(f"frame too large: {length} bytes")
+        if len(buffer) < _HEADER.size + length:
+            break
+        payload = bytes(buffer[_HEADER.size:_HEADER.size + length])
+        del buffer[:_HEADER.size + length]
+        message = pickle.loads(payload)
+        if not isinstance(message, tuple) or not message:
+            raise TransportError("frame payload is not a message tuple")
+        out.append(message)
+    return out
+
+
+def _sender_of(message: Message) -> Optional[str]:
+    """The worker id a message came from (worker messages carry it in
+    slot 1), or None for malformed/coordinator frames."""
+    if len(message) >= 2 and isinstance(message[1], str):
+        return message[1]
+    return None
+
+
+# ----------------------------------------------------------------------
+# The transport seam
+# ----------------------------------------------------------------------
+class CoordinatorTransport(ABC):
+    """Coordinator side: receive from any worker, send to a known one."""
+
+    @abstractmethod
+    def poll(self, timeout_s: float) -> List[Message]:
+        """Every message that arrived, waiting up to ``timeout_s``."""
+
+    @abstractmethod
+    def send(self, worker_id: str, message: Message) -> bool:
+        """Send to ``worker_id``; False when no route exists or the send
+        visibly failed (the message never left the coordinator)."""
+
+    @abstractmethod
+    def address(self) -> str:
+        """The address workers connect/spool to."""
+
+    def pending(self) -> int:
+        """Messages held inside the transport (chaos delays); the
+        completion check drains these before declaring a batch done."""
+        return 0
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release sockets/spool state (idempotent)."""
+
+
+class WorkerTransport(ABC):
+    """Worker side: one coordinator peer."""
+
+    @abstractmethod
+    def send(self, message: Message) -> None:
+        """Send to the coordinator; :class:`TransportError` if it is gone."""
+
+    @abstractmethod
+    def recv(self, timeout_s: float) -> Optional[Message]:
+        """Next message, or None after ``timeout_s`` of quiet."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release resources (idempotent)."""
+
+
+# ----------------------------------------------------------------------
+# TCP
+# ----------------------------------------------------------------------
+class TcpCoordinator(CoordinatorTransport):
+    """Listening socket + one connection per worker.
+
+    Sockets stay blocking; a selector supplies readiness, so ``recv``
+    only runs on sockets with bytes (or EOF) waiting.  Routes are
+    learned, not configured: the first frame carrying a worker id binds
+    that id to its connection, which is what lets externally launched
+    ``repro sweep worker`` processes join by just saying hello.
+    """
+
+    def __init__(self, bind: str = "127.0.0.1:0") -> None:
+        host, _, port = bind.rpartition(":")
+        self._server = socket.create_server((host or "127.0.0.1",
+                                             int(port or 0)))
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._server, selectors.EVENT_READ)
+        self._buffers: Dict[socket.socket, bytearray] = {}
+        self._routes: Dict[str, socket.socket] = {}
+
+    def address(self) -> str:
+        host, port = self._server.getsockname()[:2]
+        return f"{host}:{port}"
+
+    def _drop_conn(self, conn: socket.socket) -> None:
+        try:
+            self._selector.unregister(conn)
+        except (KeyError, ValueError):
+            pass
+        self._buffers.pop(conn, None)
+        for worker_id, sock in list(self._routes.items()):
+            if sock is conn:
+                del self._routes[worker_id]
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+    def poll(self, timeout_s: float) -> List[Message]:
+        out: List[Message] = []
+        for key, _ in self._selector.select(timeout_s):
+            sock = key.fileobj
+            assert isinstance(sock, socket.socket)
+            if sock is self._server:
+                conn, _addr = self._server.accept()
+                self._selector.register(conn, selectors.EVENT_READ)
+                self._buffers[conn] = bytearray()
+                continue
+            try:
+                data = sock.recv(65536)
+            except OSError:
+                data = b""
+            if not data:
+                self._drop_conn(sock)
+                continue
+            buffer = self._buffers[sock]
+            buffer += data
+            for message in decode_frames(buffer):
+                sender = _sender_of(message)
+                if sender is not None:
+                    self._routes[sender] = sock
+                out.append(message)
+        return out
+
+    def send(self, worker_id: str, message: Message) -> bool:
+        sock = self._routes.get(worker_id)
+        if sock is None:
+            return False
+        try:
+            sock.sendall(encode_frame(message))
+            return True
+        except OSError:
+            self._drop_conn(sock)
+            return False
+
+    def close(self) -> None:
+        for conn in list(self._buffers):
+            self._drop_conn(conn)
+        try:
+            self._selector.unregister(self._server)
+        except (KeyError, ValueError):
+            pass
+        self._selector.close()
+        try:
+            self._server.close()
+        except OSError:
+            pass
+
+
+class TcpWorker(WorkerTransport):
+    """Worker side of :class:`TcpCoordinator`: one blocking connection."""
+
+    def __init__(self, address: str) -> None:
+        host, _, port = address.rpartition(":")
+        try:
+            self._sock: Optional[socket.socket] = socket.create_connection(
+                (host, int(port)), timeout=10.0)
+        except OSError as exc:
+            raise TransportError(
+                f"cannot reach coordinator at {address}: {exc}") from exc
+        self._buffer = bytearray()
+        self._queue: Deque[Message] = deque()
+
+    def send(self, message: Message) -> None:
+        if self._sock is None:
+            raise TransportError("transport closed")
+        try:
+            self._sock.sendall(encode_frame(message))
+        except OSError as exc:
+            raise TransportError(f"coordinator unreachable: {exc}") from exc
+
+    def recv(self, timeout_s: float) -> Optional[Message]:
+        if self._queue:
+            return self._queue.popleft()
+        if self._sock is None:
+            raise TransportError("transport closed")
+        self._sock.settimeout(max(timeout_s, 1e-3))
+        try:
+            data = self._sock.recv(65536)
+        except socket.timeout:
+            return None
+        except OSError as exc:
+            raise TransportError(f"coordinator unreachable: {exc}") from exc
+        if not data:
+            raise TransportError("coordinator closed the connection")
+        self._buffer += data
+        self._queue.extend(decode_frames(self._buffer))
+        return self._queue.popleft() if self._queue else None
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+
+# ----------------------------------------------------------------------
+# Shared-filesystem spool
+# ----------------------------------------------------------------------
+def _spool_send(root: Path, inbox: str, sender: str, seq: int,
+                message: Message) -> None:
+    """Write one frame into ``inbox`` atomically (stage + rename).
+
+    The staged file lives on the same filesystem, so ``os.replace`` is
+    atomic: a reader can never observe a torn message, only its absence.
+    Names sort by sender-local sequence, preserving per-sender FIFO.
+    """
+    inbox_dir = root / inbox
+    stage_dir = root / "stage"
+    inbox_dir.mkdir(parents=True, exist_ok=True)
+    stage_dir.mkdir(parents=True, exist_ok=True)
+    name = f"{seq:010d}.{sender}.msg"
+    staged = stage_dir / f"{os.getpid()}.{sender}.{seq}.tmp"
+    staged.write_bytes(encode_frame(message))
+    os.replace(staged, inbox_dir / name)
+
+
+def _spool_read(inbox_dir: Path) -> List[Message]:
+    """Drain every message file from ``inbox_dir`` in name order."""
+    out: List[Message] = []
+    try:
+        names = sorted(p for p in inbox_dir.iterdir()
+                       if p.name.endswith(".msg"))
+    except OSError:
+        return out
+    for path in names:
+        try:
+            buffer = bytearray(path.read_bytes())
+        except OSError:
+            continue  # a concurrent reader won the race; not ours anymore
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        out.extend(decode_frames(buffer))
+    return out
+
+
+class FileCoordinator(CoordinatorTransport):
+    """Coordinator side of the spool: inbox ``to-coord/``, outboxes
+    ``to-<worker>/``."""
+
+    def __init__(self, root: Path) -> None:
+        self._root = Path(root)
+        (self._root / "to-coord").mkdir(parents=True, exist_ok=True)
+        self._seq = 0
+
+    def address(self) -> str:
+        return str(self._root)
+
+    def poll(self, timeout_s: float) -> List[Message]:
+        # Counted wait: check, sleep a fixed slice, repeat — bounded by
+        # slice count rather than a clock read (RPR013).
+        slices = max(1, int(timeout_s / _SPOOL_POLL_S))
+        for i in range(slices):
+            messages = _spool_read(self._root / "to-coord")
+            if messages:
+                return messages
+            if i + 1 < slices or slices == 1:
+                time.sleep(_SPOOL_POLL_S)
+        return _spool_read(self._root / "to-coord")
+
+    def send(self, worker_id: str, message: Message) -> bool:
+        self._seq += 1
+        try:
+            _spool_send(self._root, f"to-{worker_id}", "coord", self._seq,
+                        message)
+            return True
+        except OSError:
+            return False
+
+    def close(self) -> None:
+        pass  # the spool directory belongs to the backend, not the transport
+
+
+class FileWorker(WorkerTransport):
+    """Worker side of the spool: inbox ``to-<worker_id>/``."""
+
+    def __init__(self, root: Path, worker_id: str) -> None:
+        self._root = Path(root)
+        self._worker_id = worker_id
+        self._inbox = self._root / f"to-{worker_id}"
+        self._inbox.mkdir(parents=True, exist_ok=True)
+        self._queue: Deque[Message] = deque()
+        self._seq = 0
+
+    def send(self, message: Message) -> None:
+        self._seq += 1
+        try:
+            _spool_send(self._root, "to-coord", self._worker_id, self._seq,
+                        message)
+        except OSError as exc:
+            raise TransportError(f"spool unwritable: {exc}") from exc
+
+    def recv(self, timeout_s: float) -> Optional[Message]:
+        if self._queue:
+            return self._queue.popleft()
+        slices = max(1, int(timeout_s / _SPOOL_POLL_S))
+        for _ in range(slices):
+            self._queue.extend(_spool_read(self._inbox))
+            if self._queue:
+                return self._queue.popleft()
+            time.sleep(_SPOOL_POLL_S)
+        return None
+
+    def close(self) -> None:
+        pass
+
+
+# ----------------------------------------------------------------------
+# Deterministic network chaos
+# ----------------------------------------------------------------------
+class ChaosCoordinatorTransport(CoordinatorTransport):
+    """Inject network faults at the coordinator's edge, deterministically.
+
+    Every message (both directions) passes through here, keyed for the
+    fault plan as ``"<worker>|<msg-type>"`` with a per-key sequence
+    number as the attempt — so ``only_keys=("w0.1|result",)`` with
+    ``max_faulty_attempts=1`` targets exactly worker ``w0.1``'s first
+    result message, on any machine, under any timing.
+
+    - **drop**: the message vanishes (sends still report success — a
+      silent network loses bytes without telling the sender).
+    - **delay**: the message is held for ``plan.delay_polls`` calls to
+      :meth:`poll` before delivery (counted, not timed — RPR013).
+    - **duplicate**: the message is delivered twice back-to-back.
+    - **partition**: keyed per worker on a *window* counter that
+      advances every ``plan.partition_window`` messages the worker is
+      involved in, so a partition isolates all of a worker's traffic for
+      whole windows and heals as traffic (e.g. its idle re-hellos) keeps
+      flowing.
+    """
+
+    def __init__(self, inner: CoordinatorTransport, plan: FaultPlan) -> None:
+        self._inner = inner
+        self._plan = plan
+        self._key_seq: Dict[str, int] = {}
+        self._traffic: Dict[str, int] = {}
+        #: Held deliveries: [polls_left, worker_id, message, outbound].
+        self._held: List[List[Any]] = []
+        self.dropped = 0
+        self.delayed = 0
+        self.duplicated = 0
+        self.partitioned = 0
+
+    # -- fault decisions ----------------------------------------------
+    def _partitioned(self, worker_id: str) -> bool:
+        count = self._traffic.get(worker_id, 0) + 1
+        self._traffic[worker_id] = count
+        window = (count - 1) // max(1, self._plan.partition_window) + 1
+        if self._plan.decide("partition", worker_id, window):
+            self.partitioned += 1
+            return True
+        return False
+
+    def _decide(self, kind: str, worker_id: str, msg_type: str) -> bool:
+        key = f"{worker_id}|{msg_type}"
+        seq_key = f"{kind}|{key}"
+        seq = self._key_seq.get(seq_key, 0) + 1
+        self._key_seq[seq_key] = seq
+        return self._plan.decide(kind, key, seq)
+
+    # -- the wrapped interface ----------------------------------------
+    def address(self) -> str:
+        return self._inner.address()
+
+    def pending(self) -> int:
+        return len(self._held) + self._inner.pending()
+
+    def poll(self, timeout_s: float) -> List[Message]:
+        out: List[Message] = []
+        # Release held messages whose delay ran out.
+        still_held: List[List[Any]] = []
+        for entry in self._held:
+            entry[0] -= 1
+            if entry[0] > 0:
+                still_held.append(entry)
+            elif entry[3]:
+                self._inner.send(entry[1], entry[2])
+            else:
+                out.append(entry[2])
+        self._held = still_held
+
+        for message in self._inner.poll(timeout_s):
+            worker_id = _sender_of(message)
+            if worker_id is None:
+                out.append(message)
+                continue
+            msg_type = str(message[0])
+            if self._partitioned(worker_id):
+                continue
+            if self._decide("drop", worker_id, msg_type):
+                self.dropped += 1
+                continue
+            if self._decide("delay", worker_id, msg_type):
+                self.delayed += 1
+                self._held.append(
+                    [max(1, self._plan.delay_polls), worker_id, message,
+                     False])
+                continue
+            out.append(message)
+            if self._decide("duplicate", worker_id, msg_type):
+                self.duplicated += 1
+                out.append(message)
+        return out
+
+    def send(self, worker_id: str, message: Message) -> bool:
+        msg_type = str(message[0]) if message else ""
+        if self._partitioned(worker_id):
+            return True  # silently lost: the sender cannot tell
+        if self._decide("drop", worker_id, msg_type):
+            self.dropped += 1
+            return True
+        if self._decide("delay", worker_id, msg_type):
+            self.delayed += 1
+            self._held.append(
+                [max(1, self._plan.delay_polls), worker_id, message, True])
+            return True
+        sent = self._inner.send(worker_id, message)
+        if sent and self._decide("duplicate", worker_id, msg_type):
+            self.duplicated += 1
+            self._inner.send(worker_id, message)
+        return sent
+
+    def close(self) -> None:
+        self._held.clear()
+        self._inner.close()

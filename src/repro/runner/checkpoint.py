@@ -24,12 +24,12 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import IO, Dict, List, Optional, Sequence
+from typing import IO, Dict, List, Optional, Sequence, Set
 
 from ..sim.metrics import SimulationSummary
 from .cache import summary_from_dict, summary_to_dict
 
-__all__ = ["CheckpointJournal", "sweep_id"]
+__all__ = ["CheckpointJournal", "journal_status", "sweep_id"]
 
 #: Bump when the journal line layout changes.
 _FORMAT = 1
@@ -61,6 +61,7 @@ class CheckpointJournal:
         self.total = total
         self.recorded = 0
         self._fh: Optional[IO[str]] = None
+        self._seen: Set[str] = set()
 
     # -- reading -----------------------------------------------------
     def exists(self) -> bool:
@@ -121,10 +122,21 @@ class CheckpointJournal:
         self._fh.write(json.dumps(data, separators=(",", ":")) + "\n")
         self._fh.flush()
 
+    def mark_seen(self, key: str) -> None:
+        """Register a key as already journaled (resume path), so a late
+        re-delivery of the same result is not appended twice."""
+        self._seen.add(key)
+
     def record(self, key: str, summary: SimulationSummary) -> None:
-        """Append one completed task (no-op when the journal is closed)."""
-        if self._fh is None:
+        """Append one completed task (no-op when the journal is closed).
+
+        First write wins: a key already journaled — resumed from a prior
+        run or committed earlier in this one — is skipped, so
+        at-least-once result delivery (the distributed backend) cannot
+        bloat the journal or make resume ambiguous."""
+        if self._fh is None or key in self._seen:
             return
+        self._seen.add(key)
         self._write({"key": key, "summary": summary_to_dict(summary)})
         self.recorded += 1
 
@@ -149,3 +161,44 @@ class CheckpointJournal:
             self.path.unlink()
         except OSError:
             pass
+
+
+def journal_status(path: Path) -> Optional[Dict[str, object]]:
+    """Header fields + completed-entry count of a journal file, without
+    deserializing any summaries (the ``repro sweep status`` reader).
+
+    Same tolerance as :meth:`CheckpointJournal.load`: unreadable files
+    and torn/malformed lines degrade to "not counted"; a file with no
+    parseable header returns None.
+    """
+    try:
+        lines = Path(path).read_text().splitlines()
+    except (OSError, UnicodeDecodeError):
+        return None
+    header: Optional[Dict[str, object]] = None
+    done = 0
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            data = json.loads(line)
+        except ValueError:
+            continue
+        if not isinstance(data, dict):
+            continue
+        if "sweep" in data:
+            if header is None and data.get("format") == _FORMAT:
+                header = data
+            continue
+        if isinstance(data.get("key"), str) and \
+                isinstance(data.get("summary"), dict):
+            done += 1
+    if header is None:
+        return None
+    total = header.get("total")
+    return {
+        "sweep": str(header.get("sweep", "")),
+        "label": str(header.get("label", "")),
+        "total": total if isinstance(total, int) else 0,
+        "done": done,
+    }

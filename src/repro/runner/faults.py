@@ -36,6 +36,31 @@ Fault kinds
 ``interrupt``
     The task raises :class:`KeyboardInterrupt`, exercising the graceful
     shutdown + checkpoint-flush path exactly as a user Ctrl-C would.
+
+Network fault kinds (distributed backend only)
+----------------------------------------------
+These are decided at the coordinator's transport edge by
+:class:`~repro.runner.backends.transport.ChaosCoordinatorTransport`,
+keyed per ``"<worker>|<message-type>"`` with a per-key sequence number
+as the attempt — same sha256 threshold test, so a chaos run replays
+bit-identically from its seed (``repro faults --backend distributed``).
+
+``drop``
+    The message silently vanishes (the sender believes it was sent).
+``delay``
+    The message is held for ``delay_polls`` coordinator polls before
+    delivery (counted, never timed), arriving late and out of order
+    relative to other workers.
+``duplicate``
+    The message is delivered twice — the at-least-once adversary the
+    idempotent commit gate must absorb.
+``partition``
+    All of one worker's traffic (both directions) vanishes for whole
+    windows of ``partition_window`` messages; the partition heals as
+    the worker's traffic (e.g. idle re-hellos) advances the window.
+``kill``
+    The worker agent process exits abnormally on receipt of its Nth
+    lease — the fleet-loss adversary behind ``max_fleet_failures``.
 """
 
 from __future__ import annotations
@@ -47,9 +72,11 @@ from typing import TYPE_CHECKING, List, Optional, Tuple
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle
     from ..sim.system import SystemConfig
+    from .backends.distributed import DistributedOptions
 
 __all__ = [
     "FAULT_KINDS",
+    "NETWORK_FAULT_KINDS",
     "FaultPlan",
     "InjectedFault",
     "ScenarioResult",
@@ -58,7 +85,16 @@ __all__ = [
 ]
 
 #: Every fault kind a plan can inject (see module docstring).
-FAULT_KINDS: Tuple[str, ...] = ("crash", "hang", "error", "corrupt", "interrupt")
+FAULT_KINDS: Tuple[str, ...] = (
+    "crash", "hang", "error", "corrupt", "interrupt",
+    "drop", "delay", "duplicate", "partition", "kill",
+)
+
+#: The kinds decided at the transport edge (message-level); any nonzero
+#: rate among these makes the distributed backend wrap its transport in
+#: the chaos layer.
+NETWORK_FAULT_KINDS: Tuple[str, ...] = (
+    "drop", "delay", "duplicate", "partition")
 
 
 class InjectedFault(RuntimeError):
@@ -89,12 +125,22 @@ class FaultPlan:
     error: float = 0.0
     corrupt: float = 0.0
     interrupt: float = 0.0
+    drop: float = 0.0
+    delay: float = 0.0
+    duplicate: float = 0.0
+    partition: float = 0.0
+    kill: float = 0.0
     #: Inject only while ``attempt <= max_faulty_attempts`` (None = always).
     max_faulty_attempts: Optional[int] = 1
     #: How long a ``hang`` injection sleeps before (never) completing.
     hang_s: float = 30.0
     #: Restrict injection to these task keys (None = any key).
     only_keys: Optional[Tuple[str, ...]] = None
+    #: Messages per partition window: a partitioned worker loses whole
+    #: windows of traffic and heals as its traffic advances the window.
+    partition_window: int = 8
+    #: Coordinator polls a delayed message is held for.
+    delay_polls: int = 3
 
     def rate(self, kind: str) -> float:
         if kind not in FAULT_KINDS:
@@ -158,8 +204,28 @@ def _grid_keys(configs: "List[SystemConfig]") -> List[str]:
     return [config_key(cfg) for cfg in configs]
 
 
+def _dist_opts(backend: str, transport: str, *,
+               lease_timeout_s: float = 60.0,
+               idle_poll_s: float = 0.5,
+               max_fleet_failures: int = 3,
+               spool_dir: Optional[str] = None,
+               ) -> "Optional[DistributedOptions]":
+    """Transport/tuning selection for scenarios parameterized over
+    backends (None for every backend that takes no transport).  Keyword
+    defaults mirror :class:`DistributedOptions`."""
+    if backend != "distributed":
+        return None
+    from .backends.distributed import DistributedOptions
+
+    return DistributedOptions(transport=transport,
+                              lease_timeout_s=lease_timeout_s,
+                              idle_poll_s=idle_poll_s,
+                              max_fleet_failures=max_fleet_failures,
+                              spool_dir=spool_dir)
+
+
 def _scenario_crash_retry(workdir: Path, jobs: int, seed: int,
-                          backend: str) -> ScenarioResult:
+                          backend: str, transport: str) -> ScenarioResult:
     """A crashed worker breaks the pool; the runner respawns it, requeues
     the lost tasks, retries the crasher, and the sweep completes with
     results identical to a fault-free serial run."""
@@ -169,8 +235,10 @@ def _scenario_crash_retry(workdir: Path, jobs: int, seed: int,
     reference = SweepRunner(jobs=0).run_many(configs)
     plan = FaultPlan(seed=seed, crash=0.5, max_faulty_attempts=1)
     runner = SweepRunner(jobs=max(2, jobs), backend=backend, retries=2,
-                         backoff_base_s=0.0, timeout_s=60.0, fault_plan=plan)
+                         backoff_base_s=0.0, timeout_s=60.0, fault_plan=plan,
+                         distributed_options=_dist_opts(backend, transport))
     results = runner.run_many(configs)
+    runner.close()
     crashed = len(plan.affected("crash", _grid_keys(configs)))
     ok = (results == reference and crashed > 0
           and runner.stats.pool_respawns >= 1 and runner.stats.retries >= crashed)
@@ -183,7 +251,7 @@ def _scenario_crash_retry(workdir: Path, jobs: int, seed: int,
 
 
 def _scenario_hang_timeout(workdir: Path, jobs: int, seed: int,
-                           backend: str) -> ScenarioResult:
+                           backend: str, transport: str) -> ScenarioResult:
     """A permanently hung task times out on every attempt and is reported
     in a FailureReport; the rest of the sweep still completes — no
     deadlock."""
@@ -196,11 +264,13 @@ def _scenario_hang_timeout(workdir: Path, jobs: int, seed: int,
     plan = FaultPlan(seed=seed, hang=1.0, max_faulty_attempts=None,
                      hang_s=30.0, only_keys=(keys[2],))
     runner = SweepRunner(jobs=jobs, backend=backend, retries=1,
-                         backoff_base_s=0.0, timeout_s=0.5, fault_plan=plan)
+                         backoff_base_s=0.0, timeout_s=0.5, fault_plan=plan,
+                         distributed_options=_dist_opts(backend, transport))
     t0 = time.perf_counter()
     try:
         runner.run_many(configs)
     except SweepExecutionError as exc:
+        runner.close()
         elapsed_s = time.perf_counter() - t0
         reports = exc.failures
         completed = sum(1 for r in exc.results if r is not None)
@@ -212,12 +282,13 @@ def _scenario_hang_timeout(workdir: Path, jobs: int, seed: int,
             f"hung task reported as {reports[0].kind!r} after "
             f"{reports[0].attempts} attempts, {completed}/{len(configs)} "
             f"others completed in {elapsed_s:.1f}s")
+    runner.close()
     return ScenarioResult("hang-times-out-not-deadlocked", False,
                           "sweep completed despite a permanently hung task")
 
 
 def _scenario_corrupt_quarantine(workdir: Path, jobs: int, seed: int,
-                                 backend: str) -> ScenarioResult:
+                                 backend: str, transport: str) -> ScenarioResult:
     """Corrupted cache entries are quarantined (moved, never deleted) and
     transparently recomputed; results stay identical."""
     from .cache import ResultCache
@@ -247,7 +318,7 @@ def _scenario_corrupt_quarantine(workdir: Path, jobs: int, seed: int,
 
 
 def _scenario_interrupt_resume(workdir: Path, jobs: int, seed: int,
-                               backend: str) -> ScenarioResult:
+                               backend: str, transport: str) -> ScenarioResult:
     """An interrupted sweep leaves a checkpoint journal; ``resume=True``
     replays completed tasks from it and recomputes nothing already done."""
     from .runner import SweepRunner
@@ -281,7 +352,7 @@ def _scenario_interrupt_resume(workdir: Path, jobs: int, seed: int,
 
 
 def _scenario_happy_path_identity(workdir: Path, jobs: int, seed: int,
-                                  backend: str) -> ScenarioResult:
+                                  backend: str, transport: str) -> ScenarioResult:
     """With injection disabled, the fully hardened runner (timeouts,
     retries, checkpointing, parallel pool) is bit-identical to the plain
     serial reference."""
@@ -293,8 +364,10 @@ def _scenario_happy_path_identity(workdir: Path, jobs: int, seed: int,
     hardened = SweepRunner(jobs=jobs, backend=backend,
                            cache=ResultCache(workdir / "happy-cache"),
                            timeout_s=120.0, retries=2,
-                           checkpoint_dir=workdir / "happy-checkpoints")
+                           checkpoint_dir=workdir / "happy-checkpoints",
+                           distributed_options=_dist_opts(backend, transport))
     results = hardened.run_many(configs)
+    hardened.close()
     ok = (results == reference and hardened.stats.failures == 0
           and hardened.stats.retries == 0)
     return ScenarioResult(
@@ -306,7 +379,7 @@ def _scenario_happy_path_identity(workdir: Path, jobs: int, seed: int,
 
 
 def _scenario_warm_crash_cache_loss(workdir: Path, jobs: int, seed: int,
-                                    backend: str) -> ScenarioResult:
+                                    backend: str, transport: str) -> ScenarioResult:
     """A crashed warm worker loses its warm caches; the requeued tasks
     re-run on a cold respawned worker and stay bit-identical — warm
     state is a pure accelerator, never load-bearing."""
@@ -337,7 +410,7 @@ def _scenario_warm_crash_cache_loss(workdir: Path, jobs: int, seed: int,
 
 
 def _scenario_warm_hung_queue_stolen(workdir: Path, jobs: int, seed: int,
-                                     backend: str) -> ScenarioResult:
+                                     backend: str, transport: str) -> ScenarioResult:
     """A hung warm worker's queued tasks are stolen by idle peers before
     any watchdog fires: affinity routing never serializes behind one
     slow worker, and the slow task itself still completes in place."""
@@ -367,6 +440,220 @@ def _scenario_warm_hung_queue_stolen(workdir: Path, jobs: int, seed: int,
         f"serial reference")
 
 
+def _scenario_dist_duplicate_delivery(workdir: Path, jobs: int, seed: int,
+                                      backend: str, transport: str,
+                                      ) -> ScenarioResult:
+    """Every message on the wire is delivered twice; the idempotent
+    commit gate absorbs every duplicate (byte-compared, discarded) and
+    results stay bit-identical — at-least-once delivery, exactly-once
+    commit."""
+    from .runner import SweepRunner
+
+    configs = _scenario_grid(5, seed)
+    reference = SweepRunner(jobs=0).run_many(configs)
+    plan = FaultPlan(seed=seed, duplicate=1.0, max_faulty_attempts=None)
+    runner = SweepRunner(jobs=max(2, jobs), backend="distributed", retries=2,
+                         backoff_base_s=0.0, fault_plan=plan,
+                         distributed_options=_dist_opts("distributed", transport))
+    results = runner.run_many(configs)
+    runner.close()
+    n = len(configs)
+    ok = (results == reference and runner.stats.failures == 0
+          and runner.stats.dup_results >= 1 and runner.stats.executed == n)
+    return ScenarioResult(
+        "dist-duplicate-delivery-committed-once", ok,
+        f"every frame duplicated: {runner.stats.dup_results} duplicate "
+        f"result(s) discarded at the commit gate, {runner.stats.executed}/{n} "
+        f"committed once; results "
+        f"{'bit-identical to' if results == reference else 'DIVERGED from'} "
+        f"serial reference")
+
+
+def _scenario_dist_drop_lease_recovery(workdir: Path, jobs: int, seed: int,
+                                       backend: str, transport: str,
+                                       ) -> ScenarioResult:
+    """The first frame of every (worker, message-type) stream silently
+    vanishes — first leases and first results included.  Lease expiry
+    detects the loss, requeues the work (charging an attempt), and the
+    sweep converges bit-identically."""
+    from .runner import SweepRunner
+
+    configs = _scenario_grid(6, seed)
+    reference = SweepRunner(jobs=0).run_many(configs)
+    plan = FaultPlan(seed=seed, drop=1.0, max_faulty_attempts=1)
+    runner = SweepRunner(jobs=max(2, jobs), backend="distributed", retries=4,
+                         backoff_base_s=0.0, fault_plan=plan,
+                         distributed_options=_dist_opts(
+                             "distributed", transport, lease_timeout_s=0.5))
+    results = runner.run_many(configs)
+    runner.close()
+    ok = (results == reference and runner.stats.failures == 0
+          and runner.stats.lease_expiries >= 1
+          and runner.stats.retries >= runner.stats.lease_expiries)
+    return ScenarioResult(
+        "dist-dropped-frames-lease-expiry-requeues", ok,
+        f"dropped first lease/result per worker: {runner.stats.lease_expiries} "
+        f"lease(s) expired, {runner.stats.retries} retries charged; results "
+        f"{'bit-identical to' if results == reference else 'DIVERGED from'} "
+        f"serial reference")
+
+
+def _scenario_dist_lease_expiry_no_timeout(workdir: Path, jobs: int, seed: int,
+                                           backend: str, transport: str,
+                                           ) -> ScenarioResult:
+    """A worker hangs mid-task with *no* task timeout configured: missed
+    heartbeats alone expire the lease, the task is requeued (consuming an
+    attempt) and re-executed elsewhere, and the late completion from the
+    recovered worker is discarded as stale."""
+    from .runner import SweepRunner
+
+    configs = _scenario_grid(5, seed)
+    keys = _grid_keys(configs)
+    reference = SweepRunner(jobs=0).run_many(configs)
+    plan = FaultPlan(seed=seed, hang=1.0, max_faulty_attempts=1,
+                     hang_s=2.5, only_keys=(keys[1],))
+    runner = SweepRunner(jobs=max(2, jobs), backend="distributed", retries=3,
+                         backoff_base_s=0.0, fault_plan=plan,
+                         distributed_options=_dist_opts(
+                             "distributed", transport, lease_timeout_s=0.6))
+    results = runner.run_many(configs)
+    runner.close()
+    ok = (results == reference and runner.stats.failures == 0
+          and runner.stats.lease_expiries >= 1
+          and runner.stats.timeouts >= 1)
+    return ScenarioResult(
+        "dist-hung-worker-lease-expires", ok,
+        f"hung worker's lease expired via missed heartbeats "
+        f"({runner.stats.lease_expiries} expiries, {runner.stats.timeouts} "
+        f"timeout attempts charged, {runner.stats.stale_results} stale "
+        f"result(s) discarded) with no task timeout configured; results "
+        f"{'bit-identical to' if results == reference else 'DIVERGED from'} "
+        f"serial reference")
+
+
+def _scenario_dist_partition_heal(workdir: Path, jobs: int, seed: int,
+                                  backend: str, transport: str,
+                                  ) -> ScenarioResult:
+    """One worker is fully partitioned (both directions) for its first
+    traffic window, then the partition heals; the worker's idle re-hello
+    re-registers it and the sweep completes bit-identically with no
+    failed tasks."""
+    from .runner import SweepRunner
+
+    configs = _scenario_grid(6, seed)
+    reference = SweepRunner(jobs=0).run_many(configs)
+    plan = FaultPlan(seed=seed, partition=1.0, max_faulty_attempts=1,
+                     only_keys=("w0.1",), partition_window=4)
+    runner = SweepRunner(jobs=max(2, jobs), backend="distributed", retries=2,
+                         backoff_base_s=0.0, fault_plan=plan,
+                         distributed_options=_dist_opts(
+                             "distributed", transport, lease_timeout_s=1.0,
+                             idle_poll_s=0.1))
+    results = runner.run_many(configs)
+    runner.close()
+    ok = (results == reference and runner.stats.failures == 0)
+    return ScenarioResult(
+        "dist-partitioned-worker-heals-and-rejoins", ok,
+        f"worker w0.1 partitioned for its first {plan.partition_window}"
+        f"-message window, healed by idle re-hello; "
+        f"{runner.stats.lease_expiries} lease expiries, "
+        f"{runner.stats.failures} failed tasks; results "
+        f"{'bit-identical to' if results == reference else 'DIVERGED from'} "
+        f"serial reference")
+
+
+def _scenario_dist_stale_result_discarded(workdir: Path, jobs: int, seed: int,
+                                          backend: str, transport: str,
+                                          ) -> ScenarioResult:
+    """The regression scenario from the issue: a worker's result is
+    delayed past its lease expiry (a partition that heals after the
+    coordinator gave up), the task is re-executed and committed, and the
+    worker's late result for the already-committed task is discarded —
+    never double-counted."""
+    from .runner import SweepRunner
+
+    configs = _scenario_grid(4, seed)
+    reference = SweepRunner(jobs=0).run_many(configs)
+    plan = FaultPlan(seed=seed, delay=1.0, max_faulty_attempts=1,
+                     only_keys=("w0.1|result",), delay_polls=40)
+    runner = SweepRunner(jobs=max(2, jobs), backend="distributed", retries=2,
+                         backoff_base_s=0.0, fault_plan=plan,
+                         distributed_options=_dist_opts(
+                             "distributed", transport, lease_timeout_s=0.5))
+    results = runner.run_many(configs)
+    runner.close()
+    n = len(configs)
+    discarded = runner.stats.dup_results + runner.stats.stale_results
+    ok = (results == reference and runner.stats.failures == 0
+          and runner.stats.lease_expiries >= 1 and discarded >= 1
+          and runner.stats.executed == n)
+    return ScenarioResult(
+        "dist-stale-result-discarded-not-double-counted", ok,
+        f"w0.1's first result held past lease expiry: task re-executed, "
+        f"{discarded} late/duplicate delivery(ies) discarded, "
+        f"{runner.stats.executed}/{n} tasks committed exactly once; results "
+        f"{'bit-identical to' if results == reference else 'DIVERGED from'} "
+        f"serial reference")
+
+
+def _scenario_dist_fleet_loss_fallback(workdir: Path, jobs: int, seed: int,
+                                       backend: str, transport: str,
+                                       ) -> ScenarioResult:
+    """Every worker agent dies on receipt of every lease: after
+    ``max_fleet_failures`` the coordinator stops burning respawns and
+    degrades gracefully to the local warm backend, completing the sweep
+    bit-identically with zero failed tasks."""
+    from .runner import SweepRunner
+
+    configs = _scenario_grid(5, seed)
+    reference = SweepRunner(jobs=0).run_many(configs)
+    plan = FaultPlan(seed=seed, kill=1.0, max_faulty_attempts=None)
+    runner = SweepRunner(jobs=max(2, jobs), backend="distributed", retries=4,
+                         backoff_base_s=0.0, fault_plan=plan,
+                         distributed_options=_dist_opts(
+                             "distributed", transport, max_fleet_failures=2))
+    results = runner.run_many(configs)
+    runner.close()
+    ok = (results == reference and runner.stats.failures == 0
+          and runner.stats.fleet_fallbacks == 1
+          and runner.stats.pool_respawns >= 1)
+    return ScenarioResult(
+        "dist-fleet-loss-falls-back-to-warm", ok,
+        f"agents killed on every lease: {runner.stats.pool_respawns} "
+        f"respawn(s) before giving up, {runner.stats.fleet_fallbacks} "
+        f"fallback to the local warm backend, {runner.stats.failures} "
+        f"failed tasks; results "
+        f"{'bit-identical to' if results == reference else 'DIVERGED from'} "
+        f"serial reference")
+
+
+def _scenario_dist_file_transport(workdir: Path, jobs: int, seed: int,
+                                  backend: str, transport: str,
+                                  ) -> ScenarioResult:
+    """The shared-filesystem spool transport (atomic-rename message
+    files) completes a sweep bit-identically — the transport matrix's
+    second column, exercised regardless of the suite's ``--transport``."""
+    from .runner import SweepRunner
+
+    configs = _scenario_grid(5, seed)
+    reference = SweepRunner(jobs=0).run_many(configs)
+    runner = SweepRunner(jobs=max(2, jobs), backend="distributed",
+                         backoff_base_s=0.0,
+                         distributed_options=_dist_opts(
+                             "distributed", "file",
+                             spool_dir=str(workdir / "spool")))
+    results = runner.run_many(configs)
+    runner.close()
+    ok = (results == reference and runner.stats.failures == 0
+          and runner.stats.leases >= 1)
+    return ScenarioResult(
+        "dist-file-spool-transport-bit-identical", ok,
+        f"file-spool transport granted {runner.stats.leases} lease(s), "
+        f"{runner.stats.failures} failures; results "
+        f"{'bit-identical to' if results == reference else 'DIVERGED from'} "
+        f"serial reference")
+
+
 _SCENARIOS = (
     _scenario_crash_retry,
     _scenario_hang_timeout,
@@ -383,21 +670,45 @@ _WARM_SCENARIOS = (
     _scenario_warm_hung_queue_stolen,
 )
 
+#: Network-chaos scenarios exercising the distributed backend's lease,
+#: commit-gate, and degradation machinery; appended when the suite runs
+#: against the distributed backend.
+_DISTRIBUTED_SCENARIOS = (
+    _scenario_dist_duplicate_delivery,
+    _scenario_dist_drop_lease_recovery,
+    _scenario_dist_lease_expiry_no_timeout,
+    _scenario_dist_partition_heal,
+    _scenario_dist_stale_result_discarded,
+    _scenario_dist_fleet_loss_fallback,
+    _scenario_dist_file_transport,
+)
+
 
 def run_fault_suite(workdir: Path, jobs: int = 2, seed: int = 1,
-                    backend: str = "warm") -> List[ScenarioResult]:
+                    backend: str = "warm",
+                    transport: str = "tcp") -> List[ScenarioResult]:
     """Run every fault-injection scenario against the real runner.
 
     ``workdir`` holds the scratch caches/journals the scenarios create;
-    the suite is deterministic in ``(jobs, seed, backend)`` and is the CI
-    ``faults`` gate (CLI: ``repro faults``).  ``backend`` selects the
-    execution engine for the parallel scenarios; ``"warm"`` additionally
-    runs the warm-specific scenarios (worker-cache loss, queue stealing).
+    the suite is deterministic in ``(jobs, seed, backend, transport)``
+    and is the CI ``faults`` gate (CLI: ``repro faults``).  ``backend``
+    selects the execution engine for the parallel scenarios; ``"warm"``
+    additionally runs the warm-specific scenarios (worker-cache loss,
+    queue stealing), and ``"distributed"`` the network-chaos scenarios
+    (duplicate delivery, dropped frames, lease expiry, partitions, stale
+    results, fleet loss, file spool).  ``transport`` selects the wire
+    (``tcp`` or ``file``) for every distributed scenario except the
+    file-spool one, which always runs on ``file``.
     """
     workdir = Path(workdir)
     workdir.mkdir(parents=True, exist_ok=True)
-    scenarios = _SCENARIOS + (_WARM_SCENARIOS if backend == "warm" else ())
-    return [scenario(workdir, jobs, seed, backend) for scenario in scenarios]
+    scenarios = _SCENARIOS
+    if backend == "warm":
+        scenarios = scenarios + _WARM_SCENARIOS
+    if backend == "distributed":
+        scenarios = scenarios + _DISTRIBUTED_SCENARIOS
+    return [scenario(workdir, jobs, seed, backend, transport)
+            for scenario in scenarios]
 
 
 def plan_with(plan: FaultPlan, **overrides: object) -> FaultPlan:

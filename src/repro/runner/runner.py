@@ -80,6 +80,7 @@ from ..sim.system import SystemConfig
 from .backends import (
     BACKEND_NAMES,
     BatchState,
+    DistributedOptions,
     ExecutionBackend,
     WarmOptions,
     make_backend,
@@ -115,9 +116,14 @@ class RunnerStats:
     failures: int = 0        # tasks that exhausted every attempt
     pool_respawns: int = 0   # worker processes/pools replaced after breaking
     batches: int = 0
-    chunks: int = 0          # warm-backend chunk dispatches
+    chunks: int = 0          # warm/distributed chunk dispatches
     affinity_hits: int = 0   # tasks routed to an already-warm worker
     steals: int = 0          # tasks stolen by idle warm workers
+    leases: int = 0          # distributed lease grants
+    lease_expiries: int = 0  # leases forfeited to missed heartbeats
+    dup_results: int = 0     # duplicate identical results discarded
+    stale_results: int = 0   # results delivered for retired leases
+    fleet_fallbacks: int = 0  # batches finished on the local fallback
     elapsed_s: float = 0.0   # wall-clock spent inside run_many
 
     def snapshot(self) -> "RunnerStats":
@@ -146,6 +152,12 @@ class RunnerStats:
         if self.chunks:
             parts.append(f"({self.chunks} chunks, {self.affinity_hits} affine,"
                          f" {self.steals} stolen)")
+        if self.leases:
+            parts.append(f"({self.leases} leases, {self.lease_expiries} "
+                         f"expired, {self.dup_results} dup, "
+                         f"{self.stale_results} stale)")
+        if self.fleet_fallbacks:
+            parts.append(f"[{self.fleet_fallbacks} fleet fallback(s)]")
         if self.failures:
             parts.append(f"[{self.failures} FAILED]")
         parts.append(f"in {self.elapsed_s:.1f}s")
@@ -240,12 +252,18 @@ class SweepRunner:
         the cache disabled.
     backend:
         Execution engine for ``jobs>1``: ``"warm"`` (default; persistent
-        affinity-routed workers), ``"pool"`` (per-batch process pool), or
-        ``"serial"`` (force in-process).  Backend choice can never change
-        results — only wall-clock (``docs/RUNNER.md``).
+        affinity-routed workers), ``"pool"`` (per-batch process pool),
+        ``"distributed"`` (lease-based coordinator + worker-agent fleet
+        over tcp or a file spool), or ``"serial"`` (force in-process).
+        Backend choice can never change results — only wall-clock
+        (``docs/RUNNER.md``, ``docs/DISTRIBUTED.md``).
     warm_options:
         Optional :class:`~repro.runner.backends.WarmOptions` tuning the
         warm backend (chunk size, routing mode).  Ignored by the others.
+    distributed_options:
+        Optional :class:`~repro.runner.backends.DistributedOptions`
+        tuning the distributed backend (transport, lease timeout, fleet
+        policy — ``docs/DISTRIBUTED.md``).  Ignored by the others.
     timeout_s:
         Per-task wall-clock budget; ``None`` (default) = unbounded.  A
         task over budget is reported as a ``timeout`` failure and retried.
@@ -279,6 +297,7 @@ class SweepRunner:
                  *,
                  backend: str = "warm",
                  warm_options: Optional[WarmOptions] = None,
+                 distributed_options: Optional[DistributedOptions] = None,
                  timeout_s: Optional[float] = None,
                  retries: int = 0,
                  backoff_base_s: float = 0.05,
@@ -304,6 +323,7 @@ class SweepRunner:
         self.check_invariants = check_invariants
         self.backend = backend
         self.warm_options = warm_options
+        self.distributed_options = distributed_options
         self.timeout_s = timeout_s
         self.retries = retries
         self.backoff_base_s = backoff_base_s
@@ -328,7 +348,8 @@ class SweepRunner:
         across batches."""
         instance = self._backends.get(name)
         if instance is None:
-            instance = make_backend(name, self.warm_options)
+            instance = make_backend(name, self.warm_options,
+                                    self.distributed_options)
             self._backends[name] = instance
         return instance
 
@@ -380,6 +401,8 @@ class SweepRunner:
         entries: Dict[str, SimulationSummary] = {}
         if self.resume and journal.exists():
             entries = journal.load()
+            for key in entries:
+                journal.mark_seen(key)
         journal.start(resume=bool(entries))
         return journal, entries
 

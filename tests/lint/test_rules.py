@@ -15,12 +15,13 @@ from repro.lint.suppressions import is_suppressed, suppressed_codes
 
 
 def lint_source(source, *, result_affecting=True, rng_exempt=False,
-                hot_path=False):
+                hot_path=False, clock_seam=False):
     source = textwrap.dedent(source)
     findings = run_file_rules("snippet.py", source,
                               result_affecting=result_affecting,
                               rng_exempt=rng_exempt,
-                              hot_path=hot_path)
+                              hot_path=hot_path,
+                              clock_seam=clock_seam)
     supp = suppressed_codes(source)
     return [f for f in findings if not is_suppressed(supp, f.line, f.code)]
 
@@ -383,6 +384,88 @@ class TestRPR007:
             def edge(sim, fn, pkt):
                 sim.schedule_call(0.0, fn, pkt)  # repro-lint: ignore[RPR007] fold-back edge
         """, hot_path=True)
+        assert out == []
+
+
+# ----------------------------------------------------------------------
+# RPR013 — coordinator/lease logic must use the injectable clock seam
+# ----------------------------------------------------------------------
+class TestRPR013:
+    def test_direct_monotonic_call_fires(self):
+        out = lint_source("""
+            import time
+
+            def expired(lease, timeout_s):
+                return time.monotonic() - lease.last_beat_s > timeout_s
+        """, result_affecting=False, clock_seam=True)
+        assert codes(out) == ["RPR013"]
+        assert "clock seam" in out[0].message
+
+    def test_time_time_call_fires(self):
+        out = lint_source("""
+            import time
+
+            def stamp():
+                return time.time()
+        """, result_affecting=False, clock_seam=True)
+        assert codes(out) == ["RPR013"]
+
+    def test_from_import_alias_resolves(self):
+        out = lint_source("""
+            from time import monotonic as now
+
+            def age(lease):
+                return now() - lease.granted_at_s
+        """, result_affecting=False, clock_seam=True)
+        assert codes(out) == ["RPR013"]
+
+    def test_reference_without_call_is_clean(self):
+        # The sanctioned default-clock idiom: pass time.monotonic *by
+        # reference* into the seam; only calling it directly is banned.
+        assert lint_source("""
+            import time
+
+            def make_clock(clock=None):
+                return clock if clock is not None else time.monotonic
+        """, result_affecting=False, clock_seam=True) == []
+
+    def test_sleep_is_clean(self):
+        # Waiting is allowed (counted poll slices); *reading* time isn't.
+        assert lint_source("""
+            import time
+
+            def wait_slice():
+                time.sleep(0.02)
+        """, result_affecting=False, clock_seam=True) == []
+
+    def test_same_call_clean_outside_seam_scope(self):
+        assert lint_source("""
+            import time
+
+            def bench():
+                return time.monotonic()
+        """, result_affecting=False, clock_seam=False) == []
+
+    def test_fires_on_seeded_violation_in_scoped_file(self, tmp_path):
+        # File-level wiring: a temp file linted *as* a backends module
+        # picks the rule up from CLOCK_SEAM_RELPATHS scoping alone.
+        from repro.lint.engine import lint_file
+
+        bad = tmp_path / "lease.py"
+        bad.write_text("import time\n\n"
+                       "def now_s():\n"
+                       "    return time.monotonic()\n")
+        found = lint_file(bad, relpath="runner/backends/lease.py")
+        assert [f.code for f in found] == ["RPR013"]
+        assert lint_file(bad, relpath="runner/runner.py") == []
+
+    def test_suppression_comment_is_honored(self):
+        out = lint_source("""
+            import time
+
+            def wall():
+                return time.time()  # repro-lint: ignore[RPR013] operator-facing log stamp
+        """, result_affecting=False, clock_seam=True)
         assert out == []
 
 

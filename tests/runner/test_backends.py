@@ -275,7 +275,7 @@ class TestWarmChunkPath:
 # ----------------------------------------------------------------------
 class TestBackendSelection:
     def test_backend_names(self):
-        assert BACKEND_NAMES == ("serial", "pool", "warm")
+        assert BACKEND_NAMES == ("serial", "pool", "warm", "distributed")
 
     def test_factory_builds_each(self):
         for name in BACKEND_NAMES:

@@ -67,7 +67,8 @@ class TestFaultPlanDeterminism:
         with pytest.raises(ValueError, match="unknown fault kind"):
             FaultPlan().decide("meteor", "k")
         assert set(FAULT_KINDS) == {"crash", "hang", "error", "corrupt",
-                                    "interrupt"}
+                                    "interrupt", "drop", "delay",
+                                    "duplicate", "partition", "kill"}
 
 
 class TestSerialFailurePaths:
